@@ -1,0 +1,61 @@
+"""Ablation: Monte-Carlo estimator sensitivity to its simulation budget.
+
+The Monte-Carlo estimator has two main knobs (Algorithm 3): the number of
+simulation runs per grid cell and the resolution of the (θ_N, θ_λ) grid.
+DESIGN.md notes that the benchmarks use a reduced budget; this ablation
+verifies that the reduced budget does not change the estimate materially
+while being several times faster -- i.e. the scaled-down configuration used
+throughout the benchmarks is a faithful stand-in for the paper's settings.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import show
+
+from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
+from repro.evaluation.experiments import ExperimentResult
+from repro.simulation.scenarios import get_scenario
+
+
+def _run_ablation(seed: int = 33) -> ExperimentResult:
+    scenario = get_scenario("realistic-w10")
+    run = scenario.run(seed=seed)
+    sample = run.sample()
+    truth = run.population.true_sum(scenario.attribute)
+    configs = {
+        "light (2 runs, 6 steps)": MonteCarloConfig(n_runs=2, n_count_steps=6),
+        "paper-like (5 runs, 10 steps)": MonteCarloConfig(n_runs=5, n_count_steps=10),
+    }
+    rows = []
+    for label, config in configs.items():
+        estimator = MonteCarloEstimator(config=config, seed=0)
+        started = time.perf_counter()
+        estimate = estimator.estimate(sample, scenario.attribute)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "configuration": label,
+                "corrected": estimate.corrected,
+                "count_estimate": estimate.count_estimate,
+                "relative_error": abs(estimate.corrected - truth) / truth,
+                "seconds": elapsed,
+            }
+        )
+    return ExperimentResult(
+        experiment="ablation-mc-settings",
+        description="Monte-Carlo simulation budget: light vs paper-like settings",
+        rows=rows,
+        parameters={"scenario": scenario.name, "seed": seed},
+    )
+
+
+def test_ablation_mc_settings(benchmark):
+    result = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    show(result)
+    light, paper_like = result.rows
+    # The light budget must not change the answer materially (< 10 percentage
+    # points of relative error) while the heavy budget costs more time.
+    assert abs(light["relative_error"] - paper_like["relative_error"]) < 0.10
+    assert paper_like["seconds"] >= light["seconds"]

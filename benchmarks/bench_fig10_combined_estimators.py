@@ -1,0 +1,28 @@
+"""Appendix D, Figure 10: combined estimators (bucket+frequency, MC+bucket)."""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.evaluation import experiments
+from repro.evaluation.metrics import relative_error
+
+
+def test_fig10_combined_estimators(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure10_combined_estimators,
+        kwargs={"seed": 42, "n_points": 5, "mc_runs": 2},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    last = result.rows[-1]
+    truth = last["ground_truth"]
+    # Paper shape: combining Monte-Carlo with buckets hurts (each bucket has
+    # too little data, MC falls back towards the observed sum), so the plain
+    # dynamic bucket estimator stays the best of the four.
+    bucket_error = relative_error(last["bucket"], truth)
+    mc_bucket_error = relative_error(last["monte-carlo+bucket"], truth)
+    assert bucket_error <= mc_bucket_error + 0.05
+    # bucket+frequency behaves similarly to plain bucket (no big difference).
+    assert relative_error(last["bucket+frequency"], truth) <= bucket_error + 0.35

@@ -1,0 +1,30 @@
+"""Appendix E, Figure 11: bucket estimation quality vs the number of sources."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import show
+
+from repro.evaluation import experiments
+from repro.evaluation.metrics import relative_error
+
+
+def test_fig11_source_count(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure11_source_count,
+        kwargs={"seed": 17, "repetitions": 4},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    errors = {
+        row["n_sources"]: relative_error(row["bucket"], row["ground_truth"])
+        for row in result.rows
+        if math.isfinite(row["bucket"])
+    }
+    # Paper shape: more independent sources -> more overlap -> better bucket
+    # estimates; five sources should not be worse than two.
+    assert 5 in errors
+    if 2 in errors:
+        assert errors[5] <= errors[2] + 0.1

@@ -1,0 +1,19 @@
+"""Figure 2: observed SUM(employees) vs ground truth over the answer stream."""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.evaluation import experiments
+
+
+def test_fig2_observed_gap(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure2_observed_gap,
+        kwargs={"seed": 42, "n_points": 20},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    gaps = [row["gap_fraction"] for row in result.rows]
+    assert gaps[0] > gaps[-1] >= 0.0

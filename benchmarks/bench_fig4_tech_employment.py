@@ -1,0 +1,23 @@
+"""Figure 4: SUM(employees) estimates on the US tech-employment stand-in."""
+
+from __future__ import annotations
+
+from conftest import light_estimators, show
+
+from repro.evaluation import experiments
+from repro.evaluation.metrics import relative_error
+
+
+def test_fig4_tech_employment(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure4_tech_employment,
+        kwargs={"seed": 42, "estimators": light_estimators(), "n_points": 8},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    last = result.rows[-1]
+    truth = last["ground_truth"]
+    # Paper shape: naive/frequency overestimate, bucket lands closest.
+    assert relative_error(last["bucket"], truth) < relative_error(last["naive"], truth)
+    assert last["bucket"] > last["observed"]

@@ -1,0 +1,23 @@
+"""Figure 5(a): SUM(revenue) estimates on the US tech-revenue stand-in."""
+
+from __future__ import annotations
+
+from conftest import light_estimators, show
+
+from repro.evaluation import experiments
+from repro.evaluation.metrics import relative_error
+
+
+def test_fig5a_tech_revenue(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure5a_tech_revenue,
+        kwargs={"seed": 7, "estimators": light_estimators(), "n_points": 8},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    last = result.rows[-1]
+    truth = last["ground_truth"]
+    # Paper shape: naive overestimates significantly; bucket is closest.
+    assert last["naive"] > truth
+    assert relative_error(last["bucket"], truth) < relative_error(last["naive"], truth)

@@ -1,0 +1,23 @@
+"""Figure 5(b): SUM(gdp) on the streaker-affected US GDP stand-in."""
+
+from __future__ import annotations
+
+from conftest import light_estimators, show
+
+from repro.evaluation import experiments
+from repro.evaluation.metrics import relative_error
+
+
+def test_fig5b_us_gdp(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure5b_us_gdp,
+        kwargs={"seed": 11, "estimators": light_estimators(), "n_points": 8},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    last = result.rows[-1]
+    truth = last["ground_truth"]
+    # Paper shape: with N = 50 states every estimator converges by the end.
+    for name in ("naive", "frequency", "bucket", "monte-carlo"):
+        assert relative_error(last[name], truth) < 0.2

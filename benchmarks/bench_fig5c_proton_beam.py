@@ -1,0 +1,22 @@
+"""Figure 5(c): SUM(participants) on the Proton-beam stand-in (no known truth)."""
+
+from __future__ import annotations
+
+from conftest import light_estimators, show
+
+from repro.evaluation import experiments
+
+
+def test_fig5c_proton_beam(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure5c_proton_beam,
+        kwargs={"seed": 23, "estimators": light_estimators(), "n_points": 8},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    last = result.rows[-1]
+    # Paper shape: naive >= bucket >= observed, and the Monte-Carlo estimate
+    # hugs the observed line.
+    assert last["naive"] >= last["bucket"] >= last["observed"]
+    assert abs(last["monte-carlo"] - last["observed"]) <= abs(last["naive"] - last["observed"])

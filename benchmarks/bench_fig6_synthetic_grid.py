@@ -1,0 +1,36 @@
+"""Figure 6: the 3x3 synthetic grid (publicity skew x correlation x #sources)."""
+
+from __future__ import annotations
+
+from conftest import chao_only_estimators, show
+
+from repro.evaluation import experiments
+from repro.evaluation.metrics import relative_error
+
+
+def test_fig6_synthetic_grid(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure6_synthetic_grid,
+        kwargs={
+            "repetitions": 3,
+            "seed": 1,
+            "estimators": chao_only_estimators(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    rows = {row["scenario"]: row for row in result.rows}
+    # Ideal row: everything accurate with many sources.
+    ideal = rows["ideal-w100"]
+    for name in ("naive", "frequency", "bucket"):
+        assert relative_error(ideal[name], ideal["ground_truth"]) < 0.15
+    # Realistic row: bucket at least as good as naive.
+    realistic = rows["realistic-w10"]
+    assert relative_error(realistic["bucket"], realistic["ground_truth"]) <= (
+        relative_error(realistic["naive"], realistic["ground_truth"]) + 0.05
+    )
+    # Rare-event row: estimators do not overshoot the truth by much (they
+    # cannot predict black swans, so they underestimate).
+    rare = rows["rare-events-w10"]
+    assert rare["bucket"] <= rare["ground_truth"] * 1.1

@@ -1,0 +1,27 @@
+"""Figure 7 (upper-bound panel): the worst-case SUM bound over time."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import show
+
+from repro.evaluation import experiments
+
+
+def test_fig7c_upper_bound(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure7c_upper_bound,
+        kwargs={"seed": 5, "n_points": 10},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    finite = [row for row in result.rows if math.isfinite(row["upper_bound"])]
+    # Paper shape: the bound is loose but valid (above the estimate and the
+    # truth) and tightens as data accumulates.
+    assert finite, "the bound should become finite once enough data arrived"
+    assert finite[-1]["upper_bound"] >= finite[-1]["ground_truth"]
+    assert finite[-1]["upper_bound"] >= finite[-1]["bucket_estimate"]
+    if len(finite) >= 2:
+        assert finite[-1]["upper_bound"] <= finite[0]["upper_bound"]

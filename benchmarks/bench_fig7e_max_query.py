@@ -1,0 +1,23 @@
+"""Figure 7 (MAX panel): report the observed maximum only when trusted."""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.evaluation import experiments
+
+
+def test_fig7e_max_query(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure7e_max_query,
+        kwargs={"seed": 9, "n_points": 8, "repetitions": 4},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    rows = result.rows
+    # Paper shape: once the estimator reports a MAX it is (almost always) the
+    # true maximum, and the report rate grows with the sample size.
+    assert rows[-1]["report_rate"] >= rows[0]["report_rate"]
+    assert rows[-1]["report_rate"] > 0
+    assert rows[-1]["true_extreme_observed_rate"] >= 0.5

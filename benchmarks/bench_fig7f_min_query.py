@@ -1,0 +1,23 @@
+"""Figure 7 (MIN panel): report the observed minimum only when trusted."""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.evaluation import experiments
+
+
+def test_fig7f_min_query(benchmark):
+    result = benchmark.pedantic(
+        experiments.figure7f_min_query,
+        kwargs={"seed": 9, "n_points": 8, "repetitions": 4},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    rows = result.rows
+    # Paper shape: the MIN is the hard direction under a positive
+    # publicity-value correlation (small entities are rarely reported), so
+    # reports only appear once the sample is large.
+    assert rows[-1]["report_rate"] >= rows[0]["report_rate"]
+    assert all(0.0 <= row["report_rate"] <= 1.0 for row in rows)

@@ -1,0 +1,22 @@
+"""Appendix F, Table 2: exact estimator values on the five-company toy example."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import show
+
+from repro.evaluation import experiments
+
+
+def test_table2_toy_example(benchmark):
+    result = benchmark(experiments.table2_toy_example)
+    show(result)
+    before, after = result.rows
+    # These are exact values printed in the paper's Table 2.
+    assert before["naive"] == pytest.approx(16009.26, abs=1.0)
+    assert before["frequency"] == pytest.approx(13694.44, abs=1.0)
+    assert before["bucket"] == pytest.approx(14500.0, abs=1.0)
+    assert after["naive"] == pytest.approx(14962.5, abs=1.0)
+    assert after["frequency"] == pytest.approx(13450.0, abs=1.0)
+    assert after["bucket"] == pytest.approx(13950.0, abs=1.0)

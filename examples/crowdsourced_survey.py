@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Crowdsourced market survey: how many people does the US tech sector employ?
+
+This reproduces the paper's running example (Figures 2 and 4) on the
+synthetic stand-in data set: crowd workers report tech companies and their
+head counts, answers trickle in over time, and we track how the observed
+answer and the estimator-corrected answers approach the ground truth.
+
+Run with::
+
+    python examples/crowdsourced_survey.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BucketEstimator, FrequencyEstimator, NaiveEstimator
+from repro.datasets import load_dataset
+from repro.evaluation import ProgressiveRunner, format_series
+from repro.evaluation.metrics import relative_error
+
+
+def main() -> None:
+    dataset = load_dataset("us-tech-employment", seed=42)
+    print(dataset.description)
+    print(f"Query: {dataset.query}")
+    print(f"Ground truth (Pew Research): {dataset.ground_truth:,.0f} employees")
+    print(f"Crowd answers collected:     {dataset.total_observations}")
+    print()
+
+    runner = ProgressiveRunner(
+        {
+            "naive": NaiveEstimator(),
+            "frequency": FrequencyEstimator(),
+            "bucket": BucketEstimator(),
+        }
+    )
+    result = runner.run(dataset, step=50)
+    print("Estimates as crowd answers arrive:")
+    print(format_series(result))
+    print()
+
+    final_sample = dataset.sample()
+    observed = final_sample.sum("employees")
+    print(f"After {dataset.total_observations} answers:")
+    print(f"  observed answer misses the truth by "
+          f"{relative_error(observed, dataset.ground_truth):.1%}")
+    for name, series in result.series.items():
+        error = relative_error(series.final_estimate(), dataset.ground_truth)
+        print(f"  {name:<10s} corrected answer is off by {error:.1%}")
+    print()
+    best = result.best_estimator()
+    print(f"Best estimator on this stream: {best} "
+          f"(the paper reports the dynamic bucket estimator within ~2.5%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Diagnosing streakers: when to prefer the Monte-Carlo estimator.
+
+Section 6.3 of the paper shows that imbalanced source contributions
+("streakers") break the Chao92-based estimators, while the Monte-Carlo
+estimator -- which simulates the per-source sampling explicitly -- stays
+close to the observed answer.  This example builds both a balanced and a
+streaker-affected integration of the same ground truth, uses the lineage
+tracker to *detect* the imbalance, and shows how the estimator choice
+should change.
+
+Run with::
+
+    python examples/streaker_diagnosis.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BucketEstimator, MonteCarloConfig, MonteCarloEstimator, NaiveEstimator
+from repro.data.lineage import LineageTracker
+from repro.simulation.population import linear_value_population
+from repro.simulation.publicity import ExponentialPublicity, correlate_values_with_publicity
+from repro.simulation.sampler import MultiSourceSampler
+from repro.simulation.streaker import inject_streaker_run
+
+
+def describe(label, run, attribute="value"):
+    sample = run.sample()
+    truth = run.population.true_sum(attribute)
+    lineage = LineageTracker()
+    lineage.record_all(run.stream)
+    streakers = lineage.streaker_sources(threshold=0.3)
+
+    print(f"--- {label} ---")
+    print(f"  observations: {sample.n}, unique entities: {sample.c}, "
+          f"sources: {sample.num_sources}")
+    print(f"  streaker sources detected (>30% of mentions): {streakers or 'none'}")
+
+    estimators = {
+        "naive": NaiveEstimator(),
+        "bucket": BucketEstimator(),
+        "monte-carlo": MonteCarloEstimator(
+            config=MonteCarloConfig(n_runs=3, n_count_steps=8), seed=0
+        ),
+    }
+    print(f"  ground truth SUM: {truth:>12,.0f}")
+    print(f"  observed SUM:     {sample.sum(attribute):>12,.0f}")
+    for name, estimator in estimators.items():
+        estimate = estimator.estimate(sample, attribute)
+        error = abs(estimate.corrected - truth) / truth
+        print(f"  {name:<12s} corrected: {estimate.corrected:>12,.0f}  "
+              f"(error {error:6.1%})")
+    print()
+    return streakers
+
+
+def main() -> None:
+    population = linear_value_population(size=100)
+    population = correlate_values_with_publicity(population, "value", 1.0, seed=0)
+    publicity = ExponentialPublicity(1.0)
+
+    balanced = MultiSourceSampler(population, "value", publicity=publicity).run(
+        [12] * 20, seed=1
+    )
+    streaky = inject_streaker_run(
+        population,
+        "value",
+        n_normal_sources=20,
+        normal_source_size=8,
+        inject_at=160,
+        publicity=publicity,
+        seed=1,
+    )
+
+    describe("Balanced sources (20 workers, 12 answers each)", balanced)
+    streakers = describe("Streaker injected after 160 answers", streaky)
+
+    print("Recommendation (Section 6.5 of the paper):")
+    if streakers:
+        print("  imbalanced contributions detected -> prefer the Monte-Carlo estimator;")
+        print("  the Chao92-based estimators overestimate under streakers.")
+    else:
+        print("  contributions are balanced -> the dynamic bucket estimator is the best choice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which need ``bdist_wheel``) fail.  Keeping a
+minimal ``setup.py`` lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` fall back to the legacy editable install.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

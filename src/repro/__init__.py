@@ -1,0 +1,119 @@
+"""repro: Estimating the Impact of Unknown Unknowns on Aggregate Query Results.
+
+A from-scratch Python reproduction of Chung, Mortensen, Binnig and Kraska
+(SIGMOD 2016).  The library estimates how much the entities that *no* data
+source ever observed ("unknown unknowns") change the answer of an aggregate
+query over an integrated data set, using only the overlap structure of the
+sources.
+
+Quickstart
+----------
+>>> from repro import ObservedSample, BucketEstimator
+>>> sample = ObservedSample.from_entity_values(
+...     [("acme", 120.0, 3), ("globex", 45.0, 1), ("initech", 80.0, 2)],
+...     attribute="employees",
+... )
+>>> estimate = BucketEstimator().estimate(sample, "employees")
+>>> estimate.observed <= estimate.corrected
+True
+
+Package layout
+--------------
+* :mod:`repro.core` -- the estimators (naive, frequency, bucket, Monte-Carlo),
+  the SUM upper bound and the COUNT/AVG/MIN/MAX extensions.
+* :mod:`repro.data` -- the data-integration substrate (sources, cleaning,
+  lineage, the observed sample).
+* :mod:`repro.query` -- a small aggregate-query engine with closed-world and
+  open-world (estimator-corrected) execution.
+* :mod:`repro.simulation` -- the multi-source sampling simulator used by the
+  synthetic experiments.
+* :mod:`repro.datasets` -- synthetic stand-ins for the paper's crowdsourced
+  data sets.
+* :mod:`repro.evaluation` -- progressive replay harness, metrics, and one
+  experiment driver per figure/table of the paper.
+"""
+
+from repro.core import (
+    BucketEstimator,
+    DynamicBucketing,
+    EquiHeightBucketing,
+    EquiWidthBucketing,
+    Estimate,
+    FrequencyEstimator,
+    FrequencyStatistics,
+    MonteCarloConfig,
+    MonteCarloEstimator,
+    NaiveEstimator,
+    SumEstimator,
+    available_estimators,
+    chao92_estimate,
+    estimate_avg,
+    estimate_count,
+    estimate_max,
+    estimate_min,
+    estimate_sum,
+    make_estimator,
+    sum_upper_bound,
+)
+from repro.data import (
+    DataSource,
+    Entity,
+    IntegrationPipeline,
+    Observation,
+    ObservedSample,
+    integrate,
+)
+from repro.query import ClosedWorldExecutor, Database, OpenWorldExecutor, Table, parse_query
+from repro.utils.exceptions import (
+    EstimationError,
+    InsufficientDataError,
+    QueryError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "BucketEstimator",
+    "DynamicBucketing",
+    "EquiHeightBucketing",
+    "EquiWidthBucketing",
+    "Estimate",
+    "FrequencyEstimator",
+    "FrequencyStatistics",
+    "MonteCarloConfig",
+    "MonteCarloEstimator",
+    "NaiveEstimator",
+    "SumEstimator",
+    "available_estimators",
+    "chao92_estimate",
+    "estimate_avg",
+    "estimate_count",
+    "estimate_max",
+    "estimate_min",
+    "estimate_sum",
+    "make_estimator",
+    "sum_upper_bound",
+    # data
+    "DataSource",
+    "Entity",
+    "IntegrationPipeline",
+    "Observation",
+    "ObservedSample",
+    "integrate",
+    # query
+    "ClosedWorldExecutor",
+    "Database",
+    "OpenWorldExecutor",
+    "Table",
+    "parse_query",
+    # errors
+    "EstimationError",
+    "InsufficientDataError",
+    "QueryError",
+    "ReproError",
+    "ValidationError",
+    "__version__",
+]

@@ -1,0 +1,231 @@
+"""Command-line interface for the unknown-unknowns estimators.
+
+Four subcommands cover the common workflows::
+
+    python -m repro.cli estimate  mentions.csv --attribute employees
+    python -m repro.cli query     mentions.csv --attribute gdp \
+                                  --sql "SELECT SUM(gdp) FROM data WHERE gdp > 100"
+    python -m repro.cli dataset   us-tech-employment --step 50
+    python -m repro.cli experiment fig4 --output fig4.csv
+
+``estimate`` and ``query`` read a CSV of per-source mentions
+(``entity_id, source_id, <attribute>`` -- see :mod:`repro.data.io`);
+``dataset`` replays one of the built-in crowd-data stand-ins; ``experiment``
+runs one of the paper's figure/table drivers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.registry import available_estimators, make_estimator
+from repro.data.integration import IntegrationPipeline
+from repro.data.io import read_sources_csv, write_estimates_csv
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_result_table, format_rows, format_series
+from repro.evaluation.runner import ProgressiveRunner
+from repro.query.database import Database
+from repro.query.executor import ClosedWorldExecutor, OpenWorldExecutor
+from repro.utils.exceptions import ReproError
+
+#: Experiment drivers reachable from the command line.
+EXPERIMENTS = {
+    "fig2": experiments.figure2_observed_gap,
+    "fig4": experiments.figure4_tech_employment,
+    "fig5a": experiments.figure5a_tech_revenue,
+    "fig5b": experiments.figure5b_us_gdp,
+    "fig5c": experiments.figure5c_proton_beam,
+    "fig6": experiments.figure6_synthetic_grid,
+    "fig7a": experiments.figure7a_streakers_only,
+    "fig7b": experiments.figure7b_streaker_injected,
+    "fig7c": experiments.figure7c_upper_bound,
+    "fig7d": experiments.figure7d_avg_query,
+    "fig7e": experiments.figure7e_max_query,
+    "fig7f": experiments.figure7f_min_query,
+    "fig8": experiments.figure8_static_buckets_real,
+    "fig9": experiments.figure9_static_buckets_synthetic,
+    "fig10": experiments.figure10_combined_estimators,
+    "fig11": experiments.figure11_source_count,
+    "table2": experiments.table2_toy_example,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Estimate the impact of unknown unknowns on aggregate query results.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    estimate = sub.add_parser(
+        "estimate", help="estimate corrected aggregates from a CSV of per-source mentions"
+    )
+    estimate.add_argument("csv", help="CSV with entity_id, source_id and the attribute column")
+    estimate.add_argument("--attribute", required=True, help="numeric attribute to aggregate")
+    estimate.add_argument(
+        "--estimator",
+        default="bucket",
+        choices=available_estimators(),
+        help="estimator to apply (default: bucket)",
+    )
+    estimate.add_argument("--output", help="optional CSV file for the result row")
+
+    query = sub.add_parser(
+        "query", help="run an open-world aggregate query over a CSV of mentions"
+    )
+    query.add_argument("csv", help="CSV with entity_id, source_id and attribute columns")
+    query.add_argument("--attribute", required=True, help="attribute used for integration")
+    query.add_argument("--sql", required=True, help="query, e.g. 'SELECT SUM(x) FROM data'")
+    query.add_argument(
+        "--estimator",
+        default="bucket",
+        choices=available_estimators(),
+        help="estimator used by the open-world executor",
+    )
+    query.add_argument(
+        "--closed-world",
+        action="store_true",
+        help="also print the classical closed-world answer",
+    )
+
+    dataset = sub.add_parser(
+        "dataset", help="replay one of the built-in crowd-data stand-ins"
+    )
+    dataset.add_argument("name", choices=available_datasets())
+    dataset.add_argument("--seed", type=int, default=None, help="generator seed")
+    dataset.add_argument("--step", type=int, default=None, help="prefix step for the replay")
+    dataset.add_argument(
+        "--estimators",
+        nargs="+",
+        default=["naive", "frequency", "bucket"],
+        choices=available_estimators(),
+        help="estimators to replay",
+    )
+    dataset.add_argument("--output", help="optional CSV file for the series")
+
+    experiment = sub.add_parser(
+        "experiment", help="run one of the paper's figure/table drivers"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--seed", type=int, default=None, help="override the default seed")
+    experiment.add_argument("--output", help="optional CSV file for the rows")
+
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# Subcommand implementations
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    registry = read_sources_csv(args.csv, args.attribute)
+    result = IntegrationPipeline(args.attribute).run(registry)
+    estimator = make_estimator(args.estimator)
+    estimate = estimator.estimate(result.sample, args.attribute)
+    summary = result.sample.summary()
+    rows = [
+        {
+            "estimator": estimate.estimator,
+            "observed": estimate.observed,
+            "corrected": estimate.corrected,
+            "delta": estimate.delta,
+            "count_estimate": estimate.count_estimate,
+            "coverage": estimate.coverage,
+            "n": summary.n,
+            "c": summary.c,
+            "f1": summary.f1,
+            "reliable": estimate.reliable,
+        }
+    ]
+    print(format_result_table(f"SUM({args.attribute}) with unknown unknowns", rows))
+    if args.output:
+        write_estimates_csv(args.output, rows)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    registry = read_sources_csv(args.csv, args.attribute)
+    result = IntegrationPipeline(args.attribute).run(registry)
+    database = Database()
+    database.add_integration_result("data", result)
+    open_world = OpenWorldExecutor(database, sum_estimator=make_estimator(args.estimator))
+    answer = open_world.execute(args.sql)
+    rows = [
+        {
+            "aggregate": answer.aggregate,
+            "observed": answer.observed,
+            "corrected": answer.corrected,
+            "delta": answer.delta,
+            "matching_rows": answer.matching_rows,
+            "trusted": answer.trusted if answer.trusted is not None else "",
+        }
+    ]
+    print(format_result_table(args.sql, rows))
+    if args.closed_world:
+        closed = ClosedWorldExecutor(database).execute(args.sql)
+        print(f"\nclosed-world answer: {closed.observed:,.4g}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    dataset = load_dataset(args.name, **kwargs)
+    runner = ProgressiveRunner(list(args.estimators))
+    step = args.step or max(1, dataset.total_observations // 10)
+    result = runner.run(dataset, step=step)
+    print(f"{dataset.description}  ({dataset.query})")
+    print(format_series(result))
+    if args.output:
+        rows = []
+        for index, size in enumerate(result.sample_sizes):
+            row = {"n_answers": size, "observed": result.observed[index]}
+            for name, series in result.series.items():
+                row[name] = series.estimates[index]
+            if result.ground_truth is not None:
+                row["ground_truth"] = result.ground_truth
+            rows.append(row)
+        write_estimates_csv(args.output, rows)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS[args.name]
+    kwargs = {}
+    if args.seed is not None and args.name != "table2":
+        kwargs["seed"] = args.seed
+    result = driver(**kwargs)
+    print(format_result_table(f"[{result.experiment}] {result.description}", result.rows))
+    if args.output:
+        write_estimates_csv(args.output, result.rows)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "estimate": _cmd_estimate,
+        "query": _cmd_query,
+        "dataset": _cmd_dataset,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

@@ -1,0 +1,259 @@
+"""Aggregate-level estimation: SUM, COUNT, AVG, MIN, MAX (Section 5).
+
+These helpers wrap the SUM-impact estimators of Sections 3.1-3.4 into
+per-aggregate entry points:
+
+* **SUM** -- delegate to any :class:`~repro.core.estimator.SumEstimator`.
+* **COUNT** -- only the count estimate is needed (Chao92 by default, the
+  Monte-Carlo fit when requested).
+* **AVG** -- the observed average is asymptotically correct but biased under
+  a publicity-value correlation; the bucket decomposition corrects it by
+  averaging per-bucket means weighted by the per-bucket count estimates.
+* **MIN / MAX** -- impossible to extrapolate in general, but the bucket
+  decomposition lets us report *when to trust* the observed extreme: if the
+  estimated number of unknown unknowns in the lowest (highest) bucket is
+  zero, the observed minimum (maximum) is reported as trustworthy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.bucket import BucketEstimator
+from repro.core.estimator import Estimate, SumEstimator
+from repro.core.montecarlo import MonteCarloEstimator
+from repro.core.naive import NaiveEstimator
+from repro.core.species import chao92_estimate
+from repro.data.sample import ObservedSample
+from repro.utils.exceptions import EstimationError, ValidationError
+
+
+@dataclass(frozen=True)
+class AggregateEstimate:
+    """Estimate of an aggregate query answer under unknown unknowns.
+
+    Attributes
+    ----------
+    aggregate:
+        The aggregate function name ("sum", "count", "avg").
+    observed:
+        The closed-world answer over the integrated database ``K``.
+    corrected:
+        The open-world estimate including unknown unknowns.
+    details:
+        Estimator diagnostics.
+    """
+
+    aggregate: str
+    observed: float
+    corrected: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def delta(self) -> float:
+        """The estimated impact of unknown unknowns on the answer."""
+        return self.corrected - self.observed
+
+
+@dataclass(frozen=True)
+class ExtremeEstimate:
+    """Result of MIN / MAX estimation (Section 5).
+
+    Attributes
+    ----------
+    aggregate:
+        "min" or "max".
+    observed:
+        The observed extreme value.
+    trusted:
+        True when the estimator believes the observed extreme is the true
+        extreme (the boundary bucket has an estimated unknown count of
+        zero), so the value can be reported with confidence.
+    boundary_bucket_missing:
+        Estimated number of unknown unknowns in the boundary bucket.
+    details:
+        Diagnostics (bucket boundaries etc.).
+    """
+
+    aggregate: str
+    observed: float
+    trusted: bool
+    boundary_bucket_missing: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def reported(self) -> float | None:
+        """The value to report to the user: the observed extreme when
+        trusted, otherwise ``None`` ("cannot confirm the extreme yet")."""
+        return self.observed if self.trusted else None
+
+
+# ---------------------------------------------------------------------- #
+# SUM
+# ---------------------------------------------------------------------- #
+
+
+def estimate_sum(
+    sample: ObservedSample,
+    attribute: str,
+    estimator: SumEstimator | None = None,
+) -> Estimate:
+    """Estimate ``SELECT SUM(attribute)`` over the (unknown) ground truth.
+
+    Uses the dynamic bucket estimator by default -- the paper's overall
+    recommendation when sources contribute evenly.
+    """
+    estimator = estimator or BucketEstimator()
+    return estimator.estimate(sample, attribute)
+
+
+# ---------------------------------------------------------------------- #
+# COUNT
+# ---------------------------------------------------------------------- #
+
+
+def estimate_count(
+    sample: ObservedSample,
+    method: str = "chao92",
+    monte_carlo: MonteCarloEstimator | None = None,
+) -> AggregateEstimate:
+    """Estimate ``SELECT COUNT(*)`` -- the number of unique entities in D.
+
+    Parameters
+    ----------
+    method:
+        ``"chao92"`` (default) or ``"monte-carlo"``.
+    monte_carlo:
+        Optional pre-configured Monte-Carlo estimator (seed, runs, ...);
+        only used when ``method == "monte-carlo"``.
+    """
+    observed = float(sample.c)
+    if method == "chao92":
+        richness = chao92_estimate(sample)
+        corrected = richness.n_hat
+        details: dict[str, Any] = {
+            "coverage": richness.coverage,
+            "cv_squared": richness.cv_squared,
+            "method": "chao92",
+        }
+    elif method == "monte-carlo":
+        mc = monte_carlo or MonteCarloEstimator()
+        corrected, diagnostics = mc.estimate_population_size(sample)
+        details = {"method": "monte-carlo", **diagnostics}
+    else:
+        raise ValidationError(
+            f"unknown COUNT method {method!r}; expected 'chao92' or 'monte-carlo'"
+        )
+    return AggregateEstimate(
+        aggregate="count", observed=observed, corrected=float(corrected), details=details
+    )
+
+
+# ---------------------------------------------------------------------- #
+# AVG
+# ---------------------------------------------------------------------- #
+
+
+def estimate_avg(
+    sample: ObservedSample,
+    attribute: str,
+    bucket_estimator: BucketEstimator | None = None,
+) -> AggregateEstimate:
+    """Estimate ``SELECT AVG(attribute)`` with publicity-bias correction.
+
+    The per-bucket means are combined as a weighted average, weighting each
+    bucket by its estimated total number of unique entities (observed plus
+    estimated missing), which corrects for the over-representation of
+    popular entities in the observed sample.
+    """
+    estimator = bucket_estimator or BucketEstimator()
+    buckets = estimator.buckets(sample, attribute)
+    observed = sample.mean(attribute)
+
+    weighted_total = 0.0
+    weight_sum = 0.0
+    for bucket in buckets:
+        if bucket.is_empty or bucket.estimate is None:
+            continue
+        bucket_mean = bucket.sample.mean(attribute)
+        count_estimate = bucket.estimate.count_estimate
+        if not math.isfinite(count_estimate) or count_estimate <= 0:
+            count_estimate = float(bucket.sample.c)
+        weighted_total += bucket_mean * count_estimate
+        weight_sum += count_estimate
+    if weight_sum <= 0:
+        raise EstimationError("bucket decomposition produced no usable buckets")
+    corrected = weighted_total / weight_sum
+    return AggregateEstimate(
+        aggregate="avg",
+        observed=observed,
+        corrected=corrected,
+        details={
+            "n_buckets": len([b for b in buckets if not b.is_empty]),
+            "bucket_boundaries": [(b.low, b.high) for b in buckets],
+        },
+    )
+
+
+# ---------------------------------------------------------------------- #
+# MIN / MAX
+# ---------------------------------------------------------------------- #
+
+
+def _extreme_estimate(
+    sample: ObservedSample,
+    attribute: str,
+    which: str,
+    bucket_estimator: BucketEstimator | None,
+    missing_tolerance: float,
+) -> ExtremeEstimate:
+    estimator = bucket_estimator or BucketEstimator()
+    buckets = [b for b in estimator.buckets(sample, attribute) if not b.is_empty]
+    if not buckets:
+        raise EstimationError("bucket decomposition produced no usable buckets")
+    buckets.sort(key=lambda b: b.low)
+    boundary = buckets[0] if which == "min" else buckets[-1]
+    observed = sample.min(attribute) if which == "min" else sample.max(attribute)
+
+    assert boundary.estimate is not None
+    missing = boundary.estimate.missing_count
+    trusted = math.isfinite(missing) and missing <= missing_tolerance
+    return ExtremeEstimate(
+        aggregate=which,
+        observed=observed,
+        trusted=trusted,
+        boundary_bucket_missing=missing,
+        details={
+            "boundary_bucket": (boundary.low, boundary.high),
+            "boundary_bucket_size": boundary.size,
+            "n_buckets": len(buckets),
+        },
+    )
+
+
+def estimate_min(
+    sample: ObservedSample,
+    attribute: str,
+    bucket_estimator: BucketEstimator | None = None,
+    missing_tolerance: float = 0.5,
+) -> ExtremeEstimate:
+    """Decide whether the observed MIN can be trusted as the true minimum.
+
+    ``missing_tolerance`` is the largest estimated number of unknown
+    unknowns in the lowest-value bucket for which the observed minimum is
+    still reported (the paper uses "estimated count is zero"; a tolerance of
+    0.5 treats sub-one estimates as zero).
+    """
+    return _extreme_estimate(sample, attribute, "min", bucket_estimator, missing_tolerance)
+
+
+def estimate_max(
+    sample: ObservedSample,
+    attribute: str,
+    bucket_estimator: BucketEstimator | None = None,
+    missing_tolerance: float = 0.5,
+) -> ExtremeEstimate:
+    """Decide whether the observed MAX can be trusted as the true maximum."""
+    return _extreme_estimate(sample, attribute, "max", bucket_estimator, missing_tolerance)

@@ -1,0 +1,160 @@
+"""Base classes and result types shared by all unknown-unknowns estimators.
+
+Every SUM-impact estimator implements :class:`SumEstimator` and returns an
+:class:`Estimate`, which bundles
+
+* the impact estimate ``Δ̂`` (Definition 2),
+* the corrected query answer ``φ̂_D = φ_K + Δ̂`` (Equation 2),
+* the underlying count estimate ``N̂`` and value estimate,
+* diagnostics (sample coverage, CV², whether the estimate is reliable).
+
+The paper recommends only trusting estimates once the predicted sample
+coverage exceeds roughly 40% (Section 6.5); :attr:`Estimate.reliable`
+encodes that recommendation without hiding the raw numbers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import math
+
+from repro.core.fstatistics import FrequencyStatistics
+from repro.data.sample import ObservedSample
+from repro.utils.exceptions import EstimationError
+
+#: Minimum estimated sample coverage below which the paper advises not to
+#: trust coverage-based estimates (Section 6.5).
+COVERAGE_RELIABILITY_THRESHOLD = 0.40
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Result of estimating the impact of unknown unknowns on one aggregate.
+
+    Attributes
+    ----------
+    observed:
+        The closed-world query answer ``φ_K`` over the integrated database.
+    delta:
+        The estimated impact ``Δ̂`` of the unknown unknowns.
+    corrected:
+        The open-world answer estimate ``φ̂_D = φ_K + Δ̂``.
+    count_estimate:
+        Estimated total number of unique entities ``N̂`` in the ground truth.
+    missing_count:
+        Estimated number of unobserved unique entities ``N̂ − c`` (never
+        negative).
+    value_estimate:
+        The per-missing-entity value estimate used (mean substitution value,
+        singleton mean, ...); ``nan`` when not applicable (e.g. COUNT).
+    coverage:
+        Estimated sample coverage ``Ĉ`` at estimation time.
+    cv_squared:
+        Estimated squared coefficient of variation ``γ̂²``.
+    estimator:
+        Name of the estimator that produced this result.
+    details:
+        Estimator-specific diagnostics (bucket boundaries, fitted MC
+        parameters, ...).
+    """
+
+    observed: float
+    delta: float
+    corrected: float
+    count_estimate: float
+    missing_count: float
+    value_estimate: float
+    coverage: float
+    cv_squared: float
+    estimator: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def reliable(self) -> bool:
+        """True when the coverage-based reliability recommendation is met.
+
+        The estimate is flagged unreliable when the predicted sample
+        coverage is below 40% or the estimate itself is non-finite.
+        """
+        return (
+            math.isfinite(self.delta)
+            and math.isfinite(self.corrected)
+            and self.coverage >= COVERAGE_RELIABILITY_THRESHOLD
+        )
+
+    @property
+    def is_finite(self) -> bool:
+        """True when both Δ̂ and the corrected answer are finite numbers."""
+        return math.isfinite(self.delta) and math.isfinite(self.corrected)
+
+    def relative_error(self, ground_truth: float) -> float:
+        """|corrected − ground_truth| / |ground_truth| (for evaluation)."""
+        if ground_truth == 0:
+            raise EstimationError("relative error undefined for zero ground truth")
+        return abs(self.corrected - ground_truth) / abs(ground_truth)
+
+
+class SumEstimator(ABC):
+    """Interface of every SUM-impact estimator.
+
+    Subclasses implement :meth:`estimate` and report a stable :attr:`name`
+    used by the experiment harness and the estimator registry.
+    """
+
+    #: Stable identifier of the estimator (overridden by subclasses).
+    name: str = "abstract"
+
+    @abstractmethod
+    def estimate(self, sample: ObservedSample, attribute: str) -> Estimate:
+        """Estimate the unknown-unknowns impact on ``SUM(attribute)``."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_attribute(self, sample: ObservedSample, attribute: str) -> None:
+        """Raise a clear error when the attribute is missing from the sample."""
+        if not sample.has_attribute(attribute):
+            raise EstimationError(
+                f"sample does not carry attribute {attribute!r} on every entity; "
+                f"available attributes: {sample.attributes}"
+            )
+
+    @staticmethod
+    def _statistics(sample: ObservedSample) -> FrequencyStatistics:
+        """Frequency statistics of the sample (shared shortcut)."""
+        return FrequencyStatistics.from_sample(sample)
+
+    def _build_estimate(
+        self,
+        sample: ObservedSample,
+        attribute: str,
+        delta: float,
+        count_estimate: float,
+        value_estimate: float,
+        details: dict[str, Any] | None = None,
+    ) -> Estimate:
+        """Assemble an :class:`Estimate` with the common bookkeeping filled in."""
+        stats = self._statistics(sample)
+        observed = sample.sum(attribute)
+        missing = count_estimate - sample.c
+        if math.isfinite(missing):
+            missing = max(missing, 0.0)
+        return Estimate(
+            observed=observed,
+            delta=delta,
+            corrected=observed + delta,
+            count_estimate=count_estimate,
+            missing_count=missing,
+            value_estimate=value_estimate,
+            coverage=stats.sample_coverage(),
+            cv_squared=stats.cv_squared(),
+            estimator=self.name,
+            details=dict(details or {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,47 @@
+"""The naive estimator (Section 3.1).
+
+``Δ̂_naive = φ_K / c · (N̂_Chao92 − c)``: the Chao92 estimate of how many
+unique entities are missing, each assumed to carry the mean observed value
+(mean substitution).  It is the baseline every other estimator improves on;
+with a publicity-value correlation it systematically over- or
+under-estimates because the observed mean is itself biased.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.estimator import Estimate, SumEstimator
+from repro.core.species import chao92_estimate
+from repro.data.sample import ObservedSample
+
+
+class NaiveEstimator(SumEstimator):
+    """Chao92 count estimate × mean-substitution value estimate (Eq. 3 / 8)."""
+
+    name = "naive"
+
+    def estimate(self, sample: ObservedSample, attribute: str) -> Estimate:
+        """Estimate the unknown-unknowns impact on ``SUM(attribute)``.
+
+        Degenerate samples in which every observed entity is a singleton
+        have zero estimated coverage; the Chao92 count estimate and hence
+        ``Δ̂`` are reported as ``inf`` (matching the division by ``n − f₁``
+        in Equation 8), and the caller decides how to handle it.
+        """
+        self._check_attribute(sample, attribute)
+        richness = chao92_estimate(self._statistics(sample))
+        observed_sum = sample.sum(attribute)
+        mean_value = observed_sum / sample.c
+        if math.isinf(richness.n_hat):
+            delta = float("inf") if observed_sum > 0 else float("-inf") if observed_sum < 0 else 0.0
+        else:
+            delta = mean_value * (richness.n_hat - sample.c)
+        return self._build_estimate(
+            sample,
+            attribute,
+            delta=delta,
+            count_estimate=richness.n_hat,
+            value_estimate=mean_value,
+            details={"chao92_coverage": richness.coverage, "chao92_cv_squared": richness.cv_squared},
+        )

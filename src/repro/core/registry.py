@@ -1,0 +1,69 @@
+"""Estimator registry: build estimators from short string names.
+
+The evaluation harness, the benchmarks and the open-world query executor all
+refer to estimators by name ("naive", "frequency", "bucket", "monte-carlo",
+...).  This module centralises that mapping so a new estimator only needs to
+be registered once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.bucket import (
+    BucketEstimator,
+    DynamicBucketing,
+    EquiHeightBucketing,
+    EquiWidthBucketing,
+)
+from repro.core.estimator import SumEstimator
+from repro.core.frequency import FrequencyEstimator
+from repro.core.montecarlo import MonteCarloEstimator
+from repro.core.naive import NaiveEstimator
+from repro.utils.exceptions import ValidationError
+
+_FACTORIES: dict[str, Callable[..., SumEstimator]] = {
+    "naive": lambda **kw: NaiveEstimator(),
+    "frequency": lambda **kw: FrequencyEstimator(),
+    "frequency-uniform": lambda **kw: FrequencyEstimator(assume_uniform=True),
+    "bucket": lambda **kw: BucketEstimator(strategy=DynamicBucketing()),
+    "bucket-frequency": lambda **kw: BucketEstimator(
+        strategy=DynamicBucketing(), base=FrequencyEstimator()
+    ),
+    "bucket-equiwidth": lambda n_buckets=4, **kw: BucketEstimator(
+        strategy=EquiWidthBucketing(n_buckets=n_buckets)
+    ),
+    "bucket-equiheight": lambda n_buckets=4, **kw: BucketEstimator(
+        strategy=EquiHeightBucketing(n_buckets=n_buckets)
+    ),
+    "monte-carlo": lambda seed=0, **kw: MonteCarloEstimator(seed=seed),
+    "monte-carlo-bucket": lambda seed=0, **kw: BucketEstimator(
+        strategy=DynamicBucketing(),
+        base=MonteCarloEstimator(seed=seed),
+        search_base=NaiveEstimator(),
+    ),
+}
+
+
+def available_estimators() -> list[str]:
+    """Names accepted by :func:`make_estimator`."""
+    return sorted(_FACTORIES)
+
+
+def make_estimator(name: str, **kwargs) -> SumEstimator:
+    """Instantiate an estimator by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_estimators`.
+    **kwargs:
+        Estimator-specific options (e.g. ``n_buckets`` for the static bucket
+        variants, ``seed`` for the Monte-Carlo estimator).
+    """
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise ValidationError(
+            f"unknown estimator {name!r}; available: {', '.join(available_estimators())}"
+        )
+    return _FACTORIES[key](**kwargs)

@@ -1,0 +1,180 @@
+"""CSV import/export for observation streams and integrated samples.
+
+Real deployments rarely start from Python objects: the integration output
+usually lives in a CSV with one row per (source, entity, value) mention, or
+one row per unique entity with an observation count.  This module loads both
+shapes into the library's types and writes estimates back out, using only the
+standard library ``csv`` module.
+
+Expected columns
+----------------
+Observation files (one row per mention)::
+
+    entity_id, source_id, <attribute>
+
+Aggregated files (one row per unique entity)::
+
+    entity_id, <attribute>, count
+
+Extra columns are preserved as additional attributes when numeric and
+ignored otherwise.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.data.records import Observation
+from repro.data.sample import ObservedSample
+from repro.data.sources import DataSource, SourceRegistry
+from repro.utils.exceptions import ValidationError
+
+
+def _parse_number(text: str) -> float | None:
+    """Parse a CSV cell as a float; return None when it is not numeric."""
+    try:
+        return float(text)
+    except (TypeError, ValueError):
+        return None
+
+
+def read_observations_csv(
+    path: "str | Path",
+    attribute: str,
+    entity_column: str = "entity_id",
+    source_column: str = "source_id",
+    delimiter: str = ",",
+) -> list[Observation]:
+    """Load an observation stream (one row per mention) from a CSV file.
+
+    Rows without a parsable numeric ``attribute`` value are skipped, matching
+    the paper's removal of partial answers during cleaning.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"file not found: {path}")
+    observations: list[Observation] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise ValidationError(f"{path} has no header row")
+        missing = {entity_column, attribute} - set(reader.fieldnames)
+        if missing:
+            raise ValidationError(
+                f"{path} is missing required column(s): {', '.join(sorted(missing))}"
+            )
+        for index, row in enumerate(reader):
+            entity_id = (row.get(entity_column) or "").strip()
+            if not entity_id:
+                continue
+            value = _parse_number(row.get(attribute, ""))
+            if value is None:
+                continue
+            source_id = (row.get(source_column) or "").strip() or "unknown"
+            extra = {
+                key: parsed
+                for key, cell in row.items()
+                if key not in (entity_column, source_column, attribute)
+                and (parsed := _parse_number(cell)) is not None
+            }
+            observations.append(
+                Observation(
+                    entity_id=entity_id,
+                    attributes={attribute: value, **extra},
+                    source_id=source_id,
+                    sequence=index,
+                )
+            )
+    if not observations:
+        raise ValidationError(f"{path} contains no usable observations")
+    return observations
+
+
+def read_sources_csv(
+    path: "str | Path",
+    attribute: str,
+    entity_column: str = "entity_id",
+    source_column: str = "source_id",
+    delimiter: str = ",",
+) -> SourceRegistry:
+    """Load a CSV of mentions into a :class:`SourceRegistry` (one source per source_id).
+
+    Duplicate mentions of the same entity by the same source are dropped
+    (sources sample without replacement).
+    """
+    observations = read_observations_csv(
+        path, attribute, entity_column, source_column, delimiter
+    )
+    registry = SourceRegistry()
+    grouped: dict[str, list[Observation]] = {}
+    for obs in observations:
+        grouped.setdefault(obs.source_id, []).append(obs)
+    for source_id, obs_list in grouped.items():
+        seen: set[str] = set()
+        unique = []
+        for obs in obs_list:
+            if obs.entity_id in seen:
+                continue
+            seen.add(obs.entity_id)
+            unique.append(obs)
+        registry.add(DataSource(source_id=source_id, observations=unique))
+    return registry
+
+
+def read_sample_csv(
+    path: "str | Path",
+    attribute: str,
+    entity_column: str = "entity_id",
+    count_column: str = "count",
+    delimiter: str = ",",
+) -> ObservedSample:
+    """Load an aggregated per-entity CSV (entity, value, count) as an ObservedSample."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"file not found: {path}")
+    counts: dict[str, int] = {}
+    values: dict[str, dict[str, float]] = {}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise ValidationError(f"{path} has no header row")
+        missing = {entity_column, attribute} - set(reader.fieldnames)
+        if missing:
+            raise ValidationError(
+                f"{path} is missing required column(s): {', '.join(sorted(missing))}"
+            )
+        for row in reader:
+            entity_id = (row.get(entity_column) or "").strip()
+            value = _parse_number(row.get(attribute, ""))
+            if not entity_id or value is None:
+                continue
+            count_cell = row.get(count_column, "1")
+            count = _parse_number(count_cell)
+            counts[entity_id] = int(count) if count and count >= 1 else 1
+            values[entity_id] = {attribute: value}
+    if not counts:
+        raise ValidationError(f"{path} contains no usable rows")
+    return ObservedSample(counts, values)
+
+
+def write_estimates_csv(
+    path: "str | Path",
+    rows: Sequence[dict],
+    columns: Iterable[str] | None = None,
+    delimiter: str = ",",
+) -> None:
+    """Write experiment/estimate rows (list of dicts) to a CSV file."""
+    rows = list(rows)
+    if not rows:
+        raise ValidationError("nothing to write: rows is empty")
+    fieldnames = list(columns) if columns is not None else list(rows[0].keys())
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=fieldnames, delimiter=delimiter, extrasaction="ignore"
+        )
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

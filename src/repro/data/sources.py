@@ -1,0 +1,137 @@
+"""Data sources and a registry that tracks per-source contributions.
+
+A :class:`DataSource` is an ordered collection of observations contributed by
+one origin (a crowd worker, a web page, a partner feed).  The per-source
+sizes ``n_j`` are needed by the Monte-Carlo estimator, which simulates the
+multi-stage sampling process source by source.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.data.records import Observation
+from repro.utils.exceptions import ValidationError
+
+
+@dataclass
+class DataSource:
+    """A single data source and the observations it contributed.
+
+    Parameters
+    ----------
+    source_id:
+        Unique identifier of the source.
+    observations:
+        Observations contributed by this source.  A source samples *without
+        replacement* from the ground truth (Section 2.2): it never mentions
+        the same entity twice.  Duplicate entity mentions within one source
+        are rejected.
+    """
+
+    source_id: str
+    observations: list[Observation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.source_id:
+            raise ValidationError("source_id must be a non-empty string")
+        seen: set[str] = set()
+        for obs in self.observations:
+            if obs.entity_id in seen:
+                raise ValidationError(
+                    f"source {self.source_id!r} mentions entity {obs.entity_id!r} twice; "
+                    "sources sample without replacement"
+                )
+            seen.add(obs.entity_id)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self.observations)
+
+    @property
+    def size(self) -> int:
+        """Number of observations (``n_j`` in the paper)."""
+        return len(self.observations)
+
+    @property
+    def entity_ids(self) -> list[str]:
+        """Entity identifiers mentioned by this source, in contribution order."""
+        return [obs.entity_id for obs in self.observations]
+
+    def add(self, observation: Observation) -> None:
+        """Append an observation, enforcing the without-replacement rule."""
+        if observation.entity_id in set(self.entity_ids):
+            raise ValidationError(
+                f"source {self.source_id!r} already mentions entity {observation.entity_id!r}"
+            )
+        self.observations.append(observation)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        source_id: str,
+        pairs: Iterable[tuple[str, float]],
+        attribute: str,
+    ) -> "DataSource":
+        """Build a source from ``(entity_id, value)`` pairs for one attribute."""
+        observations = [
+            Observation(entity_id=eid, attributes={attribute: value}, source_id=source_id)
+            for eid, value in pairs
+        ]
+        return cls(source_id=source_id, observations=observations)
+
+
+class SourceRegistry:
+    """An ordered collection of data sources with convenience accessors."""
+
+    def __init__(self, sources: Sequence[DataSource] | None = None) -> None:
+        self._sources: dict[str, DataSource] = {}
+        for source in sources or []:
+            self.add(source)
+
+    def add(self, source: DataSource) -> None:
+        """Register a source; source ids must be unique."""
+        if source.source_id in self._sources:
+            raise ValidationError(f"duplicate source id {source.source_id!r}")
+        self._sources[source.source_id] = source
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __iter__(self) -> Iterator[DataSource]:
+        return iter(self._sources.values())
+
+    def __contains__(self, source_id: str) -> bool:
+        return source_id in self._sources
+
+    def get(self, source_id: str) -> DataSource:
+        """Return the source with ``source_id`` (ValidationError if unknown)."""
+        if source_id not in self._sources:
+            raise ValidationError(f"unknown source id {source_id!r}")
+        return self._sources[source_id]
+
+    @property
+    def source_ids(self) -> list[str]:
+        """Registered source ids in insertion order."""
+        return list(self._sources)
+
+    @property
+    def sizes(self) -> list[int]:
+        """Per-source contribution sizes ``[n_1, ..., n_l]``."""
+        return [source.size for source in self._sources.values()]
+
+    def all_observations(self) -> list[Observation]:
+        """All observations across all sources, ordered source by source."""
+        result: list[Observation] = []
+        for source in self._sources.values():
+            result.extend(source.observations)
+        return result
+
+    def largest_contributor(self) -> DataSource:
+        """The source contributing the most observations (streaker candidate)."""
+        if not self._sources:
+            raise ValidationError("registry contains no sources")
+        return max(self._sources.values(), key=lambda s: s.size)

@@ -1,0 +1,30 @@
+"""Synthetic stand-ins for the paper's real crowdsourced data sets.
+
+The raw Amazon Mechanical Turk answer streams used in Section 6.1 are not
+published, so each module here generates a synthetic observation stream with
+the *documented characteristics* of the corresponding data set (ground-truth
+totals, value skew, publicity-value correlation, streakers, arrival
+behaviour).  See DESIGN.md for the substitution rationale.
+
+Each generator returns a :class:`~repro.datasets.base.CrowdDataset`, which
+bundles the ground-truth population, the arrival-ordered observation stream
+(as a :class:`~repro.simulation.sampler.SamplingRun`) and the aggregate
+query the paper poses over it.
+"""
+
+from repro.datasets.base import CrowdDataset
+from repro.datasets.us_tech_employment import generate_us_tech_employment
+from repro.datasets.us_tech_revenue import generate_us_tech_revenue
+from repro.datasets.us_gdp import generate_us_gdp
+from repro.datasets.proton_beam import generate_proton_beam
+from repro.datasets.registry import available_datasets, load_dataset
+
+__all__ = [
+    "CrowdDataset",
+    "generate_us_tech_employment",
+    "generate_us_tech_revenue",
+    "generate_us_gdp",
+    "generate_proton_beam",
+    "available_datasets",
+    "load_dataset",
+]

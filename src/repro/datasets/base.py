@@ -1,0 +1,64 @@
+"""Common container for the crowdsourced-data stand-ins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.sample import ObservedSample
+from repro.simulation.sampler import SamplingRun
+from repro.utils.exceptions import ValidationError
+
+
+@dataclass
+class CrowdDataset:
+    """A crowdsourced data set: ground truth, observation stream, and query.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (e.g. ``"us-tech-employment"``).
+    description:
+        One-line description of the data set and its query.
+    run:
+        The simulated integration run (population + arrival-ordered stream).
+    attribute:
+        The aggregated numeric attribute.
+    query:
+        The aggregate query the paper poses, in SQL form (documentation; the
+        query engine in :mod:`repro.query` can execute it too).
+    ground_truth:
+        The ground-truth answer of the query, or ``None`` when the paper
+        itself has no known answer (the Proton beam data set).
+    """
+
+    name: str
+    description: str
+    run: SamplingRun
+    attribute: str
+    query: str
+    ground_truth: float | None
+
+    @property
+    def total_observations(self) -> int:
+        """Number of crowd answers in the stream."""
+        return self.run.total_observations
+
+    def sample(self) -> ObservedSample:
+        """The fully integrated sample."""
+        return self.run.sample()
+
+    def sample_at(self, n_answers: int) -> ObservedSample:
+        """The integrated sample after the first ``n_answers`` crowd answers."""
+        return self.run.sample_at(n_answers)
+
+    def observed_answer(self, n_answers: int | None = None) -> float:
+        """The closed-world SUM answer after ``n_answers`` answers (default all)."""
+        sample = self.sample() if n_answers is None else self.sample_at(n_answers)
+        return sample.sum(self.attribute)
+
+    def relative_gap(self, n_answers: int | None = None) -> float:
+        """|ground truth − observed| / ground truth (requires a known truth)."""
+        if self.ground_truth is None:
+            raise ValidationError(f"dataset {self.name!r} has no known ground truth")
+        observed = self.observed_answer(n_answers)
+        return abs(self.ground_truth - observed) / abs(self.ground_truth)

@@ -1,0 +1,80 @@
+"""Synthetic stand-in for the "Proton beam" evidence-based-medicine data set.
+
+The paper's query is ``SELECT SUM(participants) FROM proton_beam_studies``:
+how many patients, in total, participated in charged-particle radiation
+therapy studies.  Documented characteristics (Section 6.1.4):
+
+* there is *no known ground truth* -- this is the one genuinely open-world
+  query of the evaluation,
+* unique studies keep arriving throughout the experiment (the collection is
+  far from complete), so the naive and frequency estimators keep climbing,
+* no streakers are present,
+* the bucket estimator converges to roughly 95,000 participants, which the
+  authors consider the best available estimate.
+
+The stand-in generates a long-tailed population of studies whose total
+participant count is close to 100k so the bucket estimate lands in the same
+region; because the sample never gets close to complete, the closed-world
+answer stays well below it, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.records import Entity
+from repro.datasets.base import CrowdDataset
+from repro.simulation.population import Population
+from repro.simulation.publicity import ExponentialPublicity, correlate_values_with_publicity
+from repro.simulation.sampler import MultiSourceSampler
+from repro.utils.rng import ensure_rng
+
+#: The paper's best estimate of the total participant count (no true answer).
+PAPER_BUCKET_ESTIMATE = 95_000.0
+
+#: Number of crowd answers in the stand-in stream.
+DEFAULT_ANSWERS = 600
+
+
+def generate_proton_beam(
+    seed: int = 23,
+    n_studies: int = 900,
+    n_workers: int = 30,
+    n_answers: int = DEFAULT_ANSWERS,
+    attribute: str = "participants",
+) -> CrowdDataset:
+    """Generate the Proton beam stand-in (participant counts per study)."""
+    rng = ensure_rng(seed)
+    # Typical study sizes: tens to a few hundred patients, occasionally more.
+    raw = rng.lognormal(mean=3.8, sigma=1.0, size=n_studies)
+    participants = np.maximum(np.round(raw), 5.0)
+    # Rescale so the population total sits near the paper's converged bucket
+    # estimate (the "unknown" truth the estimators should approach).
+    participants = np.maximum(
+        np.round(participants / participants.sum() * PAPER_BUCKET_ESTIMATE), 1.0
+    )
+    entities = [
+        Entity(entity_id=f"study-{i:04d}", attributes={attribute: float(v)})
+        for i, v in enumerate(participants)
+    ]
+    population = Population(entities)
+    # Larger, better-known studies are somewhat more likely to be screened
+    # early, but the correlation is weaker than for companies.
+    population = correlate_values_with_publicity(population, attribute, 0.4, seed=rng)
+
+    publicity = ExponentialPublicity(skew=2.5)
+    sampler = MultiSourceSampler(population, attribute, publicity=publicity)
+    per_worker = max(1, n_answers // n_workers)
+    sizes = [per_worker] * n_workers
+    shortfall = n_answers - per_worker * n_workers
+    for i in range(shortfall):
+        sizes[i % n_workers] += 1
+    run = sampler.run(sizes, seed=rng, arrival="interleaved")
+    return CrowdDataset(
+        name="proton-beam",
+        description="How many patients participated in proton beam therapy studies?",
+        run=run,
+        attribute=attribute,
+        query=f"SELECT SUM({attribute}) FROM proton_beam_studies",
+        ground_truth=None,
+    )

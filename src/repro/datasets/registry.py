@@ -1,0 +1,38 @@
+"""Registry of the crowdsourced-data stand-ins."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.datasets.base import CrowdDataset
+from repro.datasets.proton_beam import generate_proton_beam
+from repro.datasets.us_gdp import generate_us_gdp
+from repro.datasets.us_tech_employment import generate_us_tech_employment
+from repro.datasets.us_tech_revenue import generate_us_tech_revenue
+from repro.utils.exceptions import ValidationError
+
+_GENERATORS: dict[str, Callable[..., CrowdDataset]] = {
+    "us-tech-employment": generate_us_tech_employment,
+    "us-tech-revenue": generate_us_tech_revenue,
+    "us-gdp": generate_us_gdp,
+    "proton-beam": generate_proton_beam,
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_GENERATORS)
+
+
+def load_dataset(name: str, **kwargs) -> CrowdDataset:
+    """Generate a crowdsourced-data stand-in by name.
+
+    Keyword arguments are forwarded to the generator (``seed``,
+    ``n_answers``, ...).
+    """
+    key = name.strip().lower()
+    if key not in _GENERATORS:
+        raise ValidationError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    return _GENERATORS[key](**kwargs)

@@ -1,0 +1,118 @@
+"""The toy example of Appendix F (Figure 12 / Table 2).
+
+Five companies {A, B, C, D, E} with employee counts 1000, 2000, 900, 10000
+and 300 form the ground truth (total 14,200).  Four sources mention some of
+them; a fifth source is added later.  Table 2 of the paper walks through the
+naive, frequency and bucket estimators on this data and reports their exact
+values -- which makes the toy example a perfect end-to-end correctness check
+for this reproduction (see ``tests/core/test_toy_example.py``).
+"""
+
+from __future__ import annotations
+
+from repro.data.records import Entity, Observation
+from repro.data.sources import DataSource
+from repro.datasets.base import CrowdDataset
+from repro.data.sample import ObservedSample
+from repro.simulation.population import Population
+from repro.simulation.sampler import SamplingRun
+
+#: The toy ground truth: company -> number of employees.
+TOY_COMPANIES: dict[str, float] = {
+    "A": 1000.0,
+    "B": 2000.0,
+    "C": 900.0,
+    "D": 10000.0,
+    "E": 300.0,
+}
+
+#: Ground-truth SUM(employees) of the toy example.
+TOY_GROUND_TRUTH = sum(TOY_COMPANIES.values())
+
+#: Which companies each source mentions (s5 is the late addition).
+TOY_SOURCE_CONTENTS: dict[str, list[str]] = {
+    "s1": ["A", "B", "D"],
+    "s2": ["B", "D"],
+    "s3": ["D"],
+    "s4": ["D"],
+    "s5": ["A", "E"],
+}
+
+ATTRIBUTE = "employees"
+
+
+def toy_population() -> Population:
+    """The five-company ground truth as a :class:`Population`."""
+    entities = [
+        Entity(entity_id=name, attributes={ATTRIBUTE: value})
+        for name, value in TOY_COMPANIES.items()
+    ]
+    return Population(entities)
+
+
+def toy_sources(include_fifth: bool = False) -> list[DataSource]:
+    """The toy data sources (s1..s4, plus s5 when requested)."""
+    names = ["s1", "s2", "s3", "s4"] + (["s5"] if include_fifth else [])
+    sources = []
+    for name in names:
+        observations = [
+            Observation(
+                entity_id=company,
+                attributes={ATTRIBUTE: TOY_COMPANIES[company]},
+                source_id=name,
+                sequence=i,
+            )
+            for i, company in enumerate(TOY_SOURCE_CONTENTS[name])
+        ]
+        sources.append(DataSource(source_id=name, observations=observations))
+    return sources
+
+
+def toy_sample(include_fifth: bool = False) -> ObservedSample:
+    """The integrated toy sample before or after adding source s5.
+
+    Before s5: n = 7, c = 3, f₁ = 1, γ̂² = 1/6.
+    After  s5: n = 9, c = 4, f₁ = 1, γ̂² = 0.
+    """
+    sources = toy_sources(include_fifth=include_fifth)
+    counts: dict[str, int] = {}
+    values: dict[str, dict[str, float]] = {}
+    sizes = []
+    for source in sources:
+        sizes.append(source.size)
+        for obs in source.observations:
+            counts[obs.entity_id] = counts.get(obs.entity_id, 0) + 1
+            values.setdefault(obs.entity_id, {ATTRIBUTE: float(obs.value(ATTRIBUTE))})
+    return ObservedSample(counts, values, source_sizes=sizes)
+
+
+def generate_toy_example(include_fifth: bool = True) -> CrowdDataset:
+    """The toy example packaged as a :class:`CrowdDataset` for the harness."""
+    sources = toy_sources(include_fifth=include_fifth)
+    stream = []
+    position = 0
+    for source in sources:
+        for obs in source.observations:
+            stream.append(
+                Observation(
+                    entity_id=obs.entity_id,
+                    attributes=dict(obs.attributes),
+                    source_id=obs.source_id,
+                    sequence=position,
+                )
+            )
+            position += 1
+    run = SamplingRun(
+        population=toy_population(),
+        attribute=ATTRIBUTE,
+        sources=sources,
+        stream=stream,
+    )
+    return CrowdDataset(
+        name="toy-example",
+        description="Appendix F toy example: SELECT SUM(employees) FROM K",
+        run=run,
+        attribute=ATTRIBUTE,
+        query=f"SELECT SUM({ATTRIBUTE}) FROM K",
+        ground_truth=TOY_GROUND_TRUTH,
+    )

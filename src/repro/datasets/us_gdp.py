@@ -1,0 +1,131 @@
+"""Synthetic stand-in for the "GDP per US state" crowd data set.
+
+The paper's query is ``SELECT SUM(gdp) FROM us_states``.  Its documented
+characteristics (Section 6.1.3):
+
+* the ground truth has exactly N = 50 entities (the US states) whose values
+  were substituted with published GDP figures during cleaning,
+* the experiment *suffered from streakers*: one crowd worker reported almost
+  all states at the very beginning, which inflates f₁ and throws off every
+  Chao92-based estimator, while the Monte-Carlo estimator stays reasonable,
+* all estimators converge after roughly 60 answers.
+
+The state GDP values below are approximate published figures (in billions
+of dollars, circa 2015); the exact numbers do not matter for the estimation
+behaviour, only their skew does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.records import Entity, Observation
+from repro.data.sources import DataSource
+from repro.datasets.base import CrowdDataset
+from repro.simulation.population import Population
+from repro.simulation.publicity import UniformPublicity
+from repro.simulation.sampler import MultiSourceSampler, SamplingRun
+from repro.utils.rng import ensure_rng
+
+#: Approximate state GDP in billions of dollars (public figures, ~2015).
+STATE_GDP_BILLIONS: dict[str, float] = {
+    "California": 2481.3, "Texas": 1639.4, "New York": 1455.2, "Florida": 893.0,
+    "Illinois": 776.9, "Pennsylvania": 700.0, "Ohio": 608.1, "New Jersey": 575.3,
+    "North Carolina": 510.0, "Georgia": 509.0, "Virginia": 481.1, "Massachusetts": 478.9,
+    "Michigan": 468.4, "Washington": 445.4, "Maryland": 365.8, "Indiana": 336.0,
+    "Minnesota": 328.8, "Tennessee": 312.5, "Colorado": 318.6, "Arizona": 302.9,
+    "Wisconsin": 300.0, "Missouri": 295.0, "Connecticut": 260.1, "Louisiana": 238.1,
+    "Oregon": 228.1, "South Carolina": 201.2, "Alabama": 204.0, "Kentucky": 193.6,
+    "Oklahoma": 182.1, "Iowa": 178.0, "Kansas": 150.6, "Utah": 148.8,
+    "Nevada": 141.2, "Arkansas": 120.8, "Nebraska": 115.3, "Mississippi": 107.3,
+    "New Mexico": 93.3, "Hawaii": 80.2, "New Hampshire": 73.0, "West Virginia": 73.4,
+    "Delaware": 68.9, "Idaho": 66.0, "Maine": 57.3, "Rhode Island": 56.3,
+    "North Dakota": 52.1, "Alaska": 52.7, "South Dakota": 47.6, "Montana": 45.7,
+    "Wyoming": 39.0, "Vermont": 30.3,
+}
+
+#: Number of crowd answers in the stand-in stream.
+DEFAULT_ANSWERS = 120
+
+
+def gdp_population(attribute: str = "gdp") -> Population:
+    """The 50-state ground-truth population with published GDP values."""
+    entities = [
+        Entity(entity_id=state, attributes={attribute: value})
+        for state, value in STATE_GDP_BILLIONS.items()
+    ]
+    return Population(entities)
+
+
+def generate_us_gdp(
+    seed: int = 11,
+    n_workers: int = 12,
+    n_answers: int = DEFAULT_ANSWERS,
+    streaker_answers: int = 45,
+    attribute: str = "gdp",
+) -> CrowdDataset:
+    """Generate the GDP-per-state stand-in with an initial streaker.
+
+    Parameters
+    ----------
+    streaker_answers:
+        How many states the streaker worker reports up front (the paper's
+        streaker reported "almost all answers in the beginning").
+    """
+    rng = ensure_rng(seed)
+    population = gdp_population(attribute)
+    streaker_answers = min(streaker_answers, population.size)
+
+    # The streaker reports almost every state first, in an arbitrary order.
+    order = rng.permutation(population.size)[:streaker_answers]
+    streaker_observations = [
+        Observation(
+            entity_id=population[int(i)].entity_id,
+            attributes={attribute: population[int(i)].numeric_value(attribute)},
+            source_id="worker-streaker",
+            sequence=seq,
+        )
+        for seq, i in enumerate(order)
+    ]
+    streaker = DataSource("worker-streaker", streaker_observations)
+
+    # The remaining answers come from ordinary workers sampling uniformly
+    # (state publicity is roughly even -- everybody knows the states).
+    remaining = max(n_answers - streaker_answers, 0)
+    sampler = MultiSourceSampler(population, attribute, publicity=UniformPublicity())
+    sizes = []
+    if remaining > 0:
+        per_worker = max(1, remaining // n_workers)
+        sizes = [per_worker] * n_workers
+        shortfall = remaining - per_worker * n_workers
+        for i in range(shortfall):
+            sizes[i % n_workers] += 1
+    normal_run = (
+        sampler.run(sizes, seed=rng, arrival="interleaved") if sizes else None
+    )
+
+    stream = list(streaker.observations)
+    sources = [streaker]
+    if normal_run is not None:
+        stream.extend(normal_run.stream)
+        sources.extend(normal_run.sources)
+    stream = [
+        Observation(
+            entity_id=obs.entity_id,
+            attributes=dict(obs.attributes),
+            source_id=obs.source_id,
+            sequence=position,
+        )
+        for position, obs in enumerate(stream)
+    ]
+    run = SamplingRun(
+        population=population, attribute=attribute, sources=sources, stream=stream
+    )
+    return CrowdDataset(
+        name="us-gdp",
+        description="What is the total GDP across all US states?",
+        run=run,
+        attribute=attribute,
+        query=f"SELECT SUM({attribute}) FROM us_states",
+        ground_truth=float(sum(STATE_GDP_BILLIONS.values())),
+    )

@@ -1,0 +1,36 @@
+"""Evaluation harness: progressive replay, metrics, experiments, reporting.
+
+The paper's figures all share one structure: replay the observation stream,
+re-estimate after every k new answers, and plot the estimates against the
+observed (closed-world) answer and the ground truth.
+:class:`~repro.evaluation.runner.ProgressiveRunner` implements that replay
+for any set of estimators; :mod:`repro.evaluation.experiments` configures it
+for every figure and table of the paper; :mod:`repro.evaluation.reporting`
+renders the results as plain-text tables (no plotting dependency).
+"""
+
+from repro.evaluation.metrics import (
+    relative_error,
+    signed_relative_error,
+    mean_absolute_percentage_error,
+    convergence_index,
+    series_summary,
+)
+from repro.evaluation.runner import EstimateSeries, ProgressiveResult, ProgressiveRunner
+from repro.evaluation.reporting import format_result_table, format_rows, format_series
+from repro.evaluation import experiments
+
+__all__ = [
+    "relative_error",
+    "signed_relative_error",
+    "mean_absolute_percentage_error",
+    "convergence_index",
+    "series_summary",
+    "EstimateSeries",
+    "ProgressiveResult",
+    "ProgressiveRunner",
+    "format_result_table",
+    "format_rows",
+    "format_series",
+    "experiments",
+]

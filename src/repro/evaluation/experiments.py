@@ -1,0 +1,650 @@
+"""Per-figure experiment drivers (Section 6 and the appendices).
+
+Each function reproduces the workload and measurement of one figure or
+table of the paper and returns an :class:`ExperimentResult` whose ``rows``
+are the series/rows the paper plots.  The benchmark harness under
+``benchmarks/`` simply calls these drivers and prints their output; the
+integration tests assert the qualitative shapes (who wins, what
+over/under-estimates) documented in EXPERIMENTS.md.
+
+The default parameters are scaled down (fewer repetitions, coarser prefix
+grids, lighter Monte-Carlo settings) so the whole suite runs on a laptop in
+minutes; every driver accepts parameters to run at paper scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.aggregates import estimate_avg, estimate_max, estimate_min
+from repro.core.bounds import sum_upper_bound
+from repro.core.bucket import (
+    BucketEstimator,
+    DynamicBucketing,
+    EquiHeightBucketing,
+    EquiWidthBucketing,
+)
+from repro.core.estimator import SumEstimator
+from repro.core.frequency import FrequencyEstimator
+from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
+from repro.core.naive import NaiveEstimator
+from repro.data.sample import ObservedSample
+from repro.datasets.base import CrowdDataset
+from repro.datasets.proton_beam import generate_proton_beam
+from repro.datasets.toy_example import toy_sample, TOY_GROUND_TRUTH
+from repro.datasets.us_gdp import generate_us_gdp
+from repro.datasets.us_tech_employment import generate_us_tech_employment
+from repro.datasets.us_tech_revenue import generate_us_tech_revenue
+from repro.evaluation.runner import ProgressiveResult, ProgressiveRunner
+from repro.simulation.scenarios import SyntheticScenario, get_scenario
+from repro.simulation.streaker import inject_streaker_run, successive_streakers_run
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver.
+
+    Attributes
+    ----------
+    experiment:
+        The experiment id (``"fig4"``, ``"table2"``, ...).
+    description:
+        One-line description of what was measured.
+    rows:
+        The table the paper's figure corresponds to (one dict per row).
+    parameters:
+        The workload parameters used.
+    progressive:
+        The underlying progressive replay result(s), when applicable.
+    """
+
+    experiment: str
+    description: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    parameters: dict[str, Any] = field(default_factory=dict)
+    progressive: dict[str, ProgressiveResult] = field(default_factory=dict)
+
+
+def default_estimators(
+    mc_runs: int = 3, mc_seed: int = 0
+) -> dict[str, SumEstimator]:
+    """The four estimators evaluated throughout Section 6."""
+    return {
+        "naive": NaiveEstimator(),
+        "frequency": FrequencyEstimator(),
+        "bucket": BucketEstimator(strategy=DynamicBucketing()),
+        "monte-carlo": MonteCarloEstimator(
+            config=MonteCarloConfig(n_runs=mc_runs), seed=mc_seed
+        ),
+    }
+
+
+def _progressive_rows(result: ProgressiveResult) -> list[dict[str, Any]]:
+    rows = []
+    for index, size in enumerate(result.sample_sizes):
+        row: dict[str, Any] = {"n_answers": size, "observed": result.observed[index]}
+        for name, series in result.series.items():
+            row[name] = series.estimates[index]
+        if result.ground_truth is not None:
+            row["ground_truth"] = result.ground_truth
+        rows.append(row)
+    return rows
+
+
+def _replay_dataset(
+    dataset: CrowdDataset,
+    experiment: str,
+    description: str,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int = 10,
+) -> ExperimentResult:
+    runner = ProgressiveRunner(estimators or default_estimators())
+    step = max(1, dataset.total_observations // n_points)
+    result = runner.run(dataset, step=step)
+    return ExperimentResult(
+        experiment=experiment,
+        description=description,
+        rows=_progressive_rows(result),
+        parameters={
+            "dataset": dataset.name,
+            "n_answers": dataset.total_observations,
+            "ground_truth": dataset.ground_truth,
+        },
+        progressive={dataset.name: result},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2: the observed gap that motivates the paper
+# ---------------------------------------------------------------------- #
+
+
+def figure2_observed_gap(seed: int = 42, n_points: int = 20) -> ExperimentResult:
+    """Figure 2: observed SUM(employees) vs ground truth over time."""
+    dataset = generate_us_tech_employment(seed=seed)
+    sizes = [
+        max(1, round(dataset.total_observations * (i + 1) / n_points))
+        for i in range(n_points)
+    ]
+    rows = []
+    for size in sorted(set(sizes)):
+        observed = dataset.observed_answer(size)
+        rows.append(
+            {
+                "n_answers": size,
+                "observed": observed,
+                "ground_truth": dataset.ground_truth,
+                "gap_fraction": (dataset.ground_truth - observed) / dataset.ground_truth,
+            }
+        )
+    return ExperimentResult(
+        experiment="fig2",
+        description="Observed SUM(employees) approaches but does not reach the ground truth",
+        rows=rows,
+        parameters={"dataset": dataset.name, "seed": seed},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figures 4 and 5: real-data (stand-in) SUM experiments
+# ---------------------------------------------------------------------- #
+
+
+def figure4_tech_employment(
+    seed: int = 42,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int = 10,
+) -> ExperimentResult:
+    """Figure 4: SUM(employees) estimates over the crowd-answer stream."""
+    dataset = generate_us_tech_employment(seed=seed)
+    return _replay_dataset(
+        dataset,
+        "fig4",
+        "US tech-sector employment: estimator comparison over time",
+        estimators,
+        n_points,
+    )
+
+
+def figure5a_tech_revenue(
+    seed: int = 7,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int = 10,
+) -> ExperimentResult:
+    """Figure 5(a): SUM(revenue) estimates over the crowd-answer stream."""
+    dataset = generate_us_tech_revenue(seed=seed)
+    return _replay_dataset(
+        dataset,
+        "fig5a",
+        "US tech-sector revenue: estimator comparison over time",
+        estimators,
+        n_points,
+    )
+
+
+def figure5b_us_gdp(
+    seed: int = 11,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int = 10,
+) -> ExperimentResult:
+    """Figure 5(b): SUM(gdp) with a streaker worker at the beginning."""
+    dataset = generate_us_gdp(seed=seed)
+    return _replay_dataset(
+        dataset,
+        "fig5b",
+        "GDP per US state: streaker-affected estimator comparison",
+        estimators,
+        n_points,
+    )
+
+
+def figure5c_proton_beam(
+    seed: int = 23,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int = 10,
+) -> ExperimentResult:
+    """Figure 5(c): SUM(participants) with no known ground truth."""
+    dataset = generate_proton_beam(seed=seed)
+    return _replay_dataset(
+        dataset,
+        "fig5c",
+        "Proton beam studies: estimator comparison without a known truth",
+        estimators,
+        n_points,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 6: the 3x3 synthetic grid
+# ---------------------------------------------------------------------- #
+
+
+def figure6_synthetic_grid(
+    repetitions: int = 5,
+    seed: int = 1,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int = 8,
+    scenario_names: list[str] | None = None,
+) -> ExperimentResult:
+    """Figure 6: estimator quality across publicity skew, correlation and #sources.
+
+    The paper repeats every configuration 50 times; ``repetitions`` scales
+    that down by default (pass 50 for paper scale).
+    """
+    names = scenario_names or [
+        "ideal-w100", "ideal-w10", "ideal-w5",
+        "realistic-w100", "realistic-w10", "realistic-w5",
+        "rare-events-w100", "rare-events-w10", "rare-events-w5",
+    ]
+    estimators = estimators or default_estimators()
+    rows: list[dict[str, Any]] = []
+    for name in names:
+        scenario = get_scenario(name)
+        rngs = spawn_rngs(seed, repetitions)
+        finals: dict[str, list[float]] = {key: [] for key in estimators}
+        observed_finals: list[float] = []
+        truth_values: list[float] = []
+        for rng in rngs:
+            run = scenario.run(seed=rng)
+            sample = run.sample()
+            observed_finals.append(sample.sum(scenario.attribute))
+            truth_values.append(run.population.true_sum(scenario.attribute))
+            for key, estimator in estimators.items():
+                estimate = estimator.estimate(sample, scenario.attribute)
+                finals[key].append(estimate.corrected)
+        truth = float(np.mean(truth_values))
+        row: dict[str, Any] = {
+            "scenario": name,
+            "n_sources": scenario.n_sources,
+            "publicity_skew": scenario.publicity_skew,
+            "correlation": scenario.correlation,
+            "ground_truth": truth,
+            "observed": float(np.mean(observed_finals)),
+        }
+        for key, values in finals.items():
+            finite = [v for v in values if math.isfinite(v)]
+            row[key] = float(np.mean(finite)) if finite else float("inf")
+        rows.append(row)
+    return ExperimentResult(
+        experiment="fig6",
+        description="Synthetic grid: average final estimates per scenario",
+        rows=rows,
+        parameters={"repetitions": repetitions, "seed": seed, "n_points": n_points},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7(a-b): streakers
+# ---------------------------------------------------------------------- #
+
+
+def figure7a_streakers_only(
+    seed: int = 3,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int = 8,
+    n_streakers: int = 3,
+) -> ExperimentResult:
+    """Figure 7(a): every source successively contributes the whole population."""
+    scenario = get_scenario("aggregate-queries")
+    population = scenario.build_population(seed=seed)
+    run = successive_streakers_run(
+        population, scenario.attribute, n_streakers=n_streakers, seed=seed
+    )
+    runner = ProgressiveRunner(estimators or default_estimators())
+    step = max(1, run.total_observations // n_points)
+    result = runner.run(run, step=step)
+    return ExperimentResult(
+        experiment="fig7a",
+        description="Successive streakers: only Monte-Carlo stays near the observed sum",
+        rows=_progressive_rows(result),
+        parameters={"n_streakers": n_streakers, "seed": seed},
+        progressive={"streakers-only": result},
+    )
+
+
+def figure7b_streaker_injected(
+    seed: int = 3,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int = 8,
+    inject_at: int = 160,
+) -> ExperimentResult:
+    """Figure 7(b): one streaker dumps the whole population at n = 160."""
+    scenario = SyntheticScenario(
+        name="streaker-inject",
+        n_sources=20,
+        source_size=8,
+        publicity_skew=1.0,
+        correlation=1.0,
+    )
+    population = scenario.build_population(seed=seed)
+    run = inject_streaker_run(
+        population,
+        scenario.attribute,
+        n_normal_sources=scenario.n_sources,
+        normal_source_size=scenario.source_size,
+        inject_at=inject_at,
+        publicity=scenario.publicity_model(),
+        seed=seed,
+    )
+    runner = ProgressiveRunner(estimators or default_estimators())
+    step = max(1, run.total_observations // n_points)
+    result = runner.run(run, step=step)
+    return ExperimentResult(
+        experiment="fig7b",
+        description="Streaker injected mid-stream: Chao92-based estimators overshoot",
+        rows=_progressive_rows(result),
+        parameters={"inject_at": inject_at, "seed": seed},
+        progressive={"streaker-injected": result},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7(c-f): upper bound, AVG, MIN, MAX
+# ---------------------------------------------------------------------- #
+
+
+def _aggregate_scenario_samples(
+    seed: int, n_points: int
+) -> tuple[SyntheticScenario, list[tuple[int, ObservedSample]], float]:
+    scenario = get_scenario("aggregate-queries")
+    run = scenario.run(seed=seed)
+    truth_sum = run.population.true_sum(scenario.attribute)
+    sizes = run.prefix_sizes(max(1, run.total_observations // n_points))
+    samples = [(size, run.sample_at(size)) for size in sizes]
+    return scenario, samples, truth_sum
+
+
+def figure7c_upper_bound(
+    seed: int = 5, n_points: int = 10, epsilon: float = 0.01, z: float = 3.0
+) -> ExperimentResult:
+    """Figure 7(f): the SUM upper bound is loose but tightens with more data."""
+    scenario, samples, truth_sum = _aggregate_scenario_samples(seed, n_points)
+    bucket = BucketEstimator()
+    rows = []
+    for size, sample in samples:
+        bound = sum_upper_bound(sample, scenario.attribute, epsilon=epsilon, z=z)
+        estimate = bucket.estimate(sample, scenario.attribute)
+        rows.append(
+            {
+                "n_answers": size,
+                "observed": bound.observed,
+                "bucket_estimate": estimate.corrected,
+                "upper_bound": bound.bound,
+                "missing_mass_bound": bound.missing_mass_bound,
+                "ground_truth": truth_sum,
+            }
+        )
+    return ExperimentResult(
+        experiment="fig7c",
+        description="SUM estimation upper bound over time",
+        rows=rows,
+        parameters={"epsilon": epsilon, "z": z, "seed": seed},
+    )
+
+
+def figure7d_avg_query(seed: int = 5, n_points: int = 10) -> ExperimentResult:
+    """Figure 7(c in the text, d in the layout): bucket-corrected AVG query."""
+    scenario, samples, _ = _aggregate_scenario_samples(seed, n_points)
+    attribute = scenario.attribute
+    rows = []
+    bucket = BucketEstimator()
+    for size, sample in samples:
+        estimate = estimate_avg(sample, attribute, bucket_estimator=bucket)
+        rows.append(
+            {
+                "n_answers": size,
+                "observed_avg": estimate.observed,
+                "bucket_avg": estimate.corrected,
+            }
+        )
+    # Attach the ground-truth average (identical for all rows).
+    run_population = get_scenario("aggregate-queries").build_population(seed=seed)
+    population_avg = run_population.true_avg(attribute)
+    for row in rows:
+        row["ground_truth_avg"] = population_avg
+    return ExperimentResult(
+        experiment="fig7d",
+        description="AVG query: bucket weighting corrects the publicity bias",
+        rows=rows,
+        parameters={"seed": seed},
+    )
+
+
+def _extreme_experiment(
+    which: str, seed: int, n_points: int, repetitions: int
+) -> ExperimentResult:
+    scenario = get_scenario("aggregate-queries")
+    attribute = scenario.attribute
+    rngs = spawn_rngs(seed, repetitions)
+    # For every repetition and prefix, record whether the true extreme has
+    # been observed and whether the estimator decides to report it.
+    accumulator: dict[int, dict[str, float]] = {}
+    for rng in rngs:
+        run = scenario.run(seed=rng)
+        truth = (
+            run.population.true_min(attribute)
+            if which == "min"
+            else run.population.true_max(attribute)
+        )
+        sizes = run.prefix_sizes(max(1, run.total_observations // n_points))
+        for size in sizes:
+            sample = run.sample_at(size)
+            estimate = (
+                estimate_min(sample, attribute)
+                if which == "min"
+                else estimate_max(sample, attribute)
+            )
+            cell = accumulator.setdefault(
+                size,
+                {
+                    "observed_extreme_matches_truth": 0.0,
+                    "reported": 0.0,
+                    "reported_value_total": 0.0,
+                    "repetitions": 0.0,
+                },
+            )
+            cell["repetitions"] += 1
+            if estimate.observed == truth:
+                cell["observed_extreme_matches_truth"] += 1
+            if estimate.trusted:
+                cell["reported"] += 1
+                cell["reported_value_total"] += estimate.observed
+    rows = []
+    for size in sorted(accumulator):
+        cell = accumulator[size]
+        reps = cell["repetitions"]
+        reported = cell["reported"]
+        rows.append(
+            {
+                "n_answers": size,
+                "true_extreme_observed_rate": cell["observed_extreme_matches_truth"] / reps,
+                "report_rate": reported / reps,
+                "avg_reported_value": (
+                    cell["reported_value_total"] / reported if reported else float("nan")
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment="fig7e" if which == "max" else "fig7f",
+        description=f"{which.upper()} query: report the observed extreme only when trusted",
+        rows=rows,
+        parameters={"seed": seed, "repetitions": repetitions},
+    )
+
+
+def figure7e_max_query(
+    seed: int = 9, n_points: int = 8, repetitions: int = 5
+) -> ExperimentResult:
+    """Figure 7(e): MAX query trust-based reporting."""
+    return _extreme_experiment("max", seed, n_points, repetitions)
+
+
+def figure7f_min_query(
+    seed: int = 9, n_points: int = 8, repetitions: int = 5
+) -> ExperimentResult:
+    """Figure 7(f): MIN query trust-based reporting."""
+    return _extreme_experiment("min", seed, n_points, repetitions)
+
+
+# ---------------------------------------------------------------------- #
+# Appendix B: static buckets (Figures 8 and 9)
+# ---------------------------------------------------------------------- #
+
+
+def _static_bucket_estimators() -> dict[str, SumEstimator]:
+    return {
+        "naive (1 bucket)": NaiveEstimator(),
+        "dynamic bucket": BucketEstimator(strategy=DynamicBucketing()),
+        "equi-width 2": BucketEstimator(strategy=EquiWidthBucketing(2)),
+        "equi-width 6": BucketEstimator(strategy=EquiWidthBucketing(6)),
+        "equi-width 10": BucketEstimator(strategy=EquiWidthBucketing(10)),
+        "equi-height 6": BucketEstimator(strategy=EquiHeightBucketing(6)),
+    }
+
+
+def figure8_static_buckets_real(
+    seed: int = 42, n_points: int = 8
+) -> ExperimentResult:
+    """Figure 8: static vs dynamic buckets on the tech-employment data."""
+    dataset = generate_us_tech_employment(seed=seed)
+    return _replay_dataset(
+        dataset,
+        "fig8",
+        "Static vs dynamic buckets on US tech employment (skewed, correlated)",
+        _static_bucket_estimators(),
+        n_points,
+    )
+
+
+def figure9_static_buckets_synthetic(
+    seed: int = 13, n_points: int = 8
+) -> ExperimentResult:
+    """Figure 9: static vs dynamic buckets under uniform publicity."""
+    scenario = get_scenario("static-bucket-uniform")
+    run = scenario.run(seed=seed)
+    runner = ProgressiveRunner(_static_bucket_estimators())
+    step = max(1, run.total_observations // n_points)
+    result = runner.run(run, step=step)
+    return ExperimentResult(
+        experiment="fig9",
+        description="Static vs dynamic buckets under uniform publicity",
+        rows=_progressive_rows(result),
+        parameters={"seed": seed},
+        progressive={"static-bucket-uniform": result},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Appendix D: combined estimators (Figure 10)
+# ---------------------------------------------------------------------- #
+
+
+def figure10_combined_estimators(
+    seed: int = 42, n_points: int = 6, mc_runs: int = 2
+) -> ExperimentResult:
+    """Figure 10: bucket+frequency and Monte-Carlo+bucket combinations."""
+    dataset = generate_us_tech_employment(seed=seed, n_answers=300)
+    estimators: dict[str, SumEstimator] = {
+        "bucket": BucketEstimator(strategy=DynamicBucketing()),
+        "bucket+frequency": BucketEstimator(
+            strategy=DynamicBucketing(), base=FrequencyEstimator()
+        ),
+        "monte-carlo": MonteCarloEstimator(
+            config=MonteCarloConfig(n_runs=mc_runs), seed=0
+        ),
+        "monte-carlo+bucket": BucketEstimator(
+            strategy=DynamicBucketing(),
+            base=MonteCarloEstimator(config=MonteCarloConfig(n_runs=mc_runs), seed=0),
+            search_base=NaiveEstimator(),
+        ),
+    }
+    return _replay_dataset(
+        dataset,
+        "fig10",
+        "Combined estimators on US tech employment",
+        estimators,
+        n_points,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Appendix E: number of sources (Figure 11)
+# ---------------------------------------------------------------------- #
+
+
+def figure11_source_count(
+    seed: int = 17,
+    repetitions: int = 5,
+    estimators: dict[str, SumEstimator] | None = None,
+) -> ExperimentResult:
+    """Figure 11: bucket estimation quality vs the number of sources (w=2..5)."""
+    estimators = estimators or {
+        "bucket": BucketEstimator(strategy=DynamicBucketing()),
+        "monte-carlo": MonteCarloEstimator(config=MonteCarloConfig(n_runs=2), seed=0),
+    }
+    rows = []
+    for w in (2, 3, 4, 5):
+        scenario = get_scenario(f"sources-w{w}")
+        rngs = spawn_rngs(seed + w, repetitions)
+        finals: dict[str, list[float]] = {key: [] for key in estimators}
+        truths = []
+        observed = []
+        for rng in rngs:
+            run = scenario.run(seed=rng)
+            sample = run.sample()
+            truths.append(run.population.true_sum(scenario.attribute))
+            observed.append(sample.sum(scenario.attribute))
+            for key, estimator in estimators.items():
+                estimate = estimator.estimate(sample, scenario.attribute)
+                finals[key].append(estimate.corrected)
+        row: dict[str, Any] = {
+            "n_sources": w,
+            "ground_truth": float(np.mean(truths)),
+            "observed": float(np.mean(observed)),
+        }
+        for key, values in finals.items():
+            finite = [v for v in values if math.isfinite(v)]
+            row[key] = float(np.mean(finite)) if finite else float("inf")
+        rows.append(row)
+    return ExperimentResult(
+        experiment="fig11",
+        description="More independent sources -> better bucket estimates",
+        rows=rows,
+        parameters={"repetitions": repetitions, "seed": seed},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Appendix F: the toy example (Table 2)
+# ---------------------------------------------------------------------- #
+
+
+def table2_toy_example() -> ExperimentResult:
+    """Table 2: exact estimator values on the five-company toy example."""
+    rows = []
+    for label, include_fifth in (("4 sources", False), ("5 sources", True)):
+        sample = toy_sample(include_fifth=include_fifth)
+        naive = NaiveEstimator().estimate(sample, "employees")
+        freq = FrequencyEstimator().estimate(sample, "employees")
+        bucket = BucketEstimator().estimate(sample, "employees")
+        rows.append(
+            {
+                "configuration": label,
+                "observed": naive.observed,
+                "naive": naive.corrected,
+                "frequency": freq.corrected,
+                "bucket": bucket.corrected,
+                "ground_truth": TOY_GROUND_TRUTH,
+            }
+        )
+    return ExperimentResult(
+        experiment="table2",
+        description="Appendix F toy example: exact estimator outputs",
+        rows=rows,
+        parameters={},
+    )

@@ -1,0 +1,98 @@
+"""Error metrics for comparing estimates against ground truth."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import ValidationError
+
+
+def relative_error(estimate: float, ground_truth: float) -> float:
+    """``|estimate − truth| / |truth|`` (``inf`` for non-finite estimates)."""
+    if ground_truth == 0:
+        raise ValidationError("relative error undefined for zero ground truth")
+    if not math.isfinite(estimate):
+        return float("inf")
+    return abs(estimate - ground_truth) / abs(ground_truth)
+
+
+def signed_relative_error(estimate: float, ground_truth: float) -> float:
+    """``(estimate − truth) / |truth|``: positive = overestimate."""
+    if ground_truth == 0:
+        raise ValidationError("signed relative error undefined for zero ground truth")
+    if not math.isfinite(estimate):
+        return math.copysign(float("inf"), estimate)
+    return (estimate - ground_truth) / abs(ground_truth)
+
+
+def mean_absolute_percentage_error(
+    estimates: Sequence[float], ground_truth: float
+) -> float:
+    """Mean of the relative errors over a series of estimates.
+
+    Non-finite estimates are excluded; if *all* estimates are non-finite the
+    result is ``inf``.
+    """
+    if len(estimates) == 0:
+        raise ValidationError("cannot average an empty series of estimates")
+    errors = [
+        relative_error(value, ground_truth)
+        for value in estimates
+        if math.isfinite(value)
+    ]
+    if not errors:
+        return float("inf")
+    return float(np.mean(errors))
+
+
+def convergence_index(
+    estimates: Sequence[float],
+    ground_truth: float,
+    tolerance: float = 0.05,
+) -> int | None:
+    """Index of the first estimate after which all estimates stay within tolerance.
+
+    Returns ``None`` if the series never converges.  This is the "after how
+    many crowd answers is the estimate good?" question of the paper.
+    """
+    if not 0 < tolerance:
+        raise ValidationError(f"tolerance must be positive, got {tolerance}")
+    if len(estimates) == 0:
+        return None
+    for start in range(len(estimates)):
+        if all(
+            relative_error(value, ground_truth) <= tolerance
+            for value in estimates[start:]
+        ):
+            return start
+    return None
+
+
+def series_summary(
+    estimates: Sequence[float], ground_truth: float
+) -> dict[str, float]:
+    """Summary statistics of one estimate series against the ground truth."""
+    finite = [value for value in estimates if math.isfinite(value)]
+    summary = {
+        "final_estimate": estimates[-1] if estimates else float("nan"),
+        "final_relative_error": (
+            relative_error(estimates[-1], ground_truth) if estimates else float("nan")
+        ),
+        "mape": mean_absolute_percentage_error(estimates, ground_truth)
+        if estimates
+        else float("nan"),
+        "max_overestimate": (
+            max(signed_relative_error(value, ground_truth) for value in finite)
+            if finite
+            else float("nan")
+        ),
+        "max_underestimate": (
+            min(signed_relative_error(value, ground_truth) for value in finite)
+            if finite
+            else float("nan")
+        ),
+    }
+    return summary

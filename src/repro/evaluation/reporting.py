@@ -1,0 +1,72 @@
+"""Plain-text rendering of evaluation results (no plotting dependency).
+
+The benchmarks print the same rows / series the paper's figures show; these
+helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.evaluation.runner import ProgressiveResult
+
+
+def _format_number(value: Any) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if not math.isfinite(value):
+        return "inf" if value > 0 else ("-inf" if value < 0 else "nan")
+    if abs(value) >= 1000:
+        return f"{value:,.1f}"
+    return f"{value:.4g}"
+
+
+def format_rows(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_number(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(cells[i]) for cells in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(cells[i].ljust(widths[i]) for i in range(len(columns)))
+        for cells in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_series(result: ProgressiveResult) -> str:
+    """Render a progressive-replay result as one row per prefix size."""
+    rows = []
+    for index, size in enumerate(result.sample_sizes):
+        row: dict[str, Any] = {
+            "n": size,
+            "observed": result.observed[index],
+        }
+        for name, series in result.series.items():
+            row[name] = series.estimates[index]
+        if result.ground_truth is not None:
+            row["ground_truth"] = result.ground_truth
+        rows.append(row)
+    return format_rows(rows)
+
+
+def format_result_table(
+    title: str,
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """A titled text table."""
+    table = format_rows(rows, columns)
+    underline = "=" * len(title)
+    return f"{title}\n{underline}\n{table}"

@@ -1,0 +1,233 @@
+"""Progressive replay of an observation stream through a set of estimators.
+
+Every figure of the paper is a curve "estimate after k crowd answers".  The
+:class:`ProgressiveRunner` replays the arrival-ordered stream of a
+:class:`~repro.simulation.sampler.SamplingRun` (or a
+:class:`~repro.datasets.base.CrowdDataset`), rebuilds the integrated sample
+at a set of prefix sizes, runs every configured estimator on each prefix,
+and collects the resulting series.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.estimator import SumEstimator
+from repro.core.registry import make_estimator
+from repro.data.sample import ObservedSample
+from repro.datasets.base import CrowdDataset
+from repro.evaluation.metrics import series_summary
+from repro.simulation.sampler import SamplingRun
+from repro.utils.exceptions import ValidationError
+
+
+@dataclass
+class EstimateSeries:
+    """One estimator's corrected-answer series over the replay.
+
+    Attributes
+    ----------
+    estimator:
+        The estimator name.
+    sample_sizes:
+        Prefix sizes (number of observations) at which estimates were taken.
+    estimates:
+        The corrected answers ``φ̂_D`` (parallel to ``sample_sizes``).
+    deltas:
+        The impact estimates ``Δ̂``.
+    count_estimates:
+        The count estimates ``N̂``.
+    coverages:
+        The estimated sample coverage at each prefix.
+    """
+
+    estimator: str
+    sample_sizes: list[int] = field(default_factory=list)
+    estimates: list[float] = field(default_factory=list)
+    deltas: list[float] = field(default_factory=list)
+    count_estimates: list[float] = field(default_factory=list)
+    coverages: list[float] = field(default_factory=list)
+
+    def final_estimate(self) -> float:
+        """The estimate at the largest prefix."""
+        if not self.estimates:
+            return float("nan")
+        return self.estimates[-1]
+
+    def summary(self, ground_truth: float) -> dict[str, float]:
+        """Error summary of this series against a ground truth."""
+        return series_summary(self.estimates, ground_truth)
+
+
+@dataclass
+class ProgressiveResult:
+    """Result of one progressive replay.
+
+    Attributes
+    ----------
+    attribute:
+        The aggregated attribute.
+    sample_sizes:
+        The prefix sizes used.
+    observed:
+        The closed-world answers at each prefix (the grey line of the
+        paper's figures).
+    series:
+        One :class:`EstimateSeries` per estimator, keyed by estimator name.
+    ground_truth:
+        The true answer when known (the dashed line), else ``None``.
+    """
+
+    attribute: str
+    sample_sizes: list[int]
+    observed: list[float]
+    series: dict[str, EstimateSeries]
+    ground_truth: float | None = None
+
+    def estimator_names(self) -> list[str]:
+        """Names of all replayed estimators."""
+        return list(self.series)
+
+    def final_estimates(self) -> dict[str, float]:
+        """Final corrected answer per estimator."""
+        return {name: s.final_estimate() for name, s in self.series.items()}
+
+    def summaries(self) -> dict[str, dict[str, float]]:
+        """Error summaries per estimator (requires a known ground truth)."""
+        if self.ground_truth is None:
+            raise ValidationError("no ground truth available for summaries")
+        return {name: s.summary(self.ground_truth) for name, s in self.series.items()}
+
+    def best_estimator(self) -> str:
+        """The estimator whose final estimate is closest to the ground truth."""
+        if self.ground_truth is None:
+            raise ValidationError("no ground truth available")
+        finite = {
+            name: abs(s.final_estimate() - self.ground_truth)
+            for name, s in self.series.items()
+            if math.isfinite(s.final_estimate())
+        }
+        if not finite:
+            raise ValidationError("no estimator produced a finite final estimate")
+        return min(finite, key=finite.get)
+
+
+class ProgressiveRunner:
+    """Replays an observation stream through a set of estimators.
+
+    Parameters
+    ----------
+    estimators:
+        Either a mapping ``{name: SumEstimator}`` or a sequence of estimator
+        names understood by :func:`repro.core.registry.make_estimator`.
+    """
+
+    def __init__(
+        self,
+        estimators: "Mapping[str, SumEstimator] | Sequence[str]",
+    ) -> None:
+        if isinstance(estimators, Mapping):
+            self.estimators = dict(estimators)
+        else:
+            self.estimators = {name: make_estimator(name) for name in estimators}
+        if not self.estimators:
+            raise ValidationError("at least one estimator is required")
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        source: "SamplingRun | CrowdDataset",
+        prefix_sizes: Sequence[int] | None = None,
+        step: int | None = None,
+        min_prefix: int = 10,
+    ) -> ProgressiveResult:
+        """Replay ``source`` and estimate at each prefix size.
+
+        Parameters
+        ----------
+        source:
+            A simulation run or a crowd-dataset stand-in.
+        prefix_sizes:
+            Explicit prefix sizes; overrides ``step``.
+        step:
+            Evenly spaced prefix sizes ``step, 2·step, ...`` (default: ten
+            evenly spaced points).
+        min_prefix:
+            Smallest prefix worth estimating on (tiny prefixes only produce
+            divergent estimates).
+        """
+        if isinstance(source, CrowdDataset):
+            run = source.run
+            ground_truth = source.ground_truth
+            attribute = source.attribute
+        else:
+            run = source
+            attribute = run.attribute
+            ground_truth = run.population.true_sum(attribute)
+        total = run.total_observations
+        if total == 0:
+            raise ValidationError("the observation stream is empty")
+
+        sizes = self._resolve_prefix_sizes(total, prefix_sizes, step, min_prefix)
+        observed: list[float] = []
+        series = {
+            name: EstimateSeries(estimator=name) for name in self.estimators
+        }
+        for size in sizes:
+            sample = run.sample_at(size)
+            observed.append(sample.sum(attribute))
+            for name, estimator in self.estimators.items():
+                estimate = estimator.estimate(sample, attribute)
+                entry = series[name]
+                entry.sample_sizes.append(size)
+                entry.estimates.append(estimate.corrected)
+                entry.deltas.append(estimate.delta)
+                entry.count_estimates.append(estimate.count_estimate)
+                entry.coverages.append(estimate.coverage)
+        return ProgressiveResult(
+            attribute=attribute,
+            sample_sizes=list(sizes),
+            observed=observed,
+            series=series,
+            ground_truth=ground_truth,
+        )
+
+    def run_single(
+        self, sample: ObservedSample, attribute: str
+    ) -> dict[str, float]:
+        """Estimate once on a fully integrated sample (no replay)."""
+        return {
+            name: estimator.estimate(sample, attribute).corrected
+            for name, estimator in self.estimators.items()
+        }
+
+    @staticmethod
+    def _resolve_prefix_sizes(
+        total: int,
+        prefix_sizes: Sequence[int] | None,
+        step: int | None,
+        min_prefix: int,
+    ) -> list[int]:
+        if prefix_sizes is not None:
+            sizes = sorted(set(int(s) for s in prefix_sizes if 1 <= s <= total))
+            if not sizes:
+                raise ValidationError("no valid prefix sizes given")
+            return sizes
+        if step is not None:
+            if step < 1:
+                raise ValidationError(f"step must be >= 1, got {step}")
+            sizes = list(range(max(step, min_prefix), total + 1, step))
+        else:
+            n_points = 10
+            stride = max(1, total // n_points)
+            sizes = list(range(max(stride, min_prefix), total + 1, stride))
+        if not sizes:
+            sizes = [total]
+        if sizes[-1] != total:
+            sizes.append(total)
+        return sizes

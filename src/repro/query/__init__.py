@@ -1,0 +1,61 @@
+"""A small aggregate-query engine over integrated data (the paper's query model).
+
+The paper's queries are of the form::
+
+    SELECT AGGREGATE(attr) FROM table WHERE predicate
+
+This package provides exactly that subset -- tokenizer, parser, AST,
+predicate evaluation, a column-oriented :class:`Table` with per-row
+observation counts (lineage), and two executors:
+
+* :class:`ClosedWorldExecutor` -- the traditional answer over the integrated
+  database ``K`` (what every RDBMS would return),
+* :class:`OpenWorldExecutor` -- the same answer *corrected* for unknown
+  unknowns by plugging in any estimator from :mod:`repro.core`.
+"""
+
+from repro.query.ast import (
+    Aggregate,
+    AggregateFunction,
+    BetweenPredicate,
+    BooleanPredicate,
+    ColumnRef,
+    ComparisonPredicate,
+    InPredicate,
+    Literal,
+    NotPredicate,
+    Predicate,
+    Query,
+)
+from repro.query.tokenizer import Token, TokenType, tokenize
+from repro.query.parser import parse_query
+from repro.query.table import Table
+from repro.query.database import Database
+from repro.query.executor import (
+    ClosedWorldExecutor,
+    OpenWorldExecutor,
+    QueryResult,
+)
+
+__all__ = [
+    "Aggregate",
+    "AggregateFunction",
+    "BetweenPredicate",
+    "BooleanPredicate",
+    "ColumnRef",
+    "ComparisonPredicate",
+    "InPredicate",
+    "Literal",
+    "NotPredicate",
+    "Predicate",
+    "Query",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_query",
+    "Table",
+    "Database",
+    "ClosedWorldExecutor",
+    "OpenWorldExecutor",
+    "QueryResult",
+]

@@ -1,0 +1,193 @@
+"""Abstract syntax tree for the aggregate-query subset.
+
+A query is ``SELECT AGG(attr | *) FROM table [WHERE predicate]``.  The
+predicate grammar supports comparisons, BETWEEN, IN, LIKE, IS NULL, and
+AND / OR / NOT combinations -- enough to express the restrictions the
+paper's use cases need (e.g. ``WHERE sector = 'tech' AND employees > 100``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from fnmatch import fnmatch
+from typing import Any, Mapping
+
+from repro.utils.exceptions import QueryError
+
+
+class AggregateFunction(Enum):
+    """Supported aggregate functions."""
+
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+
+# ---------------------------------------------------------------------- #
+# Scalar expressions
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """Reference to a column of the queried table."""
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        if self.name not in row:
+            raise QueryError(f"unknown column {self.name!r}")
+        return row[self.name]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value (number or string)."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+
+Scalar = "ColumnRef | Literal"
+
+
+# ---------------------------------------------------------------------- #
+# Predicates
+# ---------------------------------------------------------------------- #
+
+
+class Predicate(ABC):
+    """A boolean expression over one row."""
+
+    @abstractmethod
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        """True if the row satisfies the predicate."""
+
+
+@dataclass(frozen=True)
+class ComparisonPredicate(Predicate):
+    """``left <op> right`` with op in {=, <>, !=, <, <=, >, >=, LIKE, IS NULL}."""
+
+    left: "ColumnRef | Literal"
+    operator: str
+    right: "ColumnRef | Literal | None" = None
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        left = self.left.evaluate(row)
+        if self.operator == "IS NULL":
+            return left is None
+        if self.operator == "IS NOT NULL":
+            return left is not None
+        assert self.right is not None
+        right = self.right.evaluate(row)
+        if self.operator == "=":
+            return left == right
+        if self.operator in ("<>", "!="):
+            return left != right
+        if self.operator == "LIKE":
+            pattern = str(right).replace("%", "*").replace("_", "?")
+            return fnmatch(str(left), pattern)
+        if left is None or right is None:
+            return False
+        if self.operator == "<":
+            return left < right
+        if self.operator == "<=":
+            return left <= right
+        if self.operator == ">":
+            return left > right
+        if self.operator == ">=":
+            return left >= right
+        raise QueryError(f"unsupported comparison operator {self.operator!r}")
+
+
+@dataclass(frozen=True)
+class BetweenPredicate(Predicate):
+    """``column BETWEEN low AND high`` (inclusive on both ends)."""
+
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        value = self.column.evaluate(row)
+        if value is None:
+            return False
+        return self.low.value <= value <= self.high.value
+
+
+@dataclass(frozen=True)
+class InPredicate(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: tuple
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return self.column.evaluate(row) in self.values
+
+
+@dataclass(frozen=True)
+class NotPredicate(Predicate):
+    """Logical negation."""
+
+    inner: Predicate
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return not self.inner.matches(row)
+
+
+@dataclass(frozen=True)
+class BooleanPredicate(Predicate):
+    """``left AND right`` or ``left OR right``."""
+
+    operator: str  # "AND" | "OR"
+    left: Predicate
+    right: Predicate
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        if self.operator == "AND":
+            return self.left.matches(row) and self.right.matches(row)
+        if self.operator == "OR":
+            return self.left.matches(row) or self.right.matches(row)
+        raise QueryError(f"unsupported boolean operator {self.operator!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Query
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """The aggregate part of the SELECT clause: function + target column.
+
+    ``column`` is ``None`` for ``COUNT(*)``.
+    """
+
+    function: AggregateFunction
+    column: str | None
+
+    def __post_init__(self) -> None:
+        if self.column is None and self.function is not AggregateFunction.COUNT:
+            raise QueryError(
+                f"{self.function.value}(*) is not valid; only COUNT may use '*'"
+            )
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed aggregate query."""
+
+    aggregate: Aggregate
+    table: str
+    predicate: Predicate | None = None
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        """True if ``row`` satisfies the WHERE clause (or there is none)."""
+        return self.predicate is None or self.predicate.matches(row)

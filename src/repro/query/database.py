@@ -1,0 +1,64 @@
+"""A database: a named collection of integrated tables."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.data.integration import IntegrationResult
+from repro.data.sample import ObservedSample
+from repro.query.table import Table
+from repro.utils.exceptions import QueryError, ValidationError
+
+
+class Database:
+    """Named tables produced by data integration.
+
+    The database is deliberately minimal: it exists so the executors can
+    resolve the ``FROM`` clause and so multiple integrated entity classes
+    (companies, states, studies, ...) can live side by side.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def add_table(self, table: Table) -> None:
+        """Register a table (its name must be unique in the database)."""
+        key = table.name.lower()
+        if key in self._tables:
+            raise ValidationError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def add_integration_result(
+        self, name: str, result: IntegrationResult
+    ) -> Table:
+        """Register the output of :class:`~repro.data.integration.IntegrationPipeline`."""
+        sample = result.sample
+        table = Table.from_sample(name, sample)
+        self.add_table(table)
+        return table
+
+    def add_sample(self, name: str, sample: ObservedSample) -> Table:
+        """Register an :class:`ObservedSample` directly as a table."""
+        table = Table.from_sample(name, sample)
+        self.add_table(table)
+        return table
+
+    def table(self, name: str) -> Table:
+        """Resolve a table by (case-insensitive) name."""
+        key = name.lower()
+        if key not in self._tables:
+            raise QueryError(
+                f"unknown table {name!r}; known tables: {', '.join(sorted(self._tables)) or '(none)'}"
+            )
+        return self._tables[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    @property
+    def table_names(self) -> list[str]:
+        """Registered table names."""
+        return [table.name for table in self._tables.values()]

@@ -1,0 +1,211 @@
+"""Recursive-descent parser for the aggregate-query subset.
+
+Grammar (case-insensitive keywords)::
+
+    query       := SELECT aggregate FROM identifier [WHERE or_expr]
+    aggregate   := (SUM | COUNT | AVG | MIN | MAX) '(' (identifier | '*') ')'
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | primary
+    primary     := '(' or_expr ')' | condition
+    condition   := column comparison | column BETWEEN literal AND literal
+                 | column [NOT] IN '(' literal (',' literal)* ')'
+                 | column IS [NOT] NULL
+    comparison  := ('=' | '<>' | '!=' | '<' | '<=' | '>' | '>=' | LIKE) value
+    value       := literal | column
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import (
+    Aggregate,
+    AggregateFunction,
+    BetweenPredicate,
+    BooleanPredicate,
+    ColumnRef,
+    ComparisonPredicate,
+    InPredicate,
+    Literal,
+    NotPredicate,
+    Predicate,
+    Query,
+)
+from repro.query.tokenizer import Token, TokenType, tokenize
+from repro.utils.exceptions import QueryError
+
+_AGGREGATE_NAMES = {f.value for f in AggregateFunction}
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -------------------------- cursor helpers -------------------------- #
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type != TokenType.END:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise QueryError(f"expected {word!r} at position {token.position}, got {token.text!r}")
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._advance()
+        if token.type != token_type:
+            raise QueryError(
+                f"expected {token_type.name} at position {token.position}, got {token.text!r}"
+            )
+        return token
+
+    # ----------------------------- grammar ------------------------------ #
+
+    def parse(self) -> Query:
+        self._expect_keyword("SELECT")
+        aggregate = self._parse_aggregate()
+        self._expect_keyword("FROM")
+        table_token = self._expect(TokenType.IDENTIFIER)
+        predicate = None
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            predicate = self._parse_or()
+        end = self._advance()
+        if end.type != TokenType.END:
+            raise QueryError(f"unexpected trailing input at position {end.position}: {end.text!r}")
+        return Query(aggregate=aggregate, table=table_token.text, predicate=predicate)
+
+    def _parse_aggregate(self) -> Aggregate:
+        token = self._advance()
+        if token.type != TokenType.KEYWORD or token.text not in _AGGREGATE_NAMES:
+            raise QueryError(
+                f"expected an aggregate function at position {token.position}, got {token.text!r}"
+            )
+        function = AggregateFunction(token.text)
+        self._expect(TokenType.LPAREN)
+        inner = self._advance()
+        if inner.type == TokenType.STAR:
+            column = None
+        elif inner.type == TokenType.IDENTIFIER:
+            column = inner.text
+        else:
+            raise QueryError(
+                f"expected a column or '*' at position {inner.position}, got {inner.text!r}"
+            )
+        self._expect(TokenType.RPAREN)
+        return Aggregate(function=function, column=column)
+
+    def _parse_or(self) -> Predicate:
+        left = self._parse_and()
+        while self._peek().is_keyword("OR"):
+            self._advance()
+            right = self._parse_and()
+            left = BooleanPredicate(operator="OR", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> Predicate:
+        left = self._parse_not()
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            right = self._parse_not()
+            left = BooleanPredicate(operator="AND", left=left, right=right)
+        return left
+
+    def _parse_not(self) -> Predicate:
+        if self._peek().is_keyword("NOT"):
+            self._advance()
+            return NotPredicate(self._parse_not())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Predicate:
+        if self._peek().type == TokenType.LPAREN:
+            self._advance()
+            inner = self._parse_or()
+            self._expect(TokenType.RPAREN)
+            return inner
+        return self._parse_condition()
+
+    def _parse_condition(self) -> Predicate:
+        column_token = self._expect(TokenType.IDENTIFIER)
+        column = ColumnRef(column_token.text)
+        token = self._advance()
+
+        if token.is_keyword("BETWEEN"):
+            low = self._parse_literal()
+            self._expect_keyword("AND")
+            high = self._parse_literal()
+            return BetweenPredicate(column=column, low=low, high=high)
+
+        if token.is_keyword("NOT"):
+            self._expect_keyword("IN")
+            return NotPredicate(self._parse_in(column))
+        if token.is_keyword("IN"):
+            return self._parse_in(column)
+
+        if token.is_keyword("IS"):
+            if self._peek().is_keyword("NOT"):
+                self._advance()
+                self._expect_keyword("NULL")
+                return ComparisonPredicate(left=column, operator="IS NOT NULL")
+            self._expect_keyword("NULL")
+            return ComparisonPredicate(left=column, operator="IS NULL")
+
+        if token.is_keyword("LIKE"):
+            value = self._parse_value()
+            return ComparisonPredicate(left=column, operator="LIKE", right=value)
+
+        if token.type == TokenType.OPERATOR:
+            value = self._parse_value()
+            return ComparisonPredicate(left=column, operator=token.text, right=value)
+
+        raise QueryError(
+            f"expected a comparison at position {token.position}, got {token.text!r}"
+        )
+
+    def _parse_in(self, column: ColumnRef) -> InPredicate:
+        self._expect(TokenType.LPAREN)
+        values = [self._parse_literal().value]
+        while self._peek().type == TokenType.COMMA:
+            self._advance()
+            values.append(self._parse_literal().value)
+        self._expect(TokenType.RPAREN)
+        return InPredicate(column=column, values=tuple(values))
+
+    def _parse_value(self) -> "ColumnRef | Literal":
+        token = self._peek()
+        if token.type == TokenType.IDENTIFIER:
+            self._advance()
+            return ColumnRef(token.text)
+        return self._parse_literal()
+
+    def _parse_literal(self) -> Literal:
+        token = self._advance()
+        if token.type == TokenType.NUMBER:
+            text = token.text
+            try:
+                if any(mark in text for mark in (".", "e", "E")):
+                    return Literal(float(text))
+                return Literal(int(text))
+            except ValueError as exc:
+                raise QueryError(f"invalid number literal {text!r}") from exc
+        if token.type == TokenType.STRING:
+            return Literal(token.text)
+        raise QueryError(
+            f"expected a literal at position {token.position}, got {token.text!r}"
+        )
+
+
+def parse_query(query: str) -> Query:
+    """Parse an aggregate query string into a :class:`Query` AST."""
+    if not query or not query.strip():
+        raise QueryError("query string is empty")
+    return _Parser(tokenize(query)).parse()

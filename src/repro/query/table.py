@@ -1,0 +1,178 @@
+"""A small row-oriented table with per-row observation counts (lineage).
+
+The integrated database ``K`` keeps one row per unique entity, but the
+unknown-unknowns estimators additionally need to know *how often* each
+entity was observed across the data sources.  :class:`Table` therefore
+stores, next to the attribute values, the observation count of every row and
+can convert any row subset back into an
+:class:`~repro.data.sample.ObservedSample`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.data.records import Entity
+from repro.data.sample import ObservedSample
+from repro.utils.exceptions import QueryError, ValidationError
+
+
+class Table:
+    """An integrated table: one row per unique entity plus lineage counts.
+
+    Parameters
+    ----------
+    name:
+        Table name used in queries.
+    rows:
+        Mappings from column name to value; each row must contain the
+        ``entity_id`` key (or pass entities via :meth:`from_entities`).
+    counts:
+        Observation count per row (parallel to ``rows``); defaults to 1 for
+        every row (i.e. "no duplicate information available").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, Any]],
+        counts: Sequence[int] | None = None,
+        source_sizes: Sequence[int] | None = None,
+    ) -> None:
+        if not name:
+            raise ValidationError("table name must be non-empty")
+        self.name = name
+        self._rows: list[dict[str, Any]] = []
+        seen: set[str] = set()
+        for row in rows:
+            if "entity_id" not in row:
+                raise ValidationError("every row must carry an 'entity_id' column")
+            entity_id = str(row["entity_id"])
+            if entity_id in seen:
+                raise ValidationError(f"duplicate entity_id {entity_id!r} in table {name!r}")
+            seen.add(entity_id)
+            self._rows.append(dict(row))
+        if counts is None:
+            self._counts = [1] * len(self._rows)
+        else:
+            if len(counts) != len(self._rows):
+                raise ValidationError("counts must be parallel to rows")
+            if any(c < 1 for c in counts):
+                raise ValidationError("observation counts must be >= 1")
+            self._counts = [int(c) for c in counts]
+        self._source_sizes = list(source_sizes) if source_sizes is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_entities(
+        cls,
+        name: str,
+        entities: Iterable[Entity],
+        counts: Mapping[str, int] | None = None,
+        source_sizes: Sequence[int] | None = None,
+    ) -> "Table":
+        """Build a table from :class:`Entity` records and optional lineage counts."""
+        rows = []
+        row_counts = []
+        for entity in entities:
+            row = {"entity_id": entity.entity_id, **entity.attributes}
+            rows.append(row)
+            row_counts.append(1 if counts is None else counts.get(entity.entity_id, 1))
+        return cls(name, rows, counts=row_counts, source_sizes=source_sizes)
+
+    @classmethod
+    def from_sample(
+        cls, name: str, sample: ObservedSample, attributes: Sequence[str] | None = None
+    ) -> "Table":
+        """Build a table view of an :class:`ObservedSample`."""
+        attrs = list(attributes) if attributes is not None else sample.attributes
+        rows = []
+        counts = []
+        for entity_id in sample.entity_ids:
+            row: dict[str, Any] = {"entity_id": entity_id}
+            for attr in attrs:
+                row[attr] = sample.value(entity_id, attr)
+            rows.append(row)
+            counts.append(sample.count(entity_id))
+        return cls(name, rows, counts=counts, source_sizes=list(sample.source_sizes))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """Copies of all rows."""
+        return [dict(row) for row in self._rows]
+
+    @property
+    def columns(self) -> list[str]:
+        """Union of the column names appearing in any row."""
+        names: dict[str, None] = {}
+        for row in self._rows:
+            for key in row:
+                names.setdefault(key, None)
+        return list(names)
+
+    @property
+    def counts(self) -> list[int]:
+        """Per-row observation counts (parallel to :attr:`rows`)."""
+        return list(self._counts)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column (QueryError if the column is unknown)."""
+        if name not in self.columns:
+            raise QueryError(f"table {self.name!r} has no column {name!r}")
+        return [row.get(name) for row in self._rows]
+
+    # ------------------------------------------------------------------ #
+    # Filtering and conversion
+    # ------------------------------------------------------------------ #
+
+    def filter(self, predicate) -> "Table":
+        """A new table with the rows matching ``predicate`` (an AST Predicate
+        or any callable taking a row mapping)."""
+        matcher = predicate.matches if hasattr(predicate, "matches") else predicate
+        rows = []
+        counts = []
+        for row, count in zip(self._rows, self._counts):
+            if matcher(row):
+                rows.append(row)
+                counts.append(count)
+        return Table(self.name, rows, counts=counts, source_sizes=None)
+
+    def to_sample(self, attribute: str) -> ObservedSample:
+        """Convert the table (or a filtered subset) into an ObservedSample.
+
+        Only rows carrying a numeric ``attribute`` value participate.  The
+        original per-source sizes are not recoverable for arbitrary row
+        subsets, so the sample reports a single pseudo-source unless the
+        table still holds the full integration result.
+        """
+        counts: dict[str, int] = {}
+        values: dict[str, dict[str, float]] = {}
+        for row, count in zip(self._rows, self._counts):
+            value = row.get(attribute)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            entity_id = str(row["entity_id"])
+            counts[entity_id] = count
+            values[entity_id] = {attribute: float(value)}
+        if not counts:
+            raise QueryError(
+                f"no row of table {self.name!r} has a numeric {attribute!r} value"
+            )
+        source_sizes = None
+        if self._source_sizes is not None and sum(counts.values()) == sum(self._source_sizes):
+            source_sizes = self._source_sizes
+        return ObservedSample(counts, values, source_sizes=source_sizes)

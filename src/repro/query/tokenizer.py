@@ -1,0 +1,113 @@
+"""Tokenizer for the SQL subset used by the aggregate-query engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.utils.exceptions import QueryError
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN", "IN", "LIKE",
+    "IS", "NULL", "AS",
+}
+
+_AGGREGATES = {"SUM", "COUNT", "AVG", "MIN", "MAX"}
+
+
+class TokenType(Enum):
+    """Lexical categories of the SQL subset."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+    STAR = auto()
+    END = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token: its type, normalised text, and position in the query."""
+
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True if this token is the given (case-insensitive) keyword."""
+        return self.type == TokenType.KEYWORD and self.text == word.upper()
+
+
+def tokenize(query: str) -> list[Token]:
+    """Tokenize ``query``; raises :class:`QueryError` on illegal characters."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(query)
+    while i < length:
+        ch = query[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ",", i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+            continue
+        if ch in "<>=!":
+            # Two-character operators first (<=, >=, <>, !=), then single.
+            if i + 1 < length and query[i : i + 2] in ("<=", ">=", "<>", "!="):
+                tokens.append(Token(TokenType.OPERATOR, query[i : i + 2], i))
+                i += 2
+            elif ch in "<>=":
+                tokens.append(Token(TokenType.OPERATOR, ch, i))
+                i += 1
+            else:
+                raise QueryError(f"unexpected character {ch!r} at position {i}")
+            continue
+        if ch == "'" or ch == '"':
+            end = query.find(ch, i + 1)
+            if end == -1:
+                raise QueryError(f"unterminated string literal starting at position {i}")
+            tokens.append(Token(TokenType.STRING, query[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < length and query[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < length and (query[i].isdigit() or query[i] in "._eE+-"):
+                # Stop at operators that merely follow a number (e.g. "10-")
+                if query[i] in "+-" and query[i - 1] not in "eE":
+                    break
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, query[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (query[i].isalnum() or query[i] in "_."):
+                i += 1
+            word = query[start:i]
+            upper = word.upper()
+            if upper in _KEYWORDS or upper in _AGGREGATES:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        raise QueryError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,173 @@
+"""Ground-truth populations for simulation experiments.
+
+A :class:`Population` is the unknown ground truth ``D`` of the paper: the
+full set of unique entities (with their attribute values) that an aggregate
+query is "really" about.  The simulator samples from it; the evaluation
+harness compares estimates against its true aggregates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.records import Entity
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+
+
+class Population:
+    """The ground truth ``D``: all unique entities and their values.
+
+    Parameters
+    ----------
+    entities:
+        The full list of unique entities.
+    """
+
+    def __init__(self, entities: Sequence[Entity]) -> None:
+        if len(entities) == 0:
+            raise ValidationError("a population needs at least one entity")
+        ids = [e.entity_id for e in entities]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("population entity ids must be unique")
+        self._entities = list(entities)
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._entities)
+
+    def __getitem__(self, index: int) -> Entity:
+        return self._entities[index]
+
+    @property
+    def size(self) -> int:
+        """The true number of unique entities ``N = |D|``."""
+        return len(self._entities)
+
+    @property
+    def entities(self) -> list[Entity]:
+        """Copy of the entity list."""
+        return list(self._entities)
+
+    @property
+    def entity_ids(self) -> list[str]:
+        """All entity ids."""
+        return [e.entity_id for e in self._entities]
+
+    def values(self, attribute: str) -> np.ndarray:
+        """All ground-truth values of ``attribute`` (one per entity)."""
+        return np.array([e.numeric_value(attribute) for e in self._entities])
+
+    def true_sum(self, attribute: str) -> float:
+        """Ground-truth ``SELECT SUM(attribute) FROM D`` (φ_D)."""
+        return float(self.values(attribute).sum())
+
+    def true_avg(self, attribute: str) -> float:
+        """Ground-truth ``SELECT AVG(attribute) FROM D``."""
+        return float(self.values(attribute).mean())
+
+    def true_min(self, attribute: str) -> float:
+        """Ground-truth ``SELECT MIN(attribute) FROM D``."""
+        return float(self.values(attribute).min())
+
+    def true_max(self, attribute: str) -> float:
+        """Ground-truth ``SELECT MAX(attribute) FROM D``."""
+        return float(self.values(attribute).max())
+
+    def true_count(self) -> int:
+        """Ground-truth ``SELECT COUNT(*) FROM D`` (= N)."""
+        return self.size
+
+    def with_values(self, attribute: str, values: Sequence[float]) -> "Population":
+        """Return a copy with ``attribute`` replaced by ``values`` (index-aligned)."""
+        if len(values) != len(self._entities):
+            raise ValidationError(
+                f"expected {len(self._entities)} values, got {len(values)}"
+            )
+        return Population(
+            [
+                entity.with_attribute(attribute, float(value))
+                for entity, value in zip(self._entities, values)
+            ]
+        )
+
+
+def linear_value_population(
+    size: int = 100,
+    attribute: str = "value",
+    low: float = 10.0,
+    high: float = 1000.0,
+    prefix: str = "item",
+) -> Population:
+    """The paper's synthetic population: ``size`` entities with evenly spaced values.
+
+    With the defaults this is exactly the Section 6.2 setup: 100 unique
+    items with attribute values 10, 20, 30, ..., 1000.
+    """
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    values = np.linspace(low, high, size)
+    entities = [
+        Entity(entity_id=f"{prefix}-{i:04d}", attributes={attribute: float(v)})
+        for i, v in enumerate(values)
+    ]
+    return Population(entities)
+
+
+def make_population(
+    size: int,
+    attribute: str = "value",
+    distribution: str = "linear",
+    low: float = 10.0,
+    high: float = 1000.0,
+    seed: "int | np.random.Generator | None" = None,
+    prefix: str = "item",
+) -> Population:
+    """Generate a ground-truth population with a chosen value distribution.
+
+    Parameters
+    ----------
+    distribution:
+        ``"linear"`` (evenly spaced, the paper's synthetic setup),
+        ``"uniform"`` (iid uniform in [low, high]),
+        ``"lognormal"`` (heavy-tailed values rescaled into [low, high]), or
+        ``"pareto"`` (very heavy-tailed, for black-swan experiments).
+    """
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    if low > high:
+        raise ValidationError(f"low ({low}) must not exceed high ({high})")
+    rng = ensure_rng(seed)
+    if distribution == "linear":
+        values = np.linspace(low, high, size)
+    elif distribution == "uniform":
+        values = rng.uniform(low, high, size)
+    elif distribution == "lognormal":
+        raw = rng.lognormal(mean=0.0, sigma=1.0, size=size)
+        values = _rescale(raw, low, high)
+    elif distribution == "pareto":
+        raw = rng.pareto(a=1.5, size=size) + 1.0
+        values = _rescale(raw, low, high)
+    else:
+        raise ValidationError(
+            f"unknown distribution {distribution!r}; expected linear, uniform, "
+            "lognormal or pareto"
+        )
+    entities = [
+        Entity(entity_id=f"{prefix}-{i:04d}", attributes={attribute: float(v)})
+        for i, v in enumerate(values)
+    ]
+    return Population(entities)
+
+
+def _rescale(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Rescale arbitrary positive values into [low, high] preserving order."""
+    vmin = values.min()
+    vmax = values.max()
+    if vmax == vmin:
+        return np.full_like(values, (low + high) / 2.0)
+    return low + (values - vmin) / (vmax - vmin) * (high - low)

@@ -1,0 +1,257 @@
+"""The multi-source sampling process (data integration as sampling, §2.2).
+
+``l`` data sources each draw ``n_j`` entities *without replacement* from the
+ground truth according to a publicity distribution; the draws are then
+integrated into the multiset sample ``S``.  The resulting
+:class:`SamplingRun` keeps the full arrival-ordered observation stream so
+the evaluation harness can replay "estimate quality over time" experiments
+(every figure of Section 6 is such a replay).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.records import Observation
+from repro.data.sources import DataSource
+from repro.data.sample import ObservedSample
+from repro.simulation.population import Population
+from repro.simulation.publicity import PublicityModel, UniformPublicity
+from repro.utils.exceptions import InsufficientDataError, ValidationError
+from repro.utils.rng import ensure_rng
+
+
+def integrate_draws(
+    observations: Sequence[Observation], attribute: str
+) -> ObservedSample:
+    """Integrate an arrival-ordered observation stream into an ObservedSample.
+
+    Counts are per-entity observation counts, values come from the first
+    observation of each entity (simulated sources report the ground-truth
+    value, so there is nothing to fuse), and source sizes are recovered from
+    the observations' ``source_id``.
+    """
+    if len(observations) == 0:
+        raise InsufficientDataError("cannot integrate an empty observation stream")
+    counts: dict[str, int] = defaultdict(int)
+    values: dict[str, dict[str, float]] = {}
+    per_source: dict[str, int] = defaultdict(int)
+    for obs in observations:
+        counts[obs.entity_id] += 1
+        per_source[obs.source_id] += 1
+        if obs.entity_id not in values:
+            values[obs.entity_id] = {attribute: float(obs.value(attribute))}
+    return ObservedSample(
+        dict(counts), values, source_sizes=list(per_source.values())
+    )
+
+
+@dataclass
+class SamplingRun:
+    """The outcome of one simulated integration run.
+
+    Attributes
+    ----------
+    population:
+        The ground truth that was sampled.
+    attribute:
+        The attribute carried by every observation.
+    sources:
+        The per-source draws.
+    stream:
+        All observations in arrival order (used for progressive replay).
+    """
+
+    population: Population
+    attribute: str
+    sources: list[DataSource] = field(default_factory=list)
+    stream: list[Observation] = field(default_factory=list)
+
+    @property
+    def total_observations(self) -> int:
+        """Total number of observations across all sources."""
+        return len(self.stream)
+
+    def sample(self) -> ObservedSample:
+        """The fully integrated sample over all observations."""
+        return integrate_draws(self.stream, self.attribute)
+
+    def sample_at(self, n_observations: int) -> ObservedSample:
+        """The integrated sample after the first ``n_observations`` arrivals."""
+        if n_observations < 1:
+            raise ValidationError(
+                f"n_observations must be >= 1, got {n_observations}"
+            )
+        prefix = self.stream[: min(n_observations, len(self.stream))]
+        return integrate_draws(prefix, self.attribute)
+
+    def prefix_sizes(self, step: int) -> list[int]:
+        """Evenly spaced prefix sizes ``step, 2·step, ..., total`` for replay."""
+        if step < 1:
+            raise ValidationError(f"step must be >= 1, got {step}")
+        sizes = list(range(step, self.total_observations + 1, step))
+        if not sizes or sizes[-1] != self.total_observations:
+            sizes.append(self.total_observations)
+        return sizes
+
+
+class MultiSourceSampler:
+    """Simulates ``l`` sources sampling without replacement from a population.
+
+    Parameters
+    ----------
+    population:
+        The ground truth ``D``.
+    attribute:
+        The numeric attribute each observation reports.
+    publicity:
+        The publicity model (default: uniform).
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        attribute: str,
+        publicity: PublicityModel | None = None,
+    ) -> None:
+        self.population = population
+        self.attribute = attribute
+        self.publicity = publicity or UniformPublicity()
+        # Validate the attribute once up front.
+        for entity in population:
+            entity.numeric_value(attribute)
+
+    # ------------------------------------------------------------------ #
+    # Source-level sampling
+    # ------------------------------------------------------------------ #
+
+    def draw_source(
+        self,
+        source_id: str,
+        size: int,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> DataSource:
+        """One source drawing ``size`` distinct entities (publicity-weighted)."""
+        if size < 1:
+            raise ValidationError(f"source size must be >= 1, got {size}")
+        generator = ensure_rng(rng)
+        probabilities = self.publicity.for_population(self.population)
+        draw = min(size, self.population.size)
+        indices = generator.choice(
+            self.population.size, size=draw, replace=False, p=probabilities
+        )
+        observations = []
+        for seq, index in enumerate(indices):
+            entity = self.population[int(index)]
+            observations.append(
+                Observation(
+                    entity_id=entity.entity_id,
+                    attributes={self.attribute: entity.numeric_value(self.attribute)},
+                    source_id=source_id,
+                    sequence=seq,
+                )
+            )
+        return DataSource(source_id=source_id, observations=observations)
+
+    # ------------------------------------------------------------------ #
+    # Full integration runs
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        source_sizes: Sequence[int],
+        seed: "int | np.random.Generator | None" = None,
+        arrival: str = "interleaved",
+    ) -> SamplingRun:
+        """Simulate all sources and build the arrival-ordered stream.
+
+        Parameters
+        ----------
+        source_sizes:
+            ``[n_1, ..., n_l]`` -- how many entities each source reports.
+        seed:
+            RNG seed / generator for reproducibility.
+        arrival:
+            How observations from different sources arrive over time:
+
+            * ``"interleaved"`` (default) -- observations are drawn uniformly
+              at random across sources, modelling crowd answers trickling in
+              concurrently;
+            * ``"roundrobin"`` -- one observation per source in turn;
+            * ``"sequential"`` -- source 1 finishes before source 2 starts
+              (the extreme streaker setting of Figure 7a).
+        """
+        if len(source_sizes) == 0:
+            raise ValidationError("at least one source size is required")
+        rng = ensure_rng(seed)
+        sources = [
+            self.draw_source(f"source-{j:03d}", int(size), rng)
+            for j, size in enumerate(source_sizes)
+        ]
+        stream = self._order_stream(sources, arrival, rng)
+        return SamplingRun(
+            population=self.population,
+            attribute=self.attribute,
+            sources=sources,
+            stream=stream,
+        )
+
+    @staticmethod
+    def _order_stream(
+        sources: Sequence[DataSource],
+        arrival: str,
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        if arrival == "sequential":
+            stream = [obs for source in sources for obs in source.observations]
+        elif arrival == "roundrobin":
+            stream = []
+            cursors = [list(source.observations) for source in sources]
+            while any(cursors):
+                for queue in cursors:
+                    if queue:
+                        stream.append(queue.pop(0))
+        elif arrival == "interleaved":
+            queues = [list(source.observations) for source in sources]
+            remaining = [len(q) for q in queues]
+            stream = []
+            while sum(remaining) > 0:
+                weights = np.array(remaining, dtype=float)
+                choice = int(rng.choice(len(queues), p=weights / weights.sum()))
+                stream.append(queues[choice].pop(0))
+                remaining[choice] -= 1
+        else:
+            raise ValidationError(
+                f"unknown arrival mode {arrival!r}; expected interleaved, "
+                "roundrobin or sequential"
+            )
+        # Stamp the global arrival sequence so downstream replay is explicit.
+        return [
+            Observation(
+                entity_id=obs.entity_id,
+                attributes=dict(obs.attributes),
+                source_id=obs.source_id,
+                sequence=position,
+            )
+            for position, obs in enumerate(stream)
+        ]
+
+
+def simulate_integration(
+    population: Population,
+    attribute: str,
+    n_sources: int,
+    source_size: int,
+    publicity: PublicityModel | None = None,
+    seed: "int | np.random.Generator | None" = None,
+    arrival: str = "interleaved",
+) -> SamplingRun:
+    """Convenience wrapper: ``n_sources`` equal-sized sources, one call."""
+    if n_sources < 1:
+        raise ValidationError(f"n_sources must be >= 1, got {n_sources}")
+    sampler = MultiSourceSampler(population, attribute, publicity=publicity)
+    return sampler.run([source_size] * n_sources, seed=seed, arrival=arrival)

@@ -1,0 +1,133 @@
+"""Streaker scenarios: imbalanced source contributions (Section 6.3).
+
+A *streaker* is a source that contributes far more observations than the
+others -- an overly ambitious crowd worker, or one giant partner feed.  The
+sample-with-replacement approximation underlying the Chao92-based
+estimators then breaks down and they over-estimate badly; only the
+Monte-Carlo estimator, which simulates the per-source sampling explicitly,
+stays reasonable.  This module builds the two scenarios of Figure 7(a-b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.records import Observation
+from repro.data.sources import DataSource
+from repro.simulation.population import Population
+from repro.simulation.publicity import PublicityModel, UniformPublicity
+from repro.simulation.sampler import MultiSourceSampler, SamplingRun
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+
+
+def _full_population_source(
+    population: Population,
+    attribute: str,
+    source_id: str,
+    rng: np.random.Generator,
+) -> DataSource:
+    """A source that reports every entity of the population (in random order)."""
+    order = rng.permutation(population.size)
+    observations = [
+        Observation(
+            entity_id=population[int(i)].entity_id,
+            attributes={attribute: population[int(i)].numeric_value(attribute)},
+            source_id=source_id,
+            sequence=seq,
+        )
+        for seq, i in enumerate(order)
+    ]
+    return DataSource(source_id=source_id, observations=observations)
+
+
+def successive_streakers_run(
+    population: Population,
+    attribute: str,
+    n_streakers: int = 3,
+    seed: "int | np.random.Generator | None" = None,
+) -> SamplingRun:
+    """Figure 7(a): each source successively reports the *entire* population.
+
+    Source 1 contributes all ``N`` entities, then source 2 contributes all
+    ``N`` entities, and so on -- the most extreme violation of the
+    with-replacement assumption: after the first source the sample contains
+    no unknown unknowns at all, yet every new source doubles the duplicate
+    counts.
+    """
+    if n_streakers < 1:
+        raise ValidationError(f"n_streakers must be >= 1, got {n_streakers}")
+    rng = ensure_rng(seed)
+    sources = [
+        _full_population_source(population, attribute, f"streaker-{j:02d}", rng)
+        for j in range(n_streakers)
+    ]
+    stream = [obs for source in sources for obs in source.observations]
+    stream = [
+        Observation(
+            entity_id=obs.entity_id,
+            attributes=dict(obs.attributes),
+            source_id=obs.source_id,
+            sequence=position,
+        )
+        for position, obs in enumerate(stream)
+    ]
+    return SamplingRun(
+        population=population, attribute=attribute, sources=sources, stream=stream
+    )
+
+
+def inject_streaker_run(
+    population: Population,
+    attribute: str,
+    n_normal_sources: int = 20,
+    normal_source_size: int = 8,
+    inject_at: int = 160,
+    publicity: PublicityModel | None = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> SamplingRun:
+    """Figure 7(b): normal crowd answers, then one streaker dumps everything.
+
+    The first ``inject_at`` observations come from ``n_normal_sources``
+    ordinary sources; afterwards a single streaker source contributes every
+    entity of the population in one burst.
+
+    Parameters
+    ----------
+    inject_at:
+        Stream position at which the streaker starts contributing.
+    """
+    if inject_at < 1:
+        raise ValidationError(f"inject_at must be >= 1, got {inject_at}")
+    rng = ensure_rng(seed)
+    sampler = MultiSourceSampler(
+        population, attribute, publicity=publicity or UniformPublicity()
+    )
+    normal_run = sampler.run(
+        [normal_source_size] * n_normal_sources, seed=rng, arrival="interleaved"
+    )
+    normal_stream = normal_run.stream[:inject_at]
+    streaker = _full_population_source(population, attribute, "streaker-00", rng)
+
+    stream = list(normal_stream) + list(streaker.observations)
+    stream = [
+        Observation(
+            entity_id=obs.entity_id,
+            attributes=dict(obs.attributes),
+            source_id=obs.source_id,
+            sequence=position,
+        )
+        for position, obs in enumerate(stream)
+    ]
+    # Rebuild the per-source view consistent with the truncated normal stream.
+    kept_by_source: dict[str, list[Observation]] = {}
+    for obs in normal_stream:
+        kept_by_source.setdefault(obs.source_id, []).append(obs)
+    sources = [
+        DataSource(source_id=source_id, observations=observations)
+        for source_id, observations in kept_by_source.items()
+    ]
+    sources.append(streaker)
+    return SamplingRun(
+        population=population, attribute=attribute, sources=sources, stream=stream
+    )

@@ -1,0 +1,46 @@
+"""Shared utilities: RNG handling, numeric helpers, validation, exceptions.
+
+These helpers are intentionally small and dependency-free (numpy/scipy only)
+so that every other subpackage can rely on them without import cycles.
+"""
+
+from repro.utils.exceptions import (
+    ReproError,
+    EstimationError,
+    InsufficientDataError,
+    QueryError,
+    ValidationError,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.stats import (
+    coefficient_of_variation,
+    kl_divergence,
+    normalize_distribution,
+    smooth_distribution,
+    weighted_mean,
+)
+from repro.utils.validation import (
+    require_positive,
+    require_non_negative,
+    require_in_range,
+    require_non_empty,
+)
+
+__all__ = [
+    "ReproError",
+    "EstimationError",
+    "InsufficientDataError",
+    "QueryError",
+    "ValidationError",
+    "ensure_rng",
+    "spawn_rngs",
+    "coefficient_of_variation",
+    "kl_divergence",
+    "normalize_distribution",
+    "smooth_distribution",
+    "weighted_mean",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_non_empty",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-specific exceptions derive from :class:`ReproError` so that a
+caller can catch everything raised intentionally by the library with a single
+``except ReproError`` clause while still letting genuine programming errors
+(``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, empty collection, ...)."""
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce an estimate.
+
+    Raised for structural problems (e.g. an attribute that does not exist in
+    the sample).  Situations that are merely *statistically* degenerate --
+    such as all observed items being singletons -- are reported through the
+    estimate itself (``float('inf')`` or a fallback to the observed value)
+    rather than through exceptions, mirroring how the paper's estimators keep
+    producing output as answers stream in.
+    """
+
+
+class InsufficientDataError(EstimationError):
+    """There is not enough data to compute anything meaningful.
+
+    For example an empty sample, or a sample with zero total observations.
+    """
+
+
+class QueryError(ReproError):
+    """A SQL-subset query could not be parsed or executed."""

@@ -1,0 +1,97 @@
+"""Small statistical helpers shared by the estimators and the simulator."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import ValidationError
+
+
+def normalize_distribution(weights: Sequence[float]) -> np.ndarray:
+    """Normalise non-negative weights into a probability distribution.
+
+    Raises
+    ------
+    ValidationError
+        If the weights are empty, contain negative entries, or sum to zero.
+    """
+    arr = np.asarray(weights, dtype=float)
+    if arr.size == 0:
+        raise ValidationError("cannot normalise an empty weight vector")
+    if np.any(arr < 0):
+        raise ValidationError("weights must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        raise ValidationError("weights must not all be zero")
+    return arr / total
+
+
+def smooth_distribution(probabilities: Sequence[float], epsilon: float = 1e-10) -> np.ndarray:
+    """Replace zero probabilities with ``epsilon`` and renormalise.
+
+    The Monte-Carlo estimator compares observed and simulated frequency
+    statistics with the KL divergence, which is undefined whenever the
+    observed distribution assigns zero mass to an index the simulation
+    expects (the paper's ``smooth`` step in Algorithm 2).
+    """
+    arr = np.asarray(probabilities, dtype=float)
+    if arr.size == 0:
+        raise ValidationError("cannot smooth an empty distribution")
+    if epsilon <= 0:
+        raise ValidationError(f"epsilon must be positive, got {epsilon}")
+    smoothed = np.where(arr <= 0, epsilon, arr)
+    return smoothed / smoothed.sum()
+
+
+def kl_divergence(p: Sequence[float], q: Sequence[float]) -> float:
+    """Discrete Kullback-Leibler divergence ``KL(p || q)``.
+
+    Both inputs must have the same length.  Entries of ``q`` that are zero
+    where ``p`` is positive yield ``inf``; zero entries of ``p`` contribute
+    zero regardless of ``q`` (the usual 0·log(0/x) = 0 convention).
+    """
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape:
+        raise ValidationError(
+            f"distributions must have equal length, got {p_arr.shape} and {q_arr.shape}"
+        )
+    if p_arr.size == 0:
+        raise ValidationError("cannot compute KL divergence of empty distributions")
+    mask = p_arr > 0
+    if np.any(q_arr[mask] <= 0):
+        return float("inf")
+    return float(np.sum(p_arr[mask] * np.log(p_arr[mask] / q_arr[mask])))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Coefficient of variation (population std / mean) of ``values``.
+
+    Returns 0.0 for a single value.  Raises for an empty input or a zero
+    mean (the ratio would be undefined).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValidationError("cannot compute CV of an empty sequence")
+    mean = arr.mean()
+    if mean == 0:
+        raise ValidationError("coefficient of variation is undefined for zero mean")
+    return float(arr.std() / mean)
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean with validation."""
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.shape != w.shape:
+        raise ValidationError("values and weights must have the same length")
+    if v.size == 0:
+        raise ValidationError("cannot average an empty sequence")
+    if np.any(w < 0):
+        raise ValidationError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValidationError("weights must not all be zero")
+    return float(np.dot(v, w) / total)

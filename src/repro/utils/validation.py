@@ -1,0 +1,35 @@
+"""Argument validation helpers used across the public API."""
+
+from __future__ import annotations
+
+from collections.abc import Sized
+
+from repro.utils.exceptions import ValidationError
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, otherwise raise ValidationError."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, otherwise raise ValidationError."""
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return ``value`` if ``low <= value <= high``, otherwise raise."""
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def require_non_empty(collection: Sized, name: str) -> Sized:
+    """Return ``collection`` if non-empty, otherwise raise ValidationError."""
+    if len(collection) == 0:
+        raise ValidationError(f"{name} must not be empty")
+    return collection

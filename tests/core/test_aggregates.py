@@ -1,0 +1,149 @@
+"""Tests for COUNT / AVG / MIN / MAX estimation (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import (
+    estimate_avg,
+    estimate_count,
+    estimate_max,
+    estimate_min,
+    estimate_sum,
+)
+from repro.core.bucket import BucketEstimator
+from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
+from repro.core.naive import NaiveEstimator
+from repro.data.sample import ObservedSample
+from repro.simulation.population import linear_value_population
+from repro.simulation.publicity import ExponentialPublicity, correlate_values_with_publicity
+from repro.simulation.sampler import MultiSourceSampler
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def correlated_run():
+    """A skewed, correlated run where the small-value tail is under-observed."""
+    population = linear_value_population(size=80)
+    population = correlate_values_with_publicity(population, "value", 1.0, seed=3)
+    sampler = MultiSourceSampler(
+        population, "value", publicity=ExponentialPublicity(3.0)
+    )
+    return sampler.run([25] * 12, seed=3)
+
+
+class TestEstimateSum:
+    def test_default_uses_bucket(self, simple_sample):
+        estimate = estimate_sum(simple_sample, "value")
+        assert estimate.estimator.startswith("bucket")
+
+    def test_custom_estimator(self, simple_sample):
+        estimate = estimate_sum(simple_sample, "value", estimator=NaiveEstimator())
+        assert estimate.estimator == "naive"
+
+
+class TestEstimateCount:
+    def test_chao92_default(self, simple_sample):
+        result = estimate_count(simple_sample)
+        assert result.aggregate == "count"
+        assert result.observed == simple_sample.c
+        assert result.corrected >= result.observed
+
+    def test_monte_carlo_method(self, synthetic_run):
+        sample = synthetic_run.sample()
+        result = estimate_count(
+            sample,
+            method="monte-carlo",
+            monte_carlo=MonteCarloEstimator(
+                config=MonteCarloConfig(n_runs=2, n_count_steps=4), seed=0
+            ),
+        )
+        assert result.corrected >= sample.c - 1e-9
+        assert result.details["method"] == "monte-carlo"
+
+    def test_unknown_method_rejected(self, simple_sample):
+        with pytest.raises(ValidationError):
+            estimate_count(simple_sample, method="magic")
+
+    def test_count_close_to_truth_on_synthetic(self, synthetic_run):
+        sample = synthetic_run.sample()
+        result = estimate_count(sample)
+        truth = synthetic_run.population.size
+        assert abs(result.corrected - truth) / truth < 0.25
+
+
+class TestEstimateAvg:
+    def test_delta_property(self, simple_sample):
+        result = estimate_avg(simple_sample, "value")
+        assert result.delta == pytest.approx(result.corrected - result.observed)
+
+    def test_corrects_publicity_bias(self, correlated_run):
+        # Popular entities have big values, so the observed mean over-states
+        # the true mean; the bucket-weighted mean should move toward truth.
+        sample = correlated_run.sample()
+        truth = correlated_run.population.true_avg("value")
+        result = estimate_avg(sample, "value")
+        observed_error = abs(result.observed - truth)
+        corrected_error = abs(result.corrected - truth)
+        assert corrected_error <= observed_error + 1e-9
+
+    def test_uniform_sample_unchanged(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", 10.0, 3), ("b", 20.0, 3), ("c", 30.0, 3)], attribute="v"
+        )
+        result = estimate_avg(sample, "v")
+        assert result.corrected == pytest.approx(result.observed, rel=0.05)
+
+    def test_details_report_buckets(self, simple_sample):
+        result = estimate_avg(simple_sample, "value")
+        assert result.details["n_buckets"] >= 1
+
+
+class TestEstimateMinMax:
+    def test_max_trusted_when_top_bucket_complete(self, correlated_run):
+        # The most popular (and largest-value) entities are observed many
+        # times, so the top bucket has no estimated unknowns.
+        sample = correlated_run.sample()
+        result = estimate_max(sample, "value")
+        assert result.aggregate == "max"
+        assert result.trusted
+        assert result.reported == pytest.approx(sample.max("value"))
+
+    def test_min_not_trusted_when_tail_incomplete(self, correlated_run):
+        # The small-value tail is under-observed in this workload, so the
+        # observed minimum should not be trusted early on.
+        partial = correlated_run.sample_at(60)
+        result = estimate_min(partial, "value")
+        truth_min = correlated_run.population.true_min("value")
+        if partial.min("value") > truth_min:
+            assert not result.trusted or result.boundary_bucket_missing <= 0.5
+
+    def test_reported_none_when_untrusted(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", 10.0, 1), ("b", 20.0, 1), ("c", 500.0, 4), ("d", 510.0, 5)],
+            attribute="v",
+        )
+        result = estimate_min(sample, "v")
+        if not result.trusted:
+            assert result.reported is None
+
+    def test_trust_everything_observed_many_times(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", 10.0, 6), ("b", 20.0, 7), ("c", 30.0, 8)], attribute="v"
+        )
+        assert estimate_min(sample, "v").trusted
+        assert estimate_max(sample, "v").trusted
+
+    def test_custom_bucket_estimator_accepted(self, simple_sample):
+        result = estimate_max(
+            simple_sample, "value", bucket_estimator=BucketEstimator()
+        )
+        assert result.aggregate == "max"
+
+    def test_missing_tolerance_effect(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", 10.0, 2), ("b", 20.0, 1), ("c", 30.0, 5)], attribute="v"
+        )
+        strict = estimate_min(sample, "v", missing_tolerance=0.0)
+        lax = estimate_min(sample, "v", missing_tolerance=10.0)
+        assert lax.trusted or not strict.trusted

@@ -1,0 +1,95 @@
+"""Tests for the SUM estimation upper bound (Section 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import good_turing_missing_mass_bound, sum_upper_bound
+from repro.core.fstatistics import FrequencyStatistics
+from repro.data.sample import ObservedSample
+from repro.simulation.population import linear_value_population
+from repro.simulation.sampler import MultiSourceSampler
+from repro.utils.exceptions import ValidationError
+
+
+class TestMissingMassBound:
+    def test_decreases_with_sample_size(self):
+        small = FrequencyStatistics({1: 5, 2: 5})       # n = 15
+        large = FrequencyStatistics({1: 5, 2: 50})      # n = 105
+        assert good_turing_missing_mass_bound(large) < good_turing_missing_mass_bound(small)
+
+    def test_at_least_singleton_ratio(self):
+        stats = FrequencyStatistics({1: 10, 2: 20})
+        assert good_turing_missing_mass_bound(stats) >= stats.singleton_ratio()
+
+    def test_tighter_with_larger_epsilon(self):
+        stats = FrequencyStatistics({1: 5, 2: 50})
+        assert good_turing_missing_mass_bound(stats, epsilon=0.1) < (
+            good_turing_missing_mass_bound(stats, epsilon=0.001)
+        )
+
+    def test_invalid_epsilon(self):
+        stats = FrequencyStatistics({1: 1})
+        for epsilon in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValidationError):
+                good_turing_missing_mass_bound(stats, epsilon=epsilon)
+
+    def test_accepts_sample(self, simple_sample):
+        direct = good_turing_missing_mass_bound(simple_sample)
+        via_stats = good_turing_missing_mass_bound(
+            FrequencyStatistics.from_sample(simple_sample)
+        )
+        assert direct == pytest.approx(via_stats)
+
+
+class TestSumUpperBound:
+    def test_small_sample_bound_is_infinite(self, simple_sample):
+        # n = 7: the missing-mass bound exceeds 1, so the bound is infinite.
+        bound = sum_upper_bound(simple_sample, "value")
+        assert math.isinf(bound.bound)
+        assert not bound.is_finite
+
+    def test_large_sample_bound_is_finite_and_above_truth(self):
+        population = linear_value_population(size=100)
+        sampler = MultiSourceSampler(population, "value")
+        run = sampler.run([40] * 20, seed=1)  # n = 800
+        sample = run.sample()
+        bound = sum_upper_bound(sample, "value")
+        assert bound.is_finite
+        assert bound.bound >= population.true_sum("value")
+        assert bound.bound >= bound.observed
+
+    def test_bound_tightens_with_more_data(self):
+        population = linear_value_population(size=100)
+        sampler = MultiSourceSampler(population, "value")
+        run = sampler.run([40] * 30, seed=2)
+        small = sum_upper_bound(run.sample_at(700), "value")
+        large = sum_upper_bound(run.sample_at(1200), "value")
+        assert large.bound <= small.bound
+
+    def test_mean_bound_uses_z(self):
+        population = linear_value_population(size=100)
+        run = MultiSourceSampler(population, "value").run([40] * 20, seed=1)
+        sample = run.sample()
+        narrow = sum_upper_bound(sample, "value", z=1.0)
+        wide = sum_upper_bound(sample, "value", z=3.0)
+        assert wide.mean_bound > narrow.mean_bound
+        assert wide.bound >= narrow.bound
+
+    def test_negative_z_rejected(self, simple_sample):
+        with pytest.raises(ValidationError):
+            sum_upper_bound(simple_sample, "value", z=-1.0)
+
+    def test_slack_nonnegative_when_finite(self):
+        population = linear_value_population(size=100)
+        run = MultiSourceSampler(population, "value").run([40] * 20, seed=1)
+        bound = sum_upper_bound(run.sample(), "value")
+        assert bound.slack >= 0
+
+    def test_components_reported(self, simple_sample):
+        bound = sum_upper_bound(simple_sample, "value", epsilon=0.05, z=2.0)
+        assert bound.epsilon == 0.05
+        assert bound.z == 2.0
+        assert bound.observed == pytest.approx(simple_sample.sum("value"))

@@ -1,0 +1,124 @@
+"""Tests for repro.core.fstatistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fstatistics import FrequencyStatistics
+from repro.utils.exceptions import InsufficientDataError, ValidationError
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        stats = FrequencyStatistics({1: 2, 2: 1})
+        assert stats.n == 4
+        assert stats.c == 3
+
+    def test_zero_entries_dropped(self):
+        stats = FrequencyStatistics({1: 2, 2: 0, 3: 1})
+        assert stats.frequencies == {1: 2, 3: 1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            FrequencyStatistics({})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            FrequencyStatistics({1: 0})
+
+    def test_invalid_occurrence_rejected(self):
+        with pytest.raises(ValidationError):
+            FrequencyStatistics({0: 3})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            FrequencyStatistics({1: -1})
+
+    def test_from_counts(self):
+        stats = FrequencyStatistics.from_counts([1, 1, 2, 3, 3, 3])
+        assert stats.frequencies == {1: 2, 2: 1, 3: 3}
+
+    def test_from_counts_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            FrequencyStatistics.from_counts([])
+
+    def test_from_counts_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            FrequencyStatistics.from_counts([0, 1])
+
+    def test_from_sample(self, simple_sample):
+        stats = FrequencyStatistics.from_sample(simple_sample)
+        assert stats.frequencies == {1: 2, 2: 1, 3: 1}
+
+
+class TestDerivedQuantities:
+    def test_singletons_and_doubletons(self):
+        stats = FrequencyStatistics({1: 5, 2: 3, 4: 1})
+        assert stats.singletons == 5
+        assert stats.doubletons == 3
+
+    def test_n_and_c(self):
+        stats = FrequencyStatistics({1: 5, 2: 3, 4: 1})
+        assert stats.n == 5 + 6 + 4
+        assert stats.c == 9
+
+    def test_sample_coverage(self):
+        stats = FrequencyStatistics({1: 2, 2: 4})  # n = 10
+        assert stats.sample_coverage() == pytest.approx(0.8)
+
+    def test_sample_coverage_all_singletons_is_zero(self):
+        stats = FrequencyStatistics({1: 5})
+        assert stats.sample_coverage() == pytest.approx(0.0)
+
+    def test_cv_squared_uniformish_sample_is_zero(self):
+        # Every entity seen exactly twice: no dispersion signal.
+        stats = FrequencyStatistics({2: 10})
+        assert stats.cv_squared() == pytest.approx(0.0)
+
+    def test_cv_squared_toy_example_value(self, toy_sample_four_sources):
+        # The paper's toy example reports gamma^2 = 0.1667 before adding s5.
+        stats = FrequencyStatistics.from_sample(toy_sample_four_sources)
+        assert stats.cv_squared() == pytest.approx(1.0 / 6.0, rel=1e-6)
+
+    def test_cv_squared_toy_example_after_fifth_source(self, toy_sample_five_sources):
+        stats = FrequencyStatistics.from_sample(toy_sample_five_sources)
+        assert stats.cv_squared() == pytest.approx(0.0)
+
+    def test_cv_squared_never_negative(self):
+        for freqs in ({1: 1, 2: 5}, {3: 4}, {1: 1}, {2: 2, 5: 1}):
+            assert FrequencyStatistics(freqs).cv_squared() >= 0.0
+
+    def test_singleton_ratio(self):
+        stats = FrequencyStatistics({1: 3, 3: 1})  # n = 6
+        assert stats.singleton_ratio() == pytest.approx(0.5)
+
+    def test_max_occurrences(self):
+        stats = FrequencyStatistics({1: 1, 7: 2})
+        assert stats.max_occurrences == 7
+
+
+class TestHistogram:
+    def test_dense_histogram(self):
+        stats = FrequencyStatistics({1: 2, 3: 1})
+        assert np.array_equal(stats.as_histogram(), np.array([2.0, 0.0, 1.0]))
+
+    def test_padded_histogram(self):
+        stats = FrequencyStatistics({1: 2})
+        assert np.array_equal(stats.as_histogram(4), np.array([2.0, 0.0, 0.0, 0.0]))
+
+    def test_too_short_length_rejected(self):
+        stats = FrequencyStatistics({5: 1})
+        with pytest.raises(ValidationError):
+            stats.as_histogram(3)
+
+
+class TestEquality:
+    def test_equal(self):
+        assert FrequencyStatistics({1: 2, 2: 1}) == FrequencyStatistics({2: 1, 1: 2})
+
+    def test_not_equal(self):
+        assert FrequencyStatistics({1: 2}) != FrequencyStatistics({1: 3})
+
+    def test_not_equal_to_other_type(self):
+        assert FrequencyStatistics({1: 2}) != {"1": 2}

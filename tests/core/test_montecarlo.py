@@ -1,0 +1,134 @@
+"""Tests for the Monte-Carlo estimator (Section 3.4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import (
+    MonteCarloConfig,
+    MonteCarloEstimator,
+    exponential_publicity,
+)
+from repro.data.sample import ObservedSample
+from repro.simulation.population import linear_value_population
+from repro.simulation.sampler import MultiSourceSampler
+from repro.simulation.streaker import successive_streakers_run
+from repro.utils.exceptions import EstimationError, ValidationError
+
+
+def _fast_mc(seed: int = 0) -> MonteCarloEstimator:
+    return MonteCarloEstimator(
+        config=MonteCarloConfig(n_runs=2, n_count_steps=5), seed=seed
+    )
+
+
+class TestMonteCarloConfig:
+    def test_defaults_valid(self):
+        config = MonteCarloConfig()
+        assert config.n_runs >= 1
+        assert len(config.lambda_grid) > 1
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValidationError):
+            MonteCarloConfig(n_runs=0)
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValidationError):
+            MonteCarloConfig(n_count_steps=0)
+
+    def test_empty_lambda_grid(self):
+        with pytest.raises(ValidationError):
+            MonteCarloConfig(lambda_grid=())
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValidationError):
+            MonteCarloConfig(smoothing_epsilon=0.0)
+
+
+class TestExponentialPublicity:
+    def test_uniform_for_zero_skew(self):
+        p = exponential_publicity(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_sums_to_one(self):
+        assert exponential_publicity(50, 3.0).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing_for_positive_skew(self):
+        p = exponential_publicity(20, 2.0)
+        assert all(p[i] >= p[i + 1] for i in range(len(p) - 1))
+
+    def test_negative_skew_reverses(self):
+        p = exponential_publicity(20, -2.0)
+        assert p[0] < p[-1]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            exponential_publicity(0, 1.0)
+
+
+class TestMonteCarloEstimator:
+    def test_deterministic_with_seed(self, synthetic_run):
+        sample = synthetic_run.sample()
+        a = _fast_mc(seed=1).estimate(sample, "value").corrected
+        b = _fast_mc(seed=1).estimate(sample, "value").corrected
+        assert a == pytest.approx(b)
+
+    def test_count_estimate_between_c_and_chao92(self, synthetic_run):
+        sample = synthetic_run.sample()
+        estimate = _fast_mc().estimate(sample, "value")
+        assert estimate.count_estimate >= sample.c - 1e-9
+        assert math.isfinite(estimate.count_estimate)
+
+    def test_population_size_close_to_truth_under_uniform_publicity(self):
+        population = linear_value_population(size=50)
+        sampler = MultiSourceSampler(population, "value")
+        run = sampler.run([15] * 12, seed=3)
+        sample = run.sample()
+        n_mc, _ = _fast_mc().estimate_population_size(sample)
+        assert 40 <= n_mc <= 75
+
+    def test_robust_to_streakers(self):
+        # With successive full-population streakers the Chao92-based count
+        # explodes while the MC estimate stays near the observed uniques.
+        population = linear_value_population(size=40)
+        run = successive_streakers_run(population, "value", n_streakers=3, seed=0)
+        sample = run.sample()
+        estimate = _fast_mc().estimate(sample, "value")
+        assert estimate.count_estimate <= 1.5 * sample.c
+
+    def test_diagnostics_present(self, synthetic_run):
+        sample = synthetic_run.sample()
+        _, diagnostics = _fast_mc().estimate_population_size(sample)
+        assert "count_grid" in diagnostics
+        assert "lambda_grid" in diagnostics
+        assert "fitted_count" in diagnostics
+        assert len(diagnostics["kl_divergences"]) == len(diagnostics["count_grid"])
+
+    def test_missing_attribute_raises(self, synthetic_run):
+        sample = synthetic_run.sample()
+        with pytest.raises(EstimationError):
+            _fast_mc().estimate(sample, "missing")
+
+    def test_degenerate_all_singleton_sample_still_finite(self):
+        sample = ObservedSample.from_entity_values(
+            [(f"e{i}", float(i + 1), 1) for i in range(10)],
+            attribute="v",
+            source_sizes=[5, 5],
+        )
+        estimate = _fast_mc().estimate(sample, "v")
+        assert math.isfinite(estimate.corrected)
+
+    def test_delta_never_negative(self, synthetic_run):
+        sample = synthetic_run.sample()
+        estimate = _fast_mc().estimate(sample, "value")
+        assert estimate.delta >= 0.0
+
+    def test_grid_minimum_fallback(self):
+        counts = [10, 20]
+        lambdas = [0.0, 1.0]
+        divergences = np.array([[1.0, 0.5], [2.0, np.inf]])
+        n, lam = MonteCarloEstimator._grid_minimum(counts, lambdas, divergences)
+        assert (n, lam) == (10.0, 1.0)

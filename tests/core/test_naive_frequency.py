@@ -1,0 +1,157 @@
+"""Tests for the naive (3.1) and frequency (3.2) estimators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.estimator import Estimate
+from repro.core.frequency import FrequencyEstimator
+from repro.core.naive import NaiveEstimator
+from repro.data.sample import ObservedSample
+from repro.utils.exceptions import EstimationError
+
+
+class TestNaiveEstimator:
+    def test_returns_estimate_type(self, simple_sample):
+        result = NaiveEstimator().estimate(simple_sample, "value")
+        assert isinstance(result, Estimate)
+        assert result.estimator == "naive"
+
+    def test_observed_matches_sample_sum(self, simple_sample):
+        result = NaiveEstimator().estimate(simple_sample, "value")
+        assert result.observed == pytest.approx(simple_sample.sum("value"))
+
+    def test_corrected_is_observed_plus_delta(self, simple_sample):
+        result = NaiveEstimator().estimate(simple_sample, "value")
+        assert result.corrected == pytest.approx(result.observed + result.delta)
+
+    def test_delta_formula_closed_form(self, toy_sample_four_sources):
+        # Equation 8 on the toy example: 13000 * 1 * (3 + (1/6)*7) / (3 * 6).
+        result = NaiveEstimator().estimate(toy_sample_four_sources, "employees")
+        expected_delta = 13000 * 1 * (3 + (1 / 6) * 7) / (3 * (7 - 1))
+        assert result.delta == pytest.approx(expected_delta)
+
+    def test_value_estimate_is_observed_mean(self, simple_sample):
+        result = NaiveEstimator().estimate(simple_sample, "value")
+        assert result.value_estimate == pytest.approx(simple_sample.mean("value"))
+
+    def test_complete_sample_zero_delta(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", 10.0, 3), ("b", 20.0, 4)], attribute="v"
+        )
+        result = NaiveEstimator().estimate(sample, "v")
+        assert result.delta == pytest.approx(0.0)
+        assert result.corrected == pytest.approx(result.observed)
+
+    def test_all_singletons_diverges(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", 10.0, 1), ("b", 20.0, 1)], attribute="v"
+        )
+        result = NaiveEstimator().estimate(sample, "v")
+        assert math.isinf(result.delta)
+        assert not result.reliable
+
+    def test_negative_values_diverge_negative(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", -10.0, 1), ("b", -20.0, 1)], attribute="v"
+        )
+        result = NaiveEstimator().estimate(sample, "v")
+        assert result.delta == float("-inf")
+
+    def test_missing_attribute_raises(self, simple_sample):
+        with pytest.raises(EstimationError):
+            NaiveEstimator().estimate(simple_sample, "no_such_attribute")
+
+    def test_missing_count_never_negative(self, simple_sample):
+        result = NaiveEstimator().estimate(simple_sample, "value")
+        assert result.missing_count >= 0
+
+
+class TestFrequencyEstimator:
+    def test_name(self):
+        assert FrequencyEstimator().name == "frequency"
+        assert FrequencyEstimator(assume_uniform=True).name == "frequency-uniform"
+
+    def test_delta_formula_closed_form(self, toy_sample_four_sources):
+        # Equation 9 on the toy example: 1000 * (3 + (1/6)*7) / (7 - 1).
+        result = FrequencyEstimator().estimate(toy_sample_four_sources, "employees")
+        expected_delta = 1000 * (3 + (1 / 6) * 7) / 6
+        assert result.delta == pytest.approx(expected_delta)
+
+    def test_value_estimate_is_singleton_mean(self, simple_sample):
+        result = FrequencyEstimator().estimate(simple_sample, "value")
+        assert result.value_estimate == pytest.approx(35.0)  # (30 + 40) / 2
+
+    def test_no_singletons_zero_delta(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", 10.0, 2), ("b", 1000.0, 5)], attribute="v"
+        )
+        result = FrequencyEstimator().estimate(sample, "v")
+        assert result.delta == pytest.approx(0.0)
+        assert result.count_estimate == pytest.approx(sample.c)
+
+    def test_all_singletons_diverges(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", 10.0, 1), ("b", 20.0, 1)], attribute="v"
+        )
+        result = FrequencyEstimator().estimate(sample, "v")
+        assert math.isinf(result.delta)
+
+    def test_uniform_variant_ignores_skew(self, toy_sample_four_sources):
+        # With gamma^2 forced to zero the delta shrinks (Equation 10).
+        with_skew = FrequencyEstimator().estimate(toy_sample_four_sources, "employees")
+        uniform = FrequencyEstimator(assume_uniform=True).estimate(
+            toy_sample_four_sources, "employees"
+        )
+        assert uniform.delta < with_skew.delta
+        assert uniform.delta == pytest.approx(1000 * 3 / 6)
+
+    def test_robust_to_popular_high_value_entity(self):
+        # A huge, frequently observed entity inflates the naive estimate but
+        # not the frequency estimate (the motivating "Google effect").
+        sample = ObservedSample.from_entity_values(
+            [
+                ("giant", 100000.0, 6),
+                ("mid", 500.0, 2),
+                ("small-1", 50.0, 1),
+                ("small-2", 70.0, 1),
+            ],
+            attribute="v",
+        )
+        naive = NaiveEstimator().estimate(sample, "v")
+        freq = FrequencyEstimator().estimate(sample, "v")
+        assert freq.delta < naive.delta
+
+    def test_missing_attribute_raises(self, simple_sample):
+        with pytest.raises(EstimationError):
+            FrequencyEstimator().estimate(simple_sample, "no_such_attribute")
+
+
+class TestEstimateProperties:
+    def test_reliable_requires_coverage(self):
+        # High-coverage sample -> reliable; all-singleton sample -> not.
+        good = ObservedSample.from_entity_values(
+            [("a", 1.0, 5), ("b", 2.0, 5)], attribute="v"
+        )
+        bad = ObservedSample.from_entity_values(
+            [("a", 1.0, 1), ("b", 2.0, 1)], attribute="v"
+        )
+        assert NaiveEstimator().estimate(good, "v").reliable
+        assert not NaiveEstimator().estimate(bad, "v").reliable
+
+    def test_relative_error(self, simple_sample):
+        result = NaiveEstimator().estimate(simple_sample, "value")
+        assert result.relative_error(result.corrected) == pytest.approx(0.0)
+
+    def test_relative_error_zero_truth_raises(self, simple_sample):
+        result = NaiveEstimator().estimate(simple_sample, "value")
+        with pytest.raises(EstimationError):
+            result.relative_error(0.0)
+
+    def test_is_finite_flag(self):
+        bad = ObservedSample.from_entity_values(
+            [("a", 1.0, 1), ("b", 2.0, 1)], attribute="v"
+        )
+        assert not NaiveEstimator().estimate(bad, "v").is_finite

@@ -1,0 +1,58 @@
+"""Tests for the estimator registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bucket import BucketEstimator
+from repro.core.estimator import SumEstimator
+from repro.core.frequency import FrequencyEstimator
+from repro.core.montecarlo import MonteCarloEstimator
+from repro.core.naive import NaiveEstimator
+from repro.core.registry import available_estimators, make_estimator
+from repro.utils.exceptions import ValidationError
+
+
+class TestRegistry:
+    def test_available_estimators_non_empty(self):
+        names = available_estimators()
+        assert "naive" in names
+        assert "frequency" in names
+        assert "bucket" in names
+        assert "monte-carlo" in names
+
+    def test_make_naive(self):
+        assert isinstance(make_estimator("naive"), NaiveEstimator)
+
+    def test_make_frequency(self):
+        assert isinstance(make_estimator("frequency"), FrequencyEstimator)
+
+    def test_make_bucket(self):
+        assert isinstance(make_estimator("bucket"), BucketEstimator)
+
+    def test_make_monte_carlo(self):
+        assert isinstance(make_estimator("monte-carlo"), MonteCarloEstimator)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert isinstance(make_estimator("  Naive "), NaiveEstimator)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_estimator("not-an-estimator")
+
+    def test_equiwidth_accepts_bucket_count(self):
+        estimator = make_estimator("bucket-equiwidth", n_buckets=7)
+        assert estimator.strategy.n_buckets == 7
+
+    def test_monte_carlo_accepts_seed(self):
+        estimator = make_estimator("monte-carlo", seed=5)
+        assert isinstance(estimator, MonteCarloEstimator)
+
+    def test_every_registered_name_constructs(self, simple_sample):
+        for name in available_estimators():
+            estimator = make_estimator(name)
+            assert isinstance(estimator, SumEstimator)
+
+    def test_frequency_uniform_variant(self):
+        estimator = make_estimator("frequency-uniform")
+        assert estimator.assume_uniform is True

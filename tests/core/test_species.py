@@ -1,0 +1,136 @@
+"""Tests for repro.core.species (Chao92, Chao84, Jackknife, ACE, coverage)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.fstatistics import FrequencyStatistics
+from repro.core.species import (
+    ace_estimate,
+    chao84_estimate,
+    chao92_estimate,
+    good_turing_coverage,
+    jackknife_estimate,
+)
+from repro.utils.exceptions import ValidationError
+
+
+class TestChao92:
+    def test_complete_sample_estimates_c(self):
+        # No singletons: coverage = 1, N-hat = c.
+        stats = FrequencyStatistics({2: 10})
+        estimate = chao92_estimate(stats)
+        assert estimate.n_hat == pytest.approx(10.0)
+
+    def test_toy_example_before_split(self, toy_sample_four_sources):
+        # n=7, c=3, f1=1, gamma^2=1/6: N = c/C + n(1-C)/C * g2
+        estimate = chao92_estimate(toy_sample_four_sources)
+        coverage = 1 - 1 / 7
+        expected = 3 / coverage + 7 * (1 - coverage) / coverage * (1 / 6)
+        assert estimate.n_hat == pytest.approx(expected)
+
+    def test_all_singletons_is_infinite(self):
+        stats = FrequencyStatistics({1: 10})
+        assert math.isinf(chao92_estimate(stats).n_hat)
+
+    def test_estimate_at_least_observed(self):
+        for freqs in ({1: 3, 2: 5}, {1: 1, 2: 1, 3: 1}, {2: 7, 5: 2}):
+            stats = FrequencyStatistics(freqs)
+            assert chao92_estimate(stats).n_hat >= stats.c - 1e-9
+
+    def test_accepts_sample_directly(self, simple_sample):
+        direct = chao92_estimate(simple_sample)
+        via_stats = chao92_estimate(FrequencyStatistics.from_sample(simple_sample))
+        assert direct.n_hat == pytest.approx(via_stats.n_hat)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValidationError):
+            chao92_estimate({1: 2})
+
+    def test_more_duplicates_lower_estimate(self):
+        sparse = FrequencyStatistics({1: 8, 2: 2})
+        dense = FrequencyStatistics({1: 2, 4: 8})
+        assert chao92_estimate(dense).n_hat < chao92_estimate(sparse).n_hat
+
+
+class TestGoodTuringCoverage:
+    def test_known_value(self):
+        stats = FrequencyStatistics({1: 2, 2: 4})
+        assert good_turing_coverage(stats) == pytest.approx(0.8)
+
+    def test_zero_for_all_singletons(self):
+        assert good_turing_coverage(FrequencyStatistics({1: 7})) == pytest.approx(0.0)
+
+    def test_one_for_no_singletons(self):
+        assert good_turing_coverage(FrequencyStatistics({3: 7})) == pytest.approx(1.0)
+
+
+class TestChao84:
+    def test_with_doubletons(self):
+        stats = FrequencyStatistics({1: 4, 2: 2, 3: 1})
+        # c=7, f1=4, f2=2 -> 7 + 16/4 = 11
+        assert chao84_estimate(stats).n_hat == pytest.approx(11.0)
+
+    def test_without_doubletons_stays_finite(self):
+        stats = FrequencyStatistics({1: 4, 3: 1})
+        estimate = chao84_estimate(stats)
+        assert math.isfinite(estimate.n_hat)
+        assert estimate.n_hat == pytest.approx(5 + 4 * 3 / 2)
+
+    def test_no_singletons_estimates_c(self):
+        stats = FrequencyStatistics({2: 5})
+        assert chao84_estimate(stats).n_hat == pytest.approx(5.0)
+
+
+class TestJackknife:
+    def test_first_order(self):
+        stats = FrequencyStatistics({1: 3, 2: 2})  # n=7, c=5
+        expected = 5 + 3 * 6 / 7
+        assert jackknife_estimate(stats, order=1).n_hat == pytest.approx(expected)
+
+    def test_second_order(self):
+        stats = FrequencyStatistics({1: 3, 2: 2})
+        estimate = jackknife_estimate(stats, order=2)
+        assert estimate.n_hat >= stats.c
+
+    def test_invalid_order(self):
+        with pytest.raises(ValidationError):
+            jackknife_estimate(FrequencyStatistics({1: 1}), order=3)
+
+    def test_never_below_observed(self):
+        for freqs in ({1: 1, 5: 10}, {2: 4}, {1: 10}):
+            stats = FrequencyStatistics(freqs)
+            assert jackknife_estimate(stats).n_hat >= stats.c
+
+
+class TestAce:
+    def test_no_rare_entities_estimates_c(self):
+        stats = FrequencyStatistics({20: 5})
+        assert ace_estimate(stats).n_hat == pytest.approx(5.0)
+
+    def test_all_singletons_is_infinite(self):
+        assert math.isinf(ace_estimate(FrequencyStatistics({1: 9})).n_hat)
+
+    def test_mixed_sample_at_least_c(self):
+        stats = FrequencyStatistics({1: 4, 2: 3, 15: 2})
+        assert ace_estimate(stats).n_hat >= stats.c
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValidationError):
+            ace_estimate(FrequencyStatistics({1: 1}), rare_cutoff=0)
+
+
+class TestCrossEstimatorSanity:
+    def test_all_estimators_agree_on_complete_sample(self):
+        stats = FrequencyStatistics({4: 25})
+        for estimator in (chao92_estimate, chao84_estimate, jackknife_estimate, ace_estimate):
+            assert estimator(stats).n_hat == pytest.approx(25.0, rel=0.15)
+
+    def test_method_labels(self):
+        stats = FrequencyStatistics({1: 2, 2: 2})
+        assert chao92_estimate(stats).method == "chao92"
+        assert chao84_estimate(stats).method == "chao84"
+        assert jackknife_estimate(stats).method == "jackknife1"
+        assert ace_estimate(stats).method == "ace"

@@ -1,0 +1,78 @@
+"""Tests for repro.data.cleaning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.cleaning import (
+    FirstValueFusion,
+    MeanFusion,
+    MedianFusion,
+    clean_observations,
+)
+from repro.data.records import Observation
+from repro.utils.exceptions import ValidationError
+
+
+class TestFusionStrategies:
+    def test_mean_fusion(self):
+        assert MeanFusion()([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_median_fusion_robust_to_outlier(self):
+        assert MedianFusion()([1.0, 2.0, 100.0]) == pytest.approx(2.0)
+
+    def test_first_value_fusion(self):
+        assert FirstValueFusion()([7.0, 2.0]) == pytest.approx(7.0)
+
+    def test_empty_values_raise(self):
+        with pytest.raises(ValidationError):
+            MeanFusion()([])
+
+
+class TestCleanObservations:
+    def test_counts_and_fused_values(self):
+        observations = [
+            Observation("a", {"v": 10.0}, source_id="s1"),
+            Observation("a", {"v": 20.0}, source_id="s2"),
+            Observation("b", {"v": 5.0}, source_id="s1"),
+        ]
+        counts, values = clean_observations(observations, "v")
+        assert counts == {"a": 2, "b": 1}
+        assert values["a"]["v"] == pytest.approx(15.0)
+        assert values["b"]["v"] == pytest.approx(5.0)
+
+    def test_missing_attribute_dropped(self):
+        observations = [
+            Observation("a", {"v": 10.0}, source_id="s1"),
+            Observation("b", {"other": 1.0}, source_id="s1"),
+        ]
+        counts, values = clean_observations(observations, "v")
+        assert "b" not in counts
+        assert "b" not in values
+
+    def test_non_numeric_values_dropped(self):
+        observations = [
+            Observation("a", {"v": "many"}, source_id="s1"),
+            Observation("a", {"v": 10.0}, source_id="s2"),
+        ]
+        counts, values = clean_observations(observations, "v")
+        assert counts == {"a": 1}
+        assert values["a"]["v"] == pytest.approx(10.0)
+
+    def test_boolean_values_dropped(self):
+        observations = [Observation("a", {"v": True}, source_id="s1")]
+        counts, values = clean_observations(observations, "v")
+        assert counts == {}
+
+    def test_custom_fusion_strategy(self):
+        observations = [
+            Observation("a", {"v": 1.0}, source_id="s1"),
+            Observation("a", {"v": 100.0}, source_id="s2"),
+            Observation("a", {"v": 2.0}, source_id="s3"),
+        ]
+        counts, values = clean_observations(observations, "v", fusion=MedianFusion())
+        assert values["a"]["v"] == pytest.approx(2.0)
+
+    def test_empty_stream(self):
+        counts, values = clean_observations([], "v")
+        assert counts == {} and values == {}

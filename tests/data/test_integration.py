@@ -1,0 +1,77 @@
+"""Tests for repro.data.integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.integration import IntegrationPipeline, integrate
+from repro.data.records import Observation
+from repro.data.sources import DataSource, SourceRegistry
+from repro.utils.exceptions import InsufficientDataError
+
+
+def _sources() -> list[DataSource]:
+    return [
+        DataSource(
+            "s1",
+            [
+                Observation("acme", {"employees": 100.0}, source_id="s1"),
+                Observation("globex", {"employees": 50.0}, source_id="s1"),
+            ],
+        ),
+        DataSource(
+            "s2",
+            [
+                Observation("acme", {"employees": 120.0}, source_id="s2"),
+                Observation("initech", {"employees": 10.0}, source_id="s2"),
+            ],
+        ),
+    ]
+
+
+class TestIntegrationPipeline:
+    def test_sample_counts(self):
+        result = integrate(_sources(), "employees")
+        assert result.sample.count("acme") == 2
+        assert result.sample.count("globex") == 1
+        assert result.sample.n == 4
+        assert result.sample.c == 3
+
+    def test_values_fused_by_mean(self):
+        result = integrate(_sources(), "employees")
+        assert result.sample.value("acme", "employees") == pytest.approx(110.0)
+
+    def test_database_entities(self):
+        result = integrate(_sources(), "employees")
+        assert sorted(result.known_entity_ids) == ["acme", "globex", "initech"]
+
+    def test_lineage_recorded(self):
+        result = integrate(_sources(), "employees")
+        assert result.lineage.sources_of("acme") == {"s1", "s2"}
+
+    def test_source_sizes_tracked(self):
+        result = integrate(_sources(), "employees")
+        assert list(result.sample.source_sizes) == [2, 2]
+
+    def test_registry_input_accepted(self):
+        registry = SourceRegistry(_sources())
+        result = IntegrationPipeline("employees").run(registry)
+        assert result.sample.c == 3
+
+    def test_zero_sources_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            integrate([], "employees")
+
+    def test_missing_attribute_everywhere_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            integrate(_sources(), "revenue")
+
+    def test_partial_answers_dropped_from_counts(self):
+        sources = _sources()
+        sources.append(
+            DataSource("s3", [Observation("hooli", {"sector": "tech"}, source_id="s3")])
+        )
+        result = integrate(sources, "employees")
+        assert "hooli" not in result.sample.entity_ids
+        # The partial answer must not be counted in the source sizes either.
+        assert list(result.sample.source_sizes) == [2, 2, 0]

@@ -1,0 +1,146 @@
+"""Tests for CSV import/export (repro.data.io)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.data.io import (
+    read_observations_csv,
+    read_sample_csv,
+    read_sources_csv,
+    write_estimates_csv,
+)
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture
+def mentions_csv(tmp_path):
+    path = tmp_path / "mentions.csv"
+    rows = [
+        {"entity_id": "acme", "source_id": "s1", "employees": "120"},
+        {"entity_id": "globex", "source_id": "s1", "employees": "45"},
+        {"entity_id": "acme", "source_id": "s2", "employees": "130"},
+        {"entity_id": "initech", "source_id": "s2", "employees": "80"},
+        {"entity_id": "hooli", "source_id": "s2", "employees": "not-a-number"},
+        {"entity_id": "", "source_id": "s3", "employees": "10"},
+    ]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["entity_id", "source_id", "employees"])
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+@pytest.fixture
+def aggregated_csv(tmp_path):
+    path = tmp_path / "aggregated.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["entity_id", "employees", "count"])
+        writer.writeheader()
+        writer.writerows(
+            [
+                {"entity_id": "acme", "employees": "120", "count": "3"},
+                {"entity_id": "globex", "employees": "45", "count": "1"},
+                {"entity_id": "initech", "employees": "80", "count": "2"},
+            ]
+        )
+    return path
+
+
+class TestReadObservations:
+    def test_rows_loaded(self, mentions_csv):
+        observations = read_observations_csv(mentions_csv, "employees")
+        assert len(observations) == 4  # bad value and empty entity dropped
+        assert observations[0].entity_id == "acme"
+        assert observations[0].value("employees") == pytest.approx(120.0)
+
+    def test_sequence_preserved(self, mentions_csv):
+        observations = read_observations_csv(mentions_csv, "employees")
+        assert [o.sequence for o in observations] == sorted(o.sequence for o in observations)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            read_observations_csv(tmp_path / "nope.csv", "employees")
+
+    def test_missing_column(self, mentions_csv):
+        with pytest.raises(ValidationError):
+            read_observations_csv(mentions_csv, "revenue")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("entity_id,source_id,employees\n")
+        with pytest.raises(ValidationError):
+            read_observations_csv(path, "employees")
+
+
+class TestReadSources:
+    def test_sources_grouped_by_source_id(self, mentions_csv):
+        registry = read_sources_csv(mentions_csv, "employees")
+        assert sorted(registry.source_ids) == ["s1", "s2"]
+        assert registry.get("s1").size == 2
+        assert registry.get("s2").size == 2  # hooli row dropped (non-numeric)
+
+    def test_duplicate_mentions_within_source_dropped(self, tmp_path):
+        path = tmp_path / "dups.csv"
+        path.write_text(
+            "entity_id,source_id,v\n"
+            "a,s1,1\n"
+            "a,s1,2\n"
+            "b,s1,3\n"
+        )
+        registry = read_sources_csv(path, "v")
+        assert registry.get("s1").size == 2
+
+
+class TestReadSample:
+    def test_counts_and_values(self, aggregated_csv):
+        sample = read_sample_csv(aggregated_csv, "employees")
+        assert sample.n == 6
+        assert sample.c == 3
+        assert sample.count("acme") == 3
+        assert sample.value("globex", "employees") == pytest.approx(45.0)
+
+    def test_missing_count_defaults_to_one(self, tmp_path):
+        path = tmp_path / "nocount.csv"
+        path.write_text("entity_id,employees\na,10\nb,20\n")
+        sample = read_sample_csv(path, "employees")
+        assert sample.n == 2
+
+    def test_missing_column_rejected(self, aggregated_csv):
+        with pytest.raises(ValidationError):
+            read_sample_csv(aggregated_csv, "revenue")
+
+
+class TestWriteEstimates:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows = [{"estimator": "bucket", "corrected": 123.4}, {"estimator": "naive", "corrected": 150.0}]
+        write_estimates_csv(path, rows)
+        with path.open() as handle:
+            loaded = list(csv.DictReader(handle))
+        assert len(loaded) == 2
+        assert loaded[0]["estimator"] == "bucket"
+
+    def test_column_selection(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_estimates_csv(path, [{"a": 1, "b": 2}], columns=["a"])
+        header = path.read_text().splitlines()[0]
+        assert header == "a"
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_estimates_csv(tmp_path / "out.csv", [])
+
+
+class TestEndToEndFromCsv:
+    def test_integrate_and_estimate_from_csv(self, mentions_csv):
+        from repro.core.naive import NaiveEstimator
+        from repro.data.integration import IntegrationPipeline
+
+        registry = read_sources_csv(mentions_csv, "employees")
+        result = IntegrationPipeline("employees").run(registry)
+        estimate = NaiveEstimator().estimate(result.sample, "employees")
+        assert estimate.observed == pytest.approx(125 + 45 + 80)
+        assert estimate.corrected >= estimate.observed

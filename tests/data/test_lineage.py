@@ -1,0 +1,68 @@
+"""Tests for repro.data.lineage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.lineage import LineageTracker
+from repro.data.records import Observation
+from repro.utils.exceptions import ValidationError
+
+
+def _tracker() -> LineageTracker:
+    tracker = LineageTracker()
+    tracker.record_all(
+        [
+            Observation("a", source_id="s1"),
+            Observation("b", source_id="s1"),
+            Observation("a", source_id="s2"),
+            Observation("c", source_id="s2"),
+            Observation("a", source_id="s3"),
+        ]
+    )
+    return tracker
+
+
+class TestLineageTracker:
+    def test_sources_of(self):
+        assert _tracker().sources_of("a") == {"s1", "s2", "s3"}
+
+    def test_entities_of(self):
+        assert _tracker().entities_of("s2") == {"a", "c"}
+
+    def test_unknown_entity_empty(self):
+        assert _tracker().sources_of("zzz") == set()
+
+    def test_observation_count(self):
+        tracker = _tracker()
+        assert tracker.observation_count("a") == 3
+        assert tracker.observation_count("b") == 1
+
+    def test_overlap(self):
+        assert _tracker().overlap("s1", "s2") == {"a"}
+
+    def test_jaccard_overlap(self):
+        # s1={a,b}, s2={a,c}: intersection 1, union 3.
+        assert _tracker().jaccard_overlap("s1", "s2") == pytest.approx(1 / 3)
+
+    def test_jaccard_unknown_sources_raise(self):
+        with pytest.raises(ValidationError):
+            LineageTracker().jaccard_overlap("x", "y")
+
+    def test_contribution_shares_sum_to_one(self):
+        shares = _tracker().contribution_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_streaker_detection(self):
+        tracker = LineageTracker()
+        for i in range(9):
+            tracker.record(Observation(f"e{i}", source_id="big"))
+        tracker.record(Observation("e0", source_id="small"))
+        assert tracker.streaker_sources(threshold=0.5) == ["big"]
+
+    def test_streaker_threshold_validation(self):
+        with pytest.raises(ValidationError):
+            _tracker().streaker_sources(threshold=0.0)
+
+    def test_empty_tracker_shares(self):
+        assert LineageTracker().contribution_shares() == {}

@@ -1,0 +1,130 @@
+"""Tests for repro.data.sample.ObservedSample."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.sample import ObservedSample
+from repro.utils.exceptions import InsufficientDataError, ValidationError
+
+
+class TestConstruction:
+    def test_basic(self, simple_sample):
+        assert simple_sample.n == 7
+        assert simple_sample.c == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            ObservedSample({}, {})
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValidationError):
+            ObservedSample({"a": 0}, {"a": {"v": 1.0}})
+
+    def test_missing_values_rejected(self):
+        with pytest.raises(ValidationError):
+            ObservedSample({"a": 1}, {})
+
+    def test_source_sizes_must_sum_to_n(self):
+        with pytest.raises(ValidationError):
+            ObservedSample({"a": 2}, {"a": {"v": 1.0}}, source_sizes=[1])
+
+    def test_default_single_source(self):
+        sample = ObservedSample({"a": 2}, {"a": {"v": 1.0}})
+        assert sample.source_sizes == (2,)
+        assert sample.num_sources == 1
+
+    def test_from_entity_values(self):
+        sample = ObservedSample.from_entity_values(
+            [("a", 1.0, 2), ("b", 5.0, 1)], attribute="x"
+        )
+        assert sample.n == 3
+        assert sample.value("b", "x") == 5.0
+
+
+class TestStatistics:
+    def test_frequency_counts(self, simple_sample):
+        assert simple_sample.frequency_counts() == {1: 2, 2: 1, 3: 1}
+
+    def test_singletons(self, simple_sample):
+        assert sorted(simple_sample.singletons()) == ["c", "d"]
+
+    def test_summary(self, simple_sample):
+        summary = simple_sample.summary()
+        assert (summary.n, summary.c, summary.f1, summary.f2) == (7, 4, 2, 1)
+
+    def test_aggregates(self, simple_sample):
+        assert simple_sample.sum("value") == pytest.approx(100.0)
+        assert simple_sample.mean("value") == pytest.approx(25.0)
+        assert simple_sample.min("value") == pytest.approx(10.0)
+        assert simple_sample.max("value") == pytest.approx(40.0)
+
+    def test_singleton_sum(self, simple_sample):
+        assert simple_sample.singleton_sum("value") == pytest.approx(70.0)
+
+    def test_std_single_entity_zero(self):
+        sample = ObservedSample({"a": 3}, {"a": {"v": 10.0}})
+        assert sample.std("v") == 0.0
+
+    def test_std_matches_numpy(self, simple_sample):
+        values = simple_sample.values("value")
+        assert simple_sample.std("value") == pytest.approx(float(np.std(values, ddof=1)))
+
+    def test_count_and_value_lookup(self, simple_sample):
+        assert simple_sample.count("a") == 3
+        assert simple_sample.value("a", "value") == 10.0
+
+    def test_unknown_entity_raises(self, simple_sample):
+        with pytest.raises(ValidationError):
+            simple_sample.count("zzz")
+        with pytest.raises(ValidationError):
+            simple_sample.value("zzz", "value")
+
+    def test_unknown_attribute_raises(self, simple_sample):
+        with pytest.raises(ValidationError):
+            simple_sample.value("a", "missing")
+
+    def test_has_attribute(self, simple_sample):
+        assert simple_sample.has_attribute("value")
+        assert not simple_sample.has_attribute("missing")
+
+    def test_contains_and_len(self, simple_sample):
+        assert "a" in simple_sample
+        assert "zzz" not in simple_sample
+        assert len(simple_sample) == 4
+
+
+class TestRestriction:
+    def test_restrict_to_entities(self, simple_sample):
+        restricted = simple_sample.restrict_to_entities(["a", "c"])
+        assert restricted.c == 2
+        assert restricted.n == 4
+
+    def test_restrict_to_unknown_entities_returns_none(self, simple_sample):
+        assert simple_sample.restrict_to_entities(["zzz"]) is None
+
+    def test_restrict_to_value_range_inclusive(self, simple_sample):
+        restricted = simple_sample.restrict_to_value_range("value", 10, 20)
+        assert sorted(restricted.entity_ids) == ["a", "b"]
+
+    def test_restrict_to_value_range_exclusive_high(self, simple_sample):
+        restricted = simple_sample.restrict_to_value_range(
+            "value", 10, 20, include_high=False
+        )
+        assert restricted.entity_ids == ["a"]
+
+    def test_restrict_empty_range_returns_none(self, simple_sample):
+        assert simple_sample.restrict_to_value_range("value", 1000, 2000) is None
+
+    def test_restrict_invalid_range_raises(self, simple_sample):
+        with pytest.raises(ValidationError):
+            simple_sample.restrict_to_value_range("value", 50, 10)
+
+    def test_restriction_keeps_counts(self, simple_sample):
+        restricted = simple_sample.restrict_to_entities(["a"])
+        assert restricted.count("a") == 3
+
+    def test_restriction_resets_sources(self, simple_sample):
+        restricted = simple_sample.restrict_to_entities(["a", "b"])
+        assert restricted.num_sources == 1

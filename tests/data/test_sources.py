@@ -1,0 +1,91 @@
+"""Tests for repro.data.sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import Observation
+from repro.data.sources import DataSource, SourceRegistry
+from repro.utils.exceptions import ValidationError
+
+
+def _obs(entity: str, source: str = "s1", value: float = 1.0) -> Observation:
+    return Observation(entity, {"value": value}, source_id=source)
+
+
+class TestDataSource:
+    def test_size_and_iteration(self):
+        source = DataSource("s1", [_obs("a"), _obs("b")])
+        assert source.size == 2
+        assert len(list(source)) == 2
+
+    def test_entity_ids_in_order(self):
+        source = DataSource("s1", [_obs("b"), _obs("a")])
+        assert source.entity_ids == ["b", "a"]
+
+    def test_duplicate_entity_rejected(self):
+        with pytest.raises(ValidationError):
+            DataSource("s1", [_obs("a"), _obs("a")])
+
+    def test_add_enforces_without_replacement(self):
+        source = DataSource("s1", [_obs("a")])
+        with pytest.raises(ValidationError):
+            source.add(_obs("a"))
+
+    def test_add_appends(self):
+        source = DataSource("s1", [_obs("a")])
+        source.add(_obs("b"))
+        assert source.size == 2
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValidationError):
+            DataSource("", [])
+
+    def test_from_pairs(self):
+        source = DataSource.from_pairs("s1", [("a", 1.0), ("b", 2.0)], "value")
+        assert source.size == 2
+        assert source.observations[1].value("value") == 2.0
+
+
+class TestSourceRegistry:
+    def test_add_and_get(self):
+        registry = SourceRegistry()
+        registry.add(DataSource("s1", [_obs("a")]))
+        assert registry.get("s1").size == 1
+
+    def test_duplicate_id_rejected(self):
+        registry = SourceRegistry([DataSource("s1", [])])
+        with pytest.raises(ValidationError):
+            registry.add(DataSource("s1", []))
+
+    def test_unknown_id_raises(self):
+        registry = SourceRegistry()
+        with pytest.raises(ValidationError):
+            registry.get("nope")
+
+    def test_sizes(self):
+        registry = SourceRegistry(
+            [DataSource("s1", [_obs("a")]), DataSource("s2", [_obs("a", "s2"), _obs("b", "s2")])]
+        )
+        assert registry.sizes == [1, 2]
+
+    def test_all_observations_order(self):
+        registry = SourceRegistry(
+            [DataSource("s1", [_obs("a")]), DataSource("s2", [_obs("b", "s2")])]
+        )
+        assert [o.entity_id for o in registry.all_observations()] == ["a", "b"]
+
+    def test_largest_contributor(self):
+        registry = SourceRegistry(
+            [DataSource("s1", [_obs("a")]), DataSource("s2", [_obs("a", "s2"), _obs("b", "s2")])]
+        )
+        assert registry.largest_contributor().source_id == "s2"
+
+    def test_largest_contributor_empty_raises(self):
+        with pytest.raises(ValidationError):
+            SourceRegistry().largest_contributor()
+
+    def test_contains(self):
+        registry = SourceRegistry([DataSource("s1", [])])
+        assert "s1" in registry
+        assert "s2" not in registry

@@ -1,0 +1,133 @@
+"""Tests for the crowdsourced-data stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    available_datasets,
+    generate_proton_beam,
+    generate_us_gdp,
+    generate_us_tech_employment,
+    generate_us_tech_revenue,
+    load_dataset,
+)
+from repro.datasets.us_gdp import STATE_GDP_BILLIONS, gdp_population
+from repro.datasets.us_tech_employment import GROUND_TRUTH_EMPLOYEES
+from repro.utils.exceptions import ValidationError
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert set(names) == {
+            "proton-beam", "us-gdp", "us-tech-employment", "us-tech-revenue",
+        }
+
+    def test_load_by_name(self):
+        dataset = load_dataset("us-gdp", n_answers=60)
+        assert dataset.name == "us-gdp"
+        assert dataset.total_observations == 60
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValidationError):
+            load_dataset("imaginary")
+
+
+class TestUsTechEmployment:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_us_tech_employment(seed=0, n_answers=300)
+
+    def test_ground_truth_total(self, dataset):
+        assert dataset.ground_truth == pytest.approx(GROUND_TRUTH_EMPLOYEES)
+        assert dataset.run.population.true_sum("employees") == pytest.approx(
+            GROUND_TRUTH_EMPLOYEES
+        )
+
+    def test_stream_length(self, dataset):
+        assert dataset.total_observations == 300
+
+    def test_observed_below_ground_truth(self, dataset):
+        # The sample cannot exceed the population total.
+        assert dataset.observed_answer() <= dataset.ground_truth
+
+    def test_unique_arrival_continues(self, dataset):
+        # Unique entities keep arriving: the last quarter of the stream still
+        # adds new companies (documented characteristic of the data set).
+        early = dataset.sample_at(200).c
+        late = dataset.sample_at(300).c
+        assert late > early
+
+    def test_publicity_value_correlation(self, dataset):
+        # Frequently observed companies should be bigger on average than
+        # singletons (the "Google effect").
+        sample = dataset.sample()
+        singles = sample.singletons()
+        frequent = [e for e in sample.entity_ids if sample.count(e) >= 3]
+        if singles and frequent:
+            singleton_mean = sum(sample.value(e, "employees") for e in singles) / len(singles)
+            frequent_mean = sum(sample.value(e, "employees") for e in frequent) / len(frequent)
+            assert frequent_mean > singleton_mean
+
+    def test_deterministic(self):
+        a = generate_us_tech_employment(seed=5, n_answers=100).observed_answer()
+        b = generate_us_tech_employment(seed=5, n_answers=100).observed_answer()
+        assert a == pytest.approx(b)
+
+    def test_relative_gap_positive(self, dataset):
+        assert dataset.relative_gap() > 0
+
+
+class TestUsTechRevenue:
+    def test_basic_shape(self):
+        dataset = generate_us_tech_revenue(seed=1, n_answers=200)
+        assert dataset.total_observations == 200
+        assert dataset.ground_truth > 0
+        assert dataset.observed_answer() <= dataset.ground_truth
+
+    def test_heavier_concentration_than_employment(self):
+        revenue = generate_us_tech_revenue(seed=1)
+        values = revenue.run.population.values("revenue")
+        top_share = values.max() / values.sum()
+        assert top_share > 0.05  # a single giant holds a sizable share
+
+
+class TestUsGdp:
+    def test_population_is_fifty_states(self):
+        population = gdp_population()
+        assert population.size == 50
+        assert population.true_sum("gdp") == pytest.approx(sum(STATE_GDP_BILLIONS.values()))
+
+    def test_streaker_first(self):
+        dataset = generate_us_gdp(seed=2)
+        first_sources = {obs.source_id for obs in dataset.run.stream[:40]}
+        assert first_sources == {"worker-streaker"}
+
+    def test_streaker_inflates_singletons_early(self):
+        dataset = generate_us_gdp(seed=2, streaker_answers=45)
+        early = dataset.sample_at(45)
+        assert early.frequency_counts().get(1, 0) == 45
+
+    def test_ground_truth_close_to_observed_eventually(self):
+        dataset = generate_us_gdp(seed=2)
+        # With only 50 states and >100 answers nearly everything is observed.
+        assert dataset.relative_gap() < 0.1
+
+
+class TestProtonBeam:
+    def test_no_ground_truth(self):
+        dataset = generate_proton_beam(seed=3, n_answers=200)
+        assert dataset.ground_truth is None
+        with pytest.raises(ValidationError):
+            dataset.relative_gap()
+
+    def test_stream_and_population(self):
+        dataset = generate_proton_beam(seed=3, n_answers=200)
+        assert dataset.total_observations == 200
+        assert dataset.run.population.size > dataset.sample().c
+
+    def test_population_total_near_paper_estimate(self):
+        dataset = generate_proton_beam(seed=3)
+        total = dataset.run.population.true_sum("participants")
+        assert 70_000 <= total <= 120_000

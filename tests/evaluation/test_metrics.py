@@ -1,0 +1,97 @@
+"""Tests for repro.evaluation.metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation.metrics import (
+    convergence_index,
+    mean_absolute_percentage_error,
+    relative_error,
+    series_summary,
+    signed_relative_error,
+)
+from repro.utils.exceptions import ValidationError
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(100.0, 100.0) == pytest.approx(0.0)
+
+    def test_overestimate(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_underestimate_symmetric(self):
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_infinite_estimate(self):
+        assert math.isinf(relative_error(float("inf"), 100.0))
+
+    def test_zero_truth_raises(self):
+        with pytest.raises(ValidationError):
+            relative_error(1.0, 0.0)
+
+    def test_negative_truth(self):
+        assert relative_error(-90.0, -100.0) == pytest.approx(0.1)
+
+
+class TestSignedRelativeError:
+    def test_sign_convention(self):
+        assert signed_relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert signed_relative_error(90.0, 100.0) == pytest.approx(-0.1)
+
+    def test_infinite(self):
+        assert signed_relative_error(float("inf"), 10.0) == float("inf")
+        assert signed_relative_error(float("-inf"), 10.0) == float("-inf")
+
+
+class TestMape:
+    def test_average(self):
+        assert mean_absolute_percentage_error([110, 90], 100.0) == pytest.approx(0.1)
+
+    def test_ignores_non_finite(self):
+        assert mean_absolute_percentage_error(
+            [110.0, float("inf")], 100.0
+        ) == pytest.approx(0.1)
+
+    def test_all_non_finite_is_inf(self):
+        assert math.isinf(mean_absolute_percentage_error([float("inf")], 100.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            mean_absolute_percentage_error([], 100.0)
+
+
+class TestConvergenceIndex:
+    def test_converges_midway(self):
+        series = [200.0, 150.0, 104.0, 103.0, 101.0]
+        assert convergence_index(series, 100.0, tolerance=0.05) == 2
+
+    def test_never_converges(self):
+        assert convergence_index([200.0, 300.0], 100.0) is None
+
+    def test_must_stay_converged(self):
+        series = [101.0, 200.0, 101.0]
+        assert convergence_index(series, 100.0, tolerance=0.05) == 2
+
+    def test_empty_series(self):
+        assert convergence_index([], 100.0) is None
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValidationError):
+            convergence_index([100.0], 100.0, tolerance=0.0)
+
+
+class TestSeriesSummary:
+    def test_fields(self):
+        summary = series_summary([90.0, 120.0, 105.0], 100.0)
+        assert summary["final_estimate"] == pytest.approx(105.0)
+        assert summary["final_relative_error"] == pytest.approx(0.05)
+        assert summary["max_overestimate"] == pytest.approx(0.2)
+        assert summary["max_underestimate"] == pytest.approx(-0.1)
+
+    def test_mape_in_summary(self):
+        summary = series_summary([110.0, 90.0], 100.0)
+        assert summary["mape"] == pytest.approx(0.1)

@@ -1,0 +1,55 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import format_result_table, format_rows, format_series
+from repro.evaluation.runner import ProgressiveRunner
+from repro.datasets.toy_example import generate_toy_example
+
+
+class TestFormatRows:
+    def test_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_contains_header_and_values(self):
+        text = format_rows([{"n": 10, "estimate": 123.456}])
+        assert "n" in text and "estimate" in text
+        assert "10" in text
+
+    def test_column_selection(self):
+        text = format_rows([{"a": 1, "b": 2}], columns=["b"])
+        assert "b" in text
+        assert "a" not in text.splitlines()[0]
+
+    def test_large_numbers_thousands_separated(self):
+        text = format_rows([{"x": 1234567.0}])
+        assert "1,234,567" in text
+
+    def test_non_finite_rendered(self):
+        text = format_rows([{"x": float("inf"), "y": float("nan")}])
+        assert "inf" in text and "nan" in text
+
+    def test_alignment_consistent(self):
+        text = format_rows([{"col": 1}, {"col": 100000}])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines if line.strip())) <= 2
+
+
+class TestFormatSeries:
+    def test_progressive_result_rendering(self):
+        dataset = generate_toy_example()
+        result = ProgressiveRunner(["naive"]).run(
+            dataset, prefix_sizes=[7, 9], min_prefix=1
+        )
+        text = format_series(result)
+        assert "observed" in text
+        assert "naive" in text
+        assert "ground_truth" in text
+
+
+class TestFormatResultTable:
+    def test_title_and_underline(self):
+        text = format_result_table("My Table", [{"a": 1}])
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")

@@ -1,0 +1,96 @@
+"""Tests for the progressive replay runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bucket import BucketEstimator
+from repro.core.naive import NaiveEstimator
+from repro.datasets.toy_example import generate_toy_example
+from repro.evaluation.runner import ProgressiveRunner
+from repro.utils.exceptions import ValidationError
+
+
+class TestProgressiveRunner:
+    def test_requires_estimators(self):
+        with pytest.raises(ValidationError):
+            ProgressiveRunner({})
+
+    def test_accepts_names(self):
+        runner = ProgressiveRunner(["naive", "frequency"])
+        assert set(runner.estimators) == {"naive", "frequency"}
+
+    def test_accepts_instances(self):
+        runner = ProgressiveRunner({"n": NaiveEstimator(), "b": BucketEstimator()})
+        assert set(runner.estimators) == {"n", "b"}
+
+    def test_run_on_sampling_run(self, synthetic_run):
+        runner = ProgressiveRunner(["naive", "bucket"])
+        result = runner.run(synthetic_run, step=50)
+        assert result.sample_sizes[-1] == synthetic_run.total_observations
+        assert len(result.observed) == len(result.sample_sizes)
+        for series in result.series.values():
+            assert len(series.estimates) == len(result.sample_sizes)
+
+    def test_ground_truth_from_population(self, synthetic_run):
+        runner = ProgressiveRunner(["naive"])
+        result = runner.run(synthetic_run, step=100)
+        assert result.ground_truth == pytest.approx(
+            synthetic_run.population.true_sum("value")
+        )
+
+    def test_run_on_dataset(self):
+        dataset = generate_toy_example()
+        runner = ProgressiveRunner(["naive"])
+        result = runner.run(dataset, prefix_sizes=[7, 9], min_prefix=1)
+        assert result.sample_sizes == [7, 9]
+        assert result.ground_truth == pytest.approx(14200.0)
+
+    def test_explicit_prefix_sizes_filtered(self, synthetic_run):
+        runner = ProgressiveRunner(["naive"])
+        total = synthetic_run.total_observations
+        result = runner.run(synthetic_run, prefix_sizes=[50, total, total + 999])
+        assert result.sample_sizes == [50, total]
+
+    def test_invalid_prefix_sizes(self, synthetic_run):
+        runner = ProgressiveRunner(["naive"])
+        with pytest.raises(ValidationError):
+            runner.run(synthetic_run, prefix_sizes=[0])
+
+    def test_invalid_step(self, synthetic_run):
+        runner = ProgressiveRunner(["naive"])
+        with pytest.raises(ValidationError):
+            runner.run(synthetic_run, step=0)
+
+    def test_observed_monotone_nondecreasing(self, synthetic_run):
+        runner = ProgressiveRunner(["naive"])
+        result = runner.run(synthetic_run, step=40)
+        assert all(
+            later >= earlier - 1e-9
+            for earlier, later in zip(result.observed, result.observed[1:])
+        )
+
+    def test_final_estimates_and_best(self, synthetic_run):
+        runner = ProgressiveRunner(["naive", "bucket"])
+        result = runner.run(synthetic_run, step=100)
+        finals = result.final_estimates()
+        assert set(finals) == {"naive", "bucket"}
+        assert result.best_estimator() in finals
+
+    def test_summaries(self, synthetic_run):
+        runner = ProgressiveRunner(["naive"])
+        result = runner.run(synthetic_run, step=100)
+        summaries = result.summaries()
+        assert "naive" in summaries
+        assert "final_relative_error" in summaries["naive"]
+
+    def test_run_single(self, synthetic_run):
+        runner = ProgressiveRunner(["naive", "bucket"])
+        estimates = runner.run_single(synthetic_run.sample(), "value")
+        assert set(estimates) == {"naive", "bucket"}
+
+    def test_coverage_series_recorded(self, synthetic_run):
+        runner = ProgressiveRunner(["naive"])
+        result = runner.run(synthetic_run, step=100)
+        coverages = result.series["naive"].coverages
+        assert all(0.0 <= c <= 1.0 for c in coverages)

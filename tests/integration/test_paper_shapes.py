@@ -1,0 +1,154 @@
+"""Qualitative shape checks against the paper's reported findings.
+
+These tests do not compare absolute numbers (the data-set stand-ins are
+synthetic) but assert the *relationships* the paper reports: which estimator
+wins where, what over/under-estimates, and how behaviour changes with skew,
+correlation, source count and streakers.  EXPERIMENTS.md documents the same
+shapes next to measured values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bucket import BucketEstimator
+from repro.core.frequency import FrequencyEstimator
+from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
+from repro.core.naive import NaiveEstimator
+from repro.datasets import load_dataset
+from repro.evaluation.metrics import relative_error
+from repro.simulation.scenarios import get_scenario
+from repro.simulation.streaker import successive_streakers_run
+from repro.utils.rng import spawn_rngs
+
+
+def _mc() -> MonteCarloEstimator:
+    return MonteCarloEstimator(config=MonteCarloConfig(n_runs=2, n_count_steps=6), seed=0)
+
+
+class TestIdealScenario:
+    """Figure 6 top row: uniform publicity, no correlation -> everyone works."""
+
+    def test_all_estimators_close_to_truth(self):
+        scenario = get_scenario("ideal-w100")
+        errors = {"naive": [], "frequency": [], "bucket": []}
+        for rng in spawn_rngs(0, 3):
+            run = scenario.run(seed=rng)
+            sample = run.sample()
+            truth = run.population.true_sum("value")
+            errors["naive"].append(relative_error(NaiveEstimator().estimate(sample, "value").corrected, truth))
+            errors["frequency"].append(relative_error(FrequencyEstimator().estimate(sample, "value").corrected, truth))
+            errors["bucket"].append(relative_error(BucketEstimator().estimate(sample, "value").corrected, truth))
+        for name, values in errors.items():
+            assert np.mean(values) < 0.15, f"{name} should be accurate in the ideal case"
+
+
+class TestRealisticScenario:
+    """Figure 6 middle row: skew + correlation -> bucket wins, naive overshoots."""
+
+    def test_bucket_beats_naive(self):
+        scenario = get_scenario("realistic-w10")
+        bucket_errors = []
+        naive_errors = []
+        for rng in spawn_rngs(1, 4):
+            run = scenario.run(seed=rng)
+            sample = run.sample()
+            truth = run.population.true_sum("value")
+            bucket_errors.append(
+                relative_error(BucketEstimator().estimate(sample, "value").corrected, truth)
+            )
+            naive_errors.append(
+                relative_error(NaiveEstimator().estimate(sample, "value").corrected, truth)
+            )
+        assert np.mean(bucket_errors) <= np.mean(naive_errors)
+
+    def test_naive_overestimates_with_positive_correlation(self):
+        scenario = get_scenario("realistic-w10")
+        signed = []
+        for rng in spawn_rngs(2, 4):
+            run = scenario.run(seed=rng)
+            sample = run.sample()
+            truth = run.population.true_sum("value")
+            estimate = NaiveEstimator().estimate(sample, "value")
+            if math.isfinite(estimate.corrected):
+                signed.append((estimate.corrected - truth) / truth)
+        # Popular entities have big values, so mean substitution overshoots.
+        assert np.mean(signed) > 0
+
+
+class TestRareEventScenario:
+    """Figure 6 bottom row: skew without correlation -> everyone underestimates."""
+
+    def test_all_estimators_underestimate(self):
+        scenario = get_scenario("rare-events-w10")
+        under = []
+        for rng in spawn_rngs(3, 4):
+            run = scenario.run(seed=rng)
+            sample = run.sample()
+            truth = run.population.true_sum("value")
+            bucket = BucketEstimator().estimate(sample, "value").corrected
+            under.append(bucket <= truth * 1.05)
+        assert sum(under) >= len(under) - 1
+
+
+class TestStreakers:
+    """Figure 7(a): streakers break Chao92-based estimators but not Monte-Carlo."""
+
+    def test_monte_carlo_stays_close_to_observed(self):
+        scenario = get_scenario("aggregate-queries")
+        population = scenario.build_population(seed=4)
+        run = successive_streakers_run(population, "value", n_streakers=2, seed=4)
+        # After 1.5 populations' worth of answers everything has been seen.
+        sample = run.sample_at(int(population.size * 1.5))
+        observed = sample.sum("value")
+        mc = _mc().estimate(sample, "value").corrected
+        naive = NaiveEstimator().estimate(sample, "value").corrected
+        assert abs(mc - observed) <= abs(naive - observed) + 1e-9
+
+    def test_chao_based_overestimate_under_streakers(self):
+        scenario = get_scenario("aggregate-queries")
+        population = scenario.build_population(seed=5)
+        run = successive_streakers_run(population, "value", n_streakers=2, seed=5)
+        sample = run.sample_at(int(population.size * 1.5))
+        truth = population.true_sum("value")
+        naive = NaiveEstimator().estimate(sample, "value").corrected
+        assert naive > truth
+
+
+class TestRealDataStandIns:
+    """Figures 4 / 5: bucket closes most of the gap on the tech data sets."""
+
+    def test_bucket_best_on_tech_employment(self):
+        dataset = load_dataset("us-tech-employment", seed=42)
+        sample = dataset.sample()
+        truth = dataset.ground_truth
+        observed_error = relative_error(sample.sum("employees"), truth)
+        bucket_error = relative_error(
+            BucketEstimator().estimate(sample, "employees").corrected, truth
+        )
+        naive_error = relative_error(
+            NaiveEstimator().estimate(sample, "employees").corrected, truth
+        )
+        assert bucket_error < observed_error
+        assert bucket_error < naive_error
+
+    def test_naive_and_frequency_overestimate_on_revenue(self):
+        dataset = load_dataset("us-tech-revenue", seed=7)
+        sample = dataset.sample()
+        truth = dataset.ground_truth
+        naive = NaiveEstimator().estimate(sample, "revenue").corrected
+        bucket = BucketEstimator().estimate(sample, "revenue").corrected
+        # Naive overshoots the truth; bucket lands closer.
+        assert naive > truth
+        assert abs(bucket - truth) < abs(naive - truth)
+
+    def test_gdp_estimators_converge_after_enough_answers(self):
+        dataset = load_dataset("us-gdp", seed=11)
+        sample = dataset.sample()
+        truth = dataset.ground_truth
+        for estimator in (NaiveEstimator(), FrequencyEstimator(), BucketEstimator()):
+            estimate = estimator.estimate(sample, "gdp")
+            assert relative_error(estimate.corrected, truth) < 0.15

@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bucket import BucketEstimator, DynamicBucketing
+from repro.core.estimator import Estimate
+from repro.core.fstatistics import FrequencyStatistics
+from repro.core.frequency import FrequencyEstimator
+from repro.core.naive import NaiveEstimator
+from repro.core.species import chao84_estimate, chao92_estimate, jackknife_estimate
+from repro.data.sample import ObservedSample
+from repro.utils.stats import kl_divergence, normalize_distribution, smooth_distribution
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+
+entity_entries = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=1e6, allow_nan=False, allow_infinity=False),
+        st.integers(min_value=1, max_value=12),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _sample_from(entries) -> ObservedSample:
+    return ObservedSample.from_entity_values(
+        [(f"e{i}", value, count) for i, (value, count) in enumerate(entries)],
+        attribute="v",
+    )
+
+
+frequency_maps = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=15),
+    values=st.integers(min_value=1, max_value=30),
+    min_size=1,
+    max_size=8,
+)
+
+probability_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+).filter(lambda xs: sum(xs) > 0)
+
+
+# ---------------------------------------------------------------------- #
+# ObservedSample invariants
+# ---------------------------------------------------------------------- #
+
+
+class TestSampleInvariants:
+    @given(entity_entries)
+    @settings(max_examples=60, deadline=None)
+    def test_n_is_sum_of_counts_and_c_is_unique(self, entries):
+        sample = _sample_from(entries)
+        assert sample.n == sum(count for _, count in entries)
+        assert sample.c == len(entries)
+
+    @given(entity_entries)
+    @settings(max_examples=60, deadline=None)
+    def test_frequency_counts_consistent(self, entries):
+        sample = _sample_from(entries)
+        freq = sample.frequency_counts()
+        assert sum(freq.values()) == sample.c
+        assert sum(j * fj for j, fj in freq.items()) == sample.n
+
+    @given(entity_entries, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_value_range_restriction_partitions_sample(self, entries, split):
+        sample = _sample_from(entries)
+        low = sample.restrict_to_value_range("v", -math.inf, split, include_high=True)
+        high = sample.restrict_to_value_range("v", split, math.inf, include_high=True)
+        low_count = 0 if low is None else sum(
+            1 for eid in low.entity_ids if low.value(eid, "v") < split
+        ) + sum(1 for eid in low.entity_ids if low.value(eid, "v") == split)
+        total_low = 0 if low is None else low.c
+        total_high = 0 if high is None else high.c
+        # Entities exactly at the split appear in both restrictions; all
+        # others appear in exactly one.
+        on_split = sum(1 for value, _ in entries if value == split)
+        assert total_low + total_high == sample.c + on_split
+        assert low_count == total_low
+
+
+# ---------------------------------------------------------------------- #
+# Frequency statistics and species estimators
+# ---------------------------------------------------------------------- #
+
+
+class TestStatisticsInvariants:
+    @given(frequency_maps)
+    @settings(max_examples=80, deadline=None)
+    def test_coverage_in_unit_interval(self, freqs):
+        stats = FrequencyStatistics(freqs)
+        assert 0.0 <= stats.sample_coverage() <= 1.0
+
+    @given(frequency_maps)
+    @settings(max_examples=80, deadline=None)
+    def test_cv_squared_non_negative(self, freqs):
+        assert FrequencyStatistics(freqs).cv_squared() >= 0.0
+
+    @given(frequency_maps)
+    @settings(max_examples=80, deadline=None)
+    def test_species_estimates_at_least_observed(self, freqs):
+        stats = FrequencyStatistics(freqs)
+        for estimator in (chao92_estimate, chao84_estimate, jackknife_estimate):
+            estimate = estimator(stats)
+            assert estimate.n_hat >= stats.c - 1e-9 or math.isinf(estimate.n_hat)
+
+    @given(frequency_maps)
+    @settings(max_examples=80, deadline=None)
+    def test_chao92_finite_iff_coverage_positive(self, freqs):
+        stats = FrequencyStatistics(freqs)
+        estimate = chao92_estimate(stats)
+        if stats.sample_coverage() > 0:
+            assert math.isfinite(estimate.n_hat)
+        else:
+            assert math.isinf(estimate.n_hat)
+
+
+# ---------------------------------------------------------------------- #
+# Estimator invariants
+# ---------------------------------------------------------------------- #
+
+
+class TestEstimatorInvariants:
+    @given(entity_entries)
+    @settings(max_examples=40, deadline=None)
+    def test_corrected_equals_observed_plus_delta(self, entries):
+        sample = _sample_from(entries)
+        for estimator in (NaiveEstimator(), FrequencyEstimator()):
+            estimate = estimator.estimate(sample, "v")
+            if estimate.is_finite:
+                assert math.isclose(
+                    estimate.corrected, estimate.observed + estimate.delta, rel_tol=1e-9
+                )
+
+    @given(entity_entries)
+    @settings(max_examples=40, deadline=None)
+    def test_positive_values_never_corrected_downward(self, entries):
+        sample = _sample_from(entries)
+        for estimator in (NaiveEstimator(), FrequencyEstimator()):
+            estimate = estimator.estimate(sample, "v")
+            assert estimate.delta >= 0 or not estimate.is_finite
+
+    @given(entity_entries)
+    @settings(max_examples=30, deadline=None)
+    def test_estimates_are_estimate_instances(self, entries):
+        sample = _sample_from(entries)
+        estimate = NaiveEstimator().estimate(sample, "v")
+        assert isinstance(estimate, Estimate)
+        assert 0.0 <= estimate.coverage <= 1.0
+
+    @given(entity_entries)
+    @settings(max_examples=25, deadline=None)
+    def test_bucket_delta_never_exceeds_naive_in_magnitude(self, entries):
+        sample = _sample_from(entries)
+        naive = NaiveEstimator().estimate(sample, "v")
+        bucket = BucketEstimator(strategy=DynamicBucketing()).estimate(sample, "v")
+        if naive.is_finite and bucket.is_finite:
+            # The dynamic strategy only splits when it reduces |delta|.
+            assert abs(bucket.delta) <= abs(naive.delta) + 1e-6
+
+    @given(entity_entries)
+    @settings(max_examples=25, deadline=None)
+    def test_bucket_partition_covers_all_entities(self, entries):
+        sample = _sample_from(entries)
+        buckets = BucketEstimator().buckets(sample, "v")
+        ids = [
+            eid
+            for bucket in buckets
+            if not bucket.is_empty
+            for eid in bucket.sample.entity_ids
+        ]
+        assert sorted(ids) == sorted(sample.entity_ids)
+
+
+# ---------------------------------------------------------------------- #
+# Numeric helpers
+# ---------------------------------------------------------------------- #
+
+
+class TestNumericHelperInvariants:
+    @given(probability_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_normalize_produces_distribution(self, weights):
+        p = normalize_distribution(weights)
+        assert math.isclose(float(p.sum()), 1.0, rel_tol=1e-9)
+        assert (p >= 0).all()
+
+    @given(probability_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_smooth_removes_zeros(self, weights):
+        p = normalize_distribution(weights)
+        smoothed = smooth_distribution(p)
+        assert (smoothed > 0).all()
+        assert math.isclose(float(smoothed.sum()), 1.0, rel_tol=1e-9)
+
+    @given(probability_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_kl_divergence_non_negative_and_zero_on_self(self, weights):
+        p = smooth_distribution(normalize_distribution(weights))
+        assert kl_divergence(p, p) <= 1e-9
+        assert kl_divergence(p, p) >= -1e-12

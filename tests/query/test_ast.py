@@ -1,0 +1,110 @@
+"""Tests for predicate evaluation on rows (repro.query.ast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.ast import (
+    Aggregate,
+    AggregateFunction,
+    BetweenPredicate,
+    BooleanPredicate,
+    ColumnRef,
+    ComparisonPredicate,
+    InPredicate,
+    Literal,
+    NotPredicate,
+    Query,
+)
+from repro.utils.exceptions import QueryError
+
+ROW = {"entity_id": "acme", "employees": 120, "sector": "tech", "ceo": None}
+
+
+class TestComparisonPredicate:
+    def test_equals(self):
+        assert ComparisonPredicate(ColumnRef("sector"), "=", Literal("tech")).matches(ROW)
+
+    def test_not_equals(self):
+        assert ComparisonPredicate(ColumnRef("sector"), "<>", Literal("energy")).matches(ROW)
+        assert ComparisonPredicate(ColumnRef("sector"), "!=", Literal("energy")).matches(ROW)
+
+    def test_ordering_operators(self):
+        assert ComparisonPredicate(ColumnRef("employees"), ">", Literal(100)).matches(ROW)
+        assert ComparisonPredicate(ColumnRef("employees"), ">=", Literal(120)).matches(ROW)
+        assert not ComparisonPredicate(ColumnRef("employees"), "<", Literal(100)).matches(ROW)
+        assert ComparisonPredicate(ColumnRef("employees"), "<=", Literal(120)).matches(ROW)
+
+    def test_like(self):
+        assert ComparisonPredicate(ColumnRef("sector"), "LIKE", Literal("te%")).matches(ROW)
+        assert not ComparisonPredicate(ColumnRef("sector"), "LIKE", Literal("x%")).matches(ROW)
+
+    def test_is_null(self):
+        assert ComparisonPredicate(ColumnRef("ceo"), "IS NULL").matches(ROW)
+        assert not ComparisonPredicate(ColumnRef("sector"), "IS NULL").matches(ROW)
+
+    def test_is_not_null(self):
+        assert ComparisonPredicate(ColumnRef("sector"), "IS NOT NULL").matches(ROW)
+
+    def test_null_operand_ordering_false(self):
+        assert not ComparisonPredicate(ColumnRef("ceo"), ">", Literal(1)).matches(ROW)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(QueryError):
+            ComparisonPredicate(ColumnRef("missing"), "=", Literal(1)).matches(ROW)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(QueryError):
+            ComparisonPredicate(ColumnRef("employees"), "~~", Literal(1)).matches(ROW)
+
+    def test_column_to_column(self):
+        row = {"a": 2, "b": 1}
+        assert ComparisonPredicate(ColumnRef("a"), ">", ColumnRef("b")).matches(row)
+
+
+class TestOtherPredicates:
+    def test_between_inclusive(self):
+        pred = BetweenPredicate(ColumnRef("employees"), Literal(120), Literal(200))
+        assert pred.matches(ROW)
+
+    def test_between_excludes_outside(self):
+        pred = BetweenPredicate(ColumnRef("employees"), Literal(121), Literal(200))
+        assert not pred.matches(ROW)
+
+    def test_between_null_false(self):
+        pred = BetweenPredicate(ColumnRef("ceo"), Literal(0), Literal(1))
+        assert not pred.matches(ROW)
+
+    def test_in(self):
+        assert InPredicate(ColumnRef("sector"), ("tech", "energy")).matches(ROW)
+        assert not InPredicate(ColumnRef("sector"), ("energy",)).matches(ROW)
+
+    def test_not(self):
+        inner = ComparisonPredicate(ColumnRef("sector"), "=", Literal("tech"))
+        assert not NotPredicate(inner).matches(ROW)
+
+    def test_and_or(self):
+        tech = ComparisonPredicate(ColumnRef("sector"), "=", Literal("tech"))
+        big = ComparisonPredicate(ColumnRef("employees"), ">", Literal(1000))
+        assert not BooleanPredicate("AND", tech, big).matches(ROW)
+        assert BooleanPredicate("OR", tech, big).matches(ROW)
+
+    def test_invalid_boolean_operator(self):
+        tech = ComparisonPredicate(ColumnRef("sector"), "=", Literal("tech"))
+        with pytest.raises(QueryError):
+            BooleanPredicate("XOR", tech, tech).matches(ROW)
+
+
+class TestQueryAndAggregate:
+    def test_aggregate_star_only_for_count(self):
+        with pytest.raises(QueryError):
+            Aggregate(AggregateFunction.SUM, None)
+
+    def test_query_matches_without_predicate(self):
+        query = Query(Aggregate(AggregateFunction.COUNT, None), "t")
+        assert query.matches(ROW)
+
+    def test_query_matches_with_predicate(self):
+        pred = ComparisonPredicate(ColumnRef("employees"), ">", Literal(1000))
+        query = Query(Aggregate(AggregateFunction.COUNT, None), "t", pred)
+        assert not query.matches(ROW)

@@ -1,0 +1,124 @@
+"""Tests for closed-world and open-world query execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.naive import NaiveEstimator
+from repro.query.database import Database
+from repro.query.executor import ClosedWorldExecutor, OpenWorldExecutor
+from repro.query.table import Table
+from repro.utils.exceptions import QueryError
+
+
+@pytest.fixture
+def database(skewed_run) -> Database:
+    db = Database()
+    db.add_sample("items", skewed_run.sample())
+    rows = [
+        {"entity_id": "acme", "employees": 120.0, "sector": "tech"},
+        {"entity_id": "globex", "employees": 45.0, "sector": "tech"},
+        {"entity_id": "initech", "employees": 80.0, "sector": "finance"},
+    ]
+    db.add_table(Table("companies", rows, counts=[3, 2, 2]))
+    return db
+
+
+class TestClosedWorldExecutor:
+    def test_sum(self, database):
+        result = ClosedWorldExecutor(database).execute(
+            "SELECT SUM(employees) FROM companies"
+        )
+        assert result.observed == pytest.approx(245.0)
+        assert result.corrected == pytest.approx(245.0)
+        assert result.delta == pytest.approx(0.0)
+
+    def test_count(self, database):
+        result = ClosedWorldExecutor(database).execute("SELECT COUNT(*) FROM companies")
+        assert result.observed == 3
+
+    def test_avg_min_max(self, database):
+        executor = ClosedWorldExecutor(database)
+        avg = executor.execute("SELECT AVG(employees) FROM companies")
+        low = executor.execute("SELECT MIN(employees) FROM companies")
+        high = executor.execute("SELECT MAX(employees) FROM companies")
+        assert avg.observed == pytest.approx(245.0 / 3)
+        assert low.observed == pytest.approx(45.0)
+        assert high.observed == pytest.approx(120.0)
+
+    def test_where_clause(self, database):
+        result = ClosedWorldExecutor(database).execute(
+            "SELECT SUM(employees) FROM companies WHERE sector = 'tech'"
+        )
+        assert result.observed == pytest.approx(165.0)
+        assert result.matching_rows == 2
+
+    def test_no_matching_rows_raises(self, database):
+        with pytest.raises(QueryError):
+            ClosedWorldExecutor(database).execute(
+                "SELECT SUM(employees) FROM companies WHERE sector = 'retail'"
+            )
+
+    def test_unknown_table_raises(self, database):
+        with pytest.raises(QueryError):
+            ClosedWorldExecutor(database).execute("SELECT SUM(x) FROM nope")
+
+
+class TestOpenWorldExecutor:
+    def test_sum_correction_is_positive(self, database):
+        result = OpenWorldExecutor(database).execute("SELECT SUM(value) FROM items")
+        assert result.corrected >= result.observed
+        assert result.aggregate == "SUM"
+        assert "count_estimate" in result.details
+
+    def test_sum_matches_direct_estimator(self, database, skewed_run):
+        estimator = NaiveEstimator()
+        result = OpenWorldExecutor(database, sum_estimator=estimator).execute(
+            "SELECT SUM(value) FROM items"
+        )
+        direct = estimator.estimate(skewed_run.sample(), "value")
+        assert result.corrected == pytest.approx(direct.corrected)
+
+    def test_count_correction(self, database, skewed_run):
+        result = OpenWorldExecutor(database).execute("SELECT COUNT(*) FROM items")
+        assert result.observed == skewed_run.sample().c
+        assert result.corrected >= result.observed
+
+    def test_avg_correction(self, database):
+        result = OpenWorldExecutor(database).execute("SELECT AVG(value) FROM items")
+        assert result.aggregate == "AVG"
+        assert result.corrected > 0
+
+    def test_min_max_trust_flag(self, database):
+        executor = OpenWorldExecutor(database)
+        low = executor.execute("SELECT MIN(value) FROM items")
+        high = executor.execute("SELECT MAX(value) FROM items")
+        assert low.trusted in (True, False)
+        assert high.trusted in (True, False)
+        # The observed extreme is always what gets reported as the value.
+        assert low.corrected == low.observed
+        assert high.corrected == high.observed
+
+    def test_where_clause_filters_before_estimation(self, database):
+        full = OpenWorldExecutor(database).execute("SELECT SUM(value) FROM items")
+        filtered = OpenWorldExecutor(database).execute(
+            "SELECT SUM(value) FROM items WHERE value < 500"
+        )
+        assert filtered.observed < full.observed
+
+    def test_closed_and_open_world_observe_identically(self, database):
+        query = "SELECT SUM(employees) FROM companies WHERE sector = 'tech'"
+        closed = ClosedWorldExecutor(database).execute(query)
+        opened = OpenWorldExecutor(database).execute(query)
+        assert closed.observed == pytest.approx(opened.observed)
+
+    def test_count_without_numeric_columns(self):
+        db = Database()
+        rows = [
+            {"entity_id": "a", "label": "x"},
+            {"entity_id": "b", "label": "y"},
+        ]
+        db.add_table(Table("labels", rows, counts=[2, 3]))
+        result = OpenWorldExecutor(db).execute("SELECT COUNT(*) FROM labels")
+        assert result.observed == 2
+        assert result.corrected >= 2

@@ -1,0 +1,143 @@
+"""Tests for the SQL-subset parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.ast import (
+    AggregateFunction,
+    BetweenPredicate,
+    BooleanPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    NotPredicate,
+)
+from repro.query.parser import parse_query
+from repro.utils.exceptions import QueryError
+
+
+class TestParseAggregate:
+    def test_sum(self):
+        query = parse_query("SELECT SUM(employees) FROM companies")
+        assert query.aggregate.function is AggregateFunction.SUM
+        assert query.aggregate.column == "employees"
+        assert query.table == "companies"
+        assert query.predicate is None
+
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM companies")
+        assert query.aggregate.function is AggregateFunction.COUNT
+        assert query.aggregate.column is None
+
+    def test_count_column(self):
+        query = parse_query("SELECT COUNT(name) FROM companies")
+        assert query.aggregate.column == "name"
+
+    def test_avg_min_max(self):
+        for fn in ("AVG", "MIN", "MAX"):
+            query = parse_query(f"SELECT {fn}(x) FROM t")
+            assert query.aggregate.function.value == fn
+
+    def test_star_only_for_count(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT SUM(*) FROM t")
+
+    def test_lowercase_keywords(self):
+        query = parse_query("select sum(x) from t where x > 1")
+        assert query.aggregate.function is AggregateFunction.SUM
+        assert query.predicate is not None
+
+
+class TestParsePredicates:
+    def test_comparison(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE x > 10")
+        assert isinstance(query.predicate, ComparisonPredicate)
+        assert query.predicate.operator == ">"
+
+    def test_string_comparison(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE sector = 'tech'")
+        assert query.predicate.right.value == "tech"
+
+    def test_between(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE x BETWEEN 1 AND 10")
+        assert isinstance(query.predicate, BetweenPredicate)
+        assert query.predicate.low.value == 1
+        assert query.predicate.high.value == 10
+
+    def test_in(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE state IN ('CA', 'NY')")
+        assert isinstance(query.predicate, InPredicate)
+        assert query.predicate.values == ("CA", "NY")
+
+    def test_not_in(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE state NOT IN ('CA')")
+        assert isinstance(query.predicate, NotPredicate)
+
+    def test_is_null_and_is_not_null(self):
+        q1 = parse_query("SELECT SUM(x) FROM t WHERE y IS NULL")
+        q2 = parse_query("SELECT SUM(x) FROM t WHERE y IS NOT NULL")
+        assert q1.predicate.operator == "IS NULL"
+        assert q2.predicate.operator == "IS NOT NULL"
+
+    def test_like(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE name LIKE 'A%'")
+        assert query.predicate.operator == "LIKE"
+
+    def test_and_or_precedence(self):
+        query = parse_query(
+            "SELECT SUM(x) FROM t WHERE a = 1 OR b = 2 AND c = 3"
+        )
+        # AND binds tighter than OR.
+        assert isinstance(query.predicate, BooleanPredicate)
+        assert query.predicate.operator == "OR"
+        assert isinstance(query.predicate.right, BooleanPredicate)
+        assert query.predicate.right.operator == "AND"
+
+    def test_parentheses_override_precedence(self):
+        query = parse_query(
+            "SELECT SUM(x) FROM t WHERE (a = 1 OR b = 2) AND c = 3"
+        )
+        assert query.predicate.operator == "AND"
+        assert query.predicate.left.operator == "OR"
+
+    def test_not(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE NOT a = 1")
+        assert isinstance(query.predicate, NotPredicate)
+
+    def test_column_to_column_comparison(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE revenue > employees")
+        assert query.predicate.right.name == "employees"
+
+    def test_float_literal(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE x >= 2.5")
+        assert query.predicate.right.value == pytest.approx(2.5)
+
+
+class TestParseErrors:
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse_query("")
+
+    def test_missing_from(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT SUM(x) companies")
+
+    def test_missing_aggregate(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT x FROM companies")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT SUM(x) FROM t WHERE x > 1 GROUP BY y")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT SUM(x FROM t")
+
+    def test_where_without_condition(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT SUM(x) FROM t WHERE")
+
+    def test_bad_literal_in_between(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT SUM(x) FROM t WHERE x BETWEEN AND 10")

@@ -1,0 +1,138 @@
+"""Tests for repro.query.table and repro.query.database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import Entity
+from repro.data.sample import ObservedSample
+from repro.query.database import Database
+from repro.query.parser import parse_query
+from repro.query.table import Table
+from repro.utils.exceptions import QueryError, ValidationError
+
+
+def _table() -> Table:
+    rows = [
+        {"entity_id": "acme", "employees": 120.0, "sector": "tech"},
+        {"entity_id": "globex", "employees": 45.0, "sector": "tech"},
+        {"entity_id": "initech", "employees": 80.0, "sector": "finance"},
+    ]
+    return Table("companies", rows, counts=[3, 1, 2])
+
+
+class TestTable:
+    def test_len_and_columns(self):
+        table = _table()
+        assert len(table) == 3
+        assert "employees" in table.columns
+        assert "entity_id" in table.columns
+
+    def test_counts(self):
+        assert _table().counts == [3, 1, 2]
+
+    def test_default_counts_are_one(self):
+        table = Table("t", [{"entity_id": "a", "x": 1.0}])
+        assert table.counts == [1]
+
+    def test_column_values(self):
+        assert _table().column("employees") == [120.0, 45.0, 80.0]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(QueryError):
+            _table().column("missing")
+
+    def test_duplicate_entity_rejected(self):
+        rows = [{"entity_id": "a", "x": 1.0}, {"entity_id": "a", "x": 2.0}]
+        with pytest.raises(ValidationError):
+            Table("t", rows)
+
+    def test_missing_entity_id_rejected(self):
+        with pytest.raises(ValidationError):
+            Table("t", [{"x": 1.0}])
+
+    def test_counts_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Table("t", [{"entity_id": "a"}], counts=[1, 2])
+
+    def test_filter_with_predicate(self):
+        query = parse_query("SELECT SUM(employees) FROM companies WHERE sector = 'tech'")
+        filtered = _table().filter(query)
+        assert len(filtered) == 2
+
+    def test_filter_with_callable(self):
+        filtered = _table().filter(lambda row: row["employees"] > 50)
+        assert len(filtered) == 2
+
+    def test_filter_keeps_counts(self):
+        filtered = _table().filter(lambda row: row["entity_id"] == "acme")
+        assert filtered.counts == [3]
+
+    def test_to_sample(self):
+        sample = _table().to_sample("employees")
+        assert sample.c == 3
+        assert sample.n == 6
+        assert sample.count("acme") == 3
+
+    def test_to_sample_requires_numeric(self):
+        with pytest.raises(QueryError):
+            _table().to_sample("sector")
+
+    def test_from_entities(self):
+        entities = [Entity("a", {"x": 1.0}), Entity("b", {"x": 2.0})]
+        table = Table.from_entities("t", entities, counts={"a": 4})
+        assert table.counts == [4, 1]
+
+    def test_from_sample_round_trip(self, simple_sample):
+        table = Table.from_sample("t", simple_sample)
+        back = table.to_sample("value")
+        assert back.n == simple_sample.n
+        assert back.c == simple_sample.c
+        assert back.frequency_counts() == simple_sample.frequency_counts()
+
+    def test_rows_are_copies(self):
+        table = _table()
+        table.rows[0]["employees"] = 999
+        assert table.column("employees")[0] == 120.0
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        db = Database()
+        db.add_table(_table())
+        assert db.table("companies").name == "companies"
+        assert "companies" in db
+
+    def test_lookup_case_insensitive(self):
+        db = Database()
+        db.add_table(_table())
+        assert db.table("COMPANIES") is db.table("companies")
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.add_table(_table())
+        with pytest.raises(ValidationError):
+            db.add_table(_table())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(QueryError):
+            Database().table("nope")
+
+    def test_add_sample(self, simple_sample):
+        db = Database()
+        table = db.add_sample("things", simple_sample)
+        assert len(table) == simple_sample.c
+        assert db.table_names == ["things"]
+
+    def test_add_integration_result(self):
+        from repro.data.integration import integrate
+        from repro.data.records import Observation
+        from repro.data.sources import DataSource
+
+        sources = [
+            DataSource("s1", [Observation("a", {"v": 1.0}, source_id="s1")]),
+            DataSource("s2", [Observation("a", {"v": 3.0}, source_id="s2")]),
+        ]
+        db = Database()
+        table = db.add_integration_result("t", integrate(sources, "v"))
+        assert table.to_sample("v").count("a") == 2

@@ -1,0 +1,78 @@
+"""Tests for the SQL-subset tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.tokenizer import TokenType, tokenize
+from repro.utils.exceptions import QueryError
+
+
+class TestTokenize:
+    def test_simple_query(self):
+        tokens = tokenize("SELECT SUM(employees) FROM companies")
+        kinds = [t.type for t in tokens]
+        assert kinds[0] == TokenType.KEYWORD
+        assert TokenType.LPAREN in kinds
+        assert TokenType.RPAREN in kinds
+        assert kinds[-1] == TokenType.END
+
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select sum(x) from t")
+        assert tokens[0].text == "SELECT"
+        assert tokens[1].text == "SUM"
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("SELECT SUM(Employees) FROM Companies")
+        identifiers = [t.text for t in tokens if t.type == TokenType.IDENTIFIER]
+        assert identifiers == ["Employees", "Companies"]
+
+    def test_numbers(self):
+        tokens = tokenize("WHERE x > 10.5")
+        numbers = [t for t in tokens if t.type == TokenType.NUMBER]
+        assert numbers[0].text == "10.5"
+
+    def test_negative_number(self):
+        tokens = tokenize("WHERE x > -3")
+        numbers = [t for t in tokens if t.type == TokenType.NUMBER]
+        assert numbers[0].text == "-3"
+
+    def test_string_literals(self):
+        tokens = tokenize("WHERE name = 'Acme Corp'")
+        strings = [t for t in tokens if t.type == TokenType.STRING]
+        assert strings[0].text == "Acme Corp"
+
+    def test_double_quoted_strings(self):
+        tokens = tokenize('WHERE name = "Acme"')
+        strings = [t for t in tokens if t.type == TokenType.STRING]
+        assert strings[0].text == "Acme"
+
+    def test_two_character_operators(self):
+        tokens = tokenize("WHERE x >= 1 AND y <> 2 AND z != 3 AND w <= 4")
+        operators = [t.text for t in tokens if t.type == TokenType.OPERATOR]
+        assert operators == [">=", "<>", "!=", "<="]
+
+    def test_star(self):
+        tokens = tokenize("SELECT COUNT(*) FROM t")
+        assert any(t.type == TokenType.STAR for t in tokens)
+
+    def test_comma(self):
+        tokens = tokenize("WHERE x IN (1, 2, 3)")
+        commas = [t for t in tokens if t.type == TokenType.COMMA]
+        assert len(commas) == 2
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(QueryError):
+            tokenize("WHERE name = 'oops")
+
+    def test_illegal_character_raises(self):
+        with pytest.raises(QueryError):
+            tokenize("SELECT SUM(x) FROM t WHERE x ~ 3")
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type == TokenType.END
+
+    def test_is_keyword_helper(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("select")
+        assert not token.is_keyword("from")

@@ -1,0 +1,95 @@
+"""Tests for repro.simulation.population."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.records import Entity
+from repro.simulation.population import Population, linear_value_population, make_population
+from repro.utils.exceptions import ValidationError
+
+
+class TestPopulation:
+    def test_size_and_iteration(self):
+        population = linear_value_population(size=10)
+        assert population.size == 10
+        assert len(list(population)) == 10
+
+    def test_unique_ids_required(self):
+        entities = [Entity("a", {"v": 1.0}), Entity("a", {"v": 2.0})]
+        with pytest.raises(ValidationError):
+            Population(entities)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Population([])
+
+    def test_true_aggregates(self):
+        population = linear_value_population(size=100, low=10, high=1000)
+        assert population.true_sum("value") == pytest.approx(50500.0)
+        assert population.true_avg("value") == pytest.approx(505.0)
+        assert population.true_min("value") == pytest.approx(10.0)
+        assert population.true_max("value") == pytest.approx(1000.0)
+        assert population.true_count() == 100
+
+    def test_with_values_replaces(self):
+        population = linear_value_population(size=3, low=1, high=3)
+        replaced = population.with_values("value", [10.0, 20.0, 30.0])
+        assert replaced.true_sum("value") == pytest.approx(60.0)
+        # Original is untouched.
+        assert population.true_sum("value") == pytest.approx(6.0)
+
+    def test_with_values_length_mismatch(self):
+        population = linear_value_population(size=3)
+        with pytest.raises(ValidationError):
+            population.with_values("value", [1.0])
+
+    def test_indexing(self):
+        population = linear_value_population(size=5)
+        assert population[0].entity_id == "item-0000"
+
+
+class TestLinearValuePopulation:
+    def test_paper_defaults(self):
+        population = linear_value_population()
+        assert population.size == 100
+        values = population.values("value")
+        assert values[0] == pytest.approx(10.0)
+        assert values[-1] == pytest.approx(1000.0)
+        assert np.allclose(np.diff(values), 10.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            linear_value_population(size=0)
+
+
+class TestMakePopulation:
+    def test_linear(self):
+        population = make_population(10, distribution="linear", low=0, high=9)
+        assert population.values("value").tolist() == list(np.linspace(0, 9, 10))
+
+    def test_uniform_within_bounds(self):
+        population = make_population(50, distribution="uniform", low=5, high=6, seed=0)
+        values = population.values("value")
+        assert values.min() >= 5 and values.max() <= 6
+
+    def test_lognormal_and_pareto_rescaled(self):
+        for dist in ("lognormal", "pareto"):
+            population = make_population(30, distribution=dist, low=1, high=100, seed=1)
+            values = population.values("value")
+            assert values.min() == pytest.approx(1.0)
+            assert values.max() == pytest.approx(100.0)
+
+    def test_deterministic_with_seed(self):
+        a = make_population(20, distribution="uniform", seed=9).values("value")
+        b = make_population(20, distribution="uniform", seed=9).values("value")
+        assert np.allclose(a, b)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValidationError):
+            make_population(10, distribution="bimodal")
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValidationError):
+            make_population(10, low=10, high=1)

@@ -1,0 +1,103 @@
+"""Tests for repro.simulation.publicity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.simulation.population import linear_value_population
+from repro.simulation.publicity import (
+    ExponentialPublicity,
+    UniformPublicity,
+    ZipfPublicity,
+    correlate_values_with_publicity,
+)
+from repro.utils.exceptions import ValidationError
+
+
+class TestPublicityModels:
+    def test_uniform(self):
+        p = UniformPublicity().probabilities(10)
+        assert np.allclose(p, 0.1)
+
+    def test_exponential_zero_skew_is_uniform(self):
+        p = ExponentialPublicity(0.0).probabilities(10)
+        assert np.allclose(p, 0.1)
+
+    def test_exponential_skew_decreasing(self):
+        p = ExponentialPublicity(4.0).probabilities(100)
+        assert p[0] > p[50] > p[99]
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_higher_skew_more_concentrated(self):
+        mild = ExponentialPublicity(1.0).probabilities(100)
+        heavy = ExponentialPublicity(4.0).probabilities(100)
+        assert heavy[0] > mild[0]
+
+    def test_zipf(self):
+        p = ZipfPublicity(1.0).probabilities(10)
+        assert p[0] == pytest.approx(2 * p[1])
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_zipf_invalid_exponent(self):
+        with pytest.raises(ValidationError):
+            ZipfPublicity(-1.0)
+
+    def test_invalid_size(self):
+        for model in (UniformPublicity(), ExponentialPublicity(1.0), ZipfPublicity()):
+            with pytest.raises(ValidationError):
+                model.probabilities(0)
+
+    def test_for_population(self):
+        population = linear_value_population(size=25)
+        p = ExponentialPublicity(2.0).for_population(population)
+        assert p.shape == (25,)
+
+
+class TestCorrelateValues:
+    def test_perfect_positive_correlation(self):
+        population = linear_value_population(size=50)
+        correlated = correlate_values_with_publicity(population, "value", 1.0, seed=0)
+        values = correlated.values("value")
+        # Index 0 is the most public entity and must carry the largest value.
+        assert values[0] == pytest.approx(1000.0)
+        assert values[-1] == pytest.approx(10.0)
+
+    def test_perfect_negative_correlation(self):
+        population = linear_value_population(size=50)
+        correlated = correlate_values_with_publicity(population, "value", -1.0, seed=0)
+        values = correlated.values("value")
+        assert values[0] == pytest.approx(10.0)
+        assert values[-1] == pytest.approx(1000.0)
+
+    def test_zero_correlation_preserves_multiset(self):
+        population = linear_value_population(size=30)
+        shuffled = correlate_values_with_publicity(population, "value", 0.0, seed=1)
+        assert sorted(shuffled.values("value")) == sorted(population.values("value"))
+
+    def test_partial_correlation_has_intermediate_rank_correlation(self):
+        population = linear_value_population(size=200)
+        correlated = correlate_values_with_publicity(population, "value", 0.7, seed=2)
+        ranks = np.arange(200)
+        # Publicity rank 0 = most public; value should correlate negatively
+        # with rank index (larger values at smaller indices).
+        rho, _ = scipy_stats.spearmanr(ranks, correlated.values("value"))
+        assert -1.0 < rho < -0.2
+
+    def test_out_of_range_correlation(self):
+        population = linear_value_population(size=10)
+        with pytest.raises(ValidationError):
+            correlate_values_with_publicity(population, "value", 1.5)
+
+    def test_deterministic_with_seed(self):
+        population = linear_value_population(size=40)
+        a = correlate_values_with_publicity(population, "value", 0.5, seed=3).values("value")
+        b = correlate_values_with_publicity(population, "value", 0.5, seed=3).values("value")
+        assert np.allclose(a, b)
+
+    def test_original_population_unchanged(self):
+        population = linear_value_population(size=20)
+        before = population.values("value").copy()
+        correlate_values_with_publicity(population, "value", 1.0, seed=0)
+        assert np.allclose(population.values("value"), before)

@@ -1,0 +1,121 @@
+"""Tests for streaker scenarios and the named synthetic scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.population import linear_value_population
+from repro.simulation.scenarios import SCENARIOS, get_scenario
+from repro.simulation.streaker import inject_streaker_run, successive_streakers_run
+from repro.utils.exceptions import ValidationError
+
+
+class TestSuccessiveStreakers:
+    def test_each_source_reports_everything(self):
+        population = linear_value_population(size=30)
+        run = successive_streakers_run(population, "value", n_streakers=3, seed=0)
+        assert len(run.sources) == 3
+        for source in run.sources:
+            assert source.size == 30
+        assert run.total_observations == 90
+
+    def test_stream_is_sequential_by_source(self):
+        population = linear_value_population(size=20)
+        run = successive_streakers_run(population, "value", n_streakers=2, seed=0)
+        first_block = {obs.source_id for obs in run.stream[:20]}
+        second_block = {obs.source_id for obs in run.stream[20:]}
+        assert first_block == {"streaker-00"}
+        assert second_block == {"streaker-01"}
+
+    def test_sample_after_first_source_is_complete(self):
+        population = linear_value_population(size=25)
+        run = successive_streakers_run(population, "value", n_streakers=2, seed=0)
+        sample = run.sample_at(25)
+        assert sample.c == 25
+        assert sample.sum("value") == pytest.approx(population.true_sum("value"))
+
+    def test_invalid_count(self):
+        population = linear_value_population(size=10)
+        with pytest.raises(ValidationError):
+            successive_streakers_run(population, "value", n_streakers=0)
+
+
+class TestInjectStreaker:
+    def test_streaker_arrives_after_inject_at(self):
+        population = linear_value_population(size=40)
+        run = inject_streaker_run(
+            population, "value", n_normal_sources=10, normal_source_size=5,
+            inject_at=30, seed=1,
+        )
+        assert all(obs.source_id != "streaker-00" for obs in run.stream[:30])
+        assert all(obs.source_id == "streaker-00" for obs in run.stream[30:])
+
+    def test_streaker_contributes_full_population(self):
+        population = linear_value_population(size=40)
+        run = inject_streaker_run(
+            population, "value", n_normal_sources=10, normal_source_size=5,
+            inject_at=30, seed=1,
+        )
+        assert run.total_observations == 30 + 40
+        final = run.sample()
+        assert final.c == 40
+
+    def test_injection_completes_sample_and_singletons_are_fresh_items(self):
+        population = linear_value_population(size=100)
+        run = inject_streaker_run(
+            population, "value", n_normal_sources=20, normal_source_size=8,
+            inject_at=100, seed=2,
+        )
+        before = run.sample_at(100)
+        after = run.sample_at(run.total_observations)
+        # The streaker reports everything, so the sample becomes complete and
+        # every entity unseen before the injection is now a singleton.
+        assert after.c == population.size
+        unseen_before = population.size - before.c
+        assert after.frequency_counts().get(1, 0) == unseen_before
+
+    def test_invalid_inject_at(self):
+        population = linear_value_population(size=10)
+        with pytest.raises(ValidationError):
+            inject_streaker_run(population, "value", inject_at=0)
+
+
+class TestScenarios:
+    def test_all_scenarios_well_formed(self):
+        assert len(SCENARIOS) >= 13
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.n_sources >= 1
+            assert scenario.population_size >= 1
+
+    def test_figure6_grid_present(self):
+        for label in ("ideal", "realistic", "rare-events"):
+            for sources in ("w100", "w10", "w5"):
+                assert f"{label}-{sources}" in SCENARIOS
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(ValidationError):
+            get_scenario("does-not-exist")
+
+    def test_scenario_run_produces_expected_size(self):
+        scenario = get_scenario("ideal-w5")
+        run = scenario.run(seed=0)
+        assert run.total_observations == scenario.n_sources * scenario.source_size
+
+    def test_realistic_scenario_is_correlated(self):
+        scenario = get_scenario("realistic-w10")
+        population = scenario.build_population(seed=0)
+        values = population.values("value")
+        # Most public entity (index 0) carries the largest value under rho=1.
+        assert values[0] == pytest.approx(values.max())
+
+    def test_ideal_scenario_uniform_publicity(self):
+        scenario = get_scenario("ideal-w10")
+        probabilities = scenario.publicity_model().probabilities(100)
+        assert max(probabilities) == pytest.approx(min(probabilities))
+
+    def test_deterministic_given_seed(self):
+        scenario = get_scenario("realistic-w5")
+        a = [obs.entity_id for obs in scenario.run(seed=11).stream]
+        b = [obs.entity_id for obs in scenario.run(seed=11).stream]
+        assert a == b

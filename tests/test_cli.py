@@ -1,0 +1,155 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+@pytest.fixture
+def mentions_csv(tmp_path):
+    path = tmp_path / "mentions.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["entity_id", "source_id", "gdp"])
+        writer.writeheader()
+        writer.writerows(
+            [
+                {"entity_id": "California", "source_id": "w1", "gdp": "2481"},
+                {"entity_id": "Texas", "source_id": "w1", "gdp": "1639"},
+                {"entity_id": "California", "source_id": "w2", "gdp": "2481"},
+                {"entity_id": "New York", "source_id": "w2", "gdp": "1455"},
+                {"entity_id": "Texas", "source_id": "w3", "gdp": "1639"},
+                {"entity_id": "Florida", "source_id": "w3", "gdp": "893"},
+            ]
+        )
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_arguments(self):
+        args = build_parser().parse_args(
+            ["estimate", "file.csv", "--attribute", "gdp", "--estimator", "naive"]
+        )
+        assert args.command == "estimate"
+        assert args.estimator == "naive"
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["estimate", "file.csv", "--attribute", "gdp", "--estimator", "magic"]
+            )
+
+    def test_experiment_choices_cover_all_figures(self):
+        expected = {
+            "fig2", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b",
+            "fig7c", "fig7d", "fig7e", "fig7f", "fig8", "fig9", "fig10", "fig11",
+            "table2",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestEstimateCommand:
+    def test_prints_table_and_writes_csv(self, mentions_csv, tmp_path, capsys):
+        output = tmp_path / "estimate.csv"
+        code = main(
+            [
+                "estimate",
+                str(mentions_csv),
+                "--attribute",
+                "gdp",
+                "--estimator",
+                "naive",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "corrected" in captured
+        assert output.exists()
+        rows = list(csv.DictReader(output.open()))
+        assert rows[0]["estimator"] == "naive"
+        assert float(rows[0]["observed"]) == pytest.approx(2481 + 1639 + 1455 + 893)
+
+    def test_missing_file_returns_error_code(self, tmp_path, capsys):
+        code = main(["estimate", str(tmp_path / "nope.csv"), "--attribute", "gdp"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestQueryCommand:
+    def test_open_world_query(self, mentions_csv, capsys):
+        code = main(
+            [
+                "query",
+                str(mentions_csv),
+                "--attribute",
+                "gdp",
+                "--sql",
+                "SELECT SUM(gdp) FROM data WHERE gdp > 1000",
+                "--closed-world",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT SUM(gdp) FROM data" in out
+        assert "closed-world answer" in out
+
+    def test_bad_sql_is_reported(self, mentions_csv, capsys):
+        code = main(
+            [
+                "query",
+                str(mentions_csv),
+                "--attribute",
+                "gdp",
+                "--sql",
+                "SELECT NOTHING",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDatasetCommand:
+    def test_replay_toy_sized_dataset(self, capsys, tmp_path):
+        output = tmp_path / "series.csv"
+        code = main(
+            [
+                "dataset",
+                "us-gdp",
+                "--seed",
+                "1",
+                "--step",
+                "40",
+                "--estimators",
+                "naive",
+                "bucket",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "observed" in out
+        rows = list(csv.DictReader(output.open()))
+        assert "naive" in rows[0]
+        assert "bucket" in rows[0]
+
+
+class TestExperimentCommand:
+    def test_table2_runs_and_writes(self, capsys, tmp_path):
+        output = tmp_path / "table2.csv"
+        code = main(["experiment", "table2", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        rows = list(csv.DictReader(output.open()))
+        assert len(rows) == 2
+        assert float(rows[0]["bucket"]) == pytest.approx(14500.0, abs=1.0)

@@ -1,0 +1,130 @@
+"""Tests for repro.utils.stats."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.stats import (
+    coefficient_of_variation,
+    kl_divergence,
+    normalize_distribution,
+    smooth_distribution,
+    weighted_mean,
+)
+
+
+class TestNormalizeDistribution:
+    def test_sums_to_one(self):
+        result = normalize_distribution([1.0, 2.0, 3.0])
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_proportions_preserved(self):
+        result = normalize_distribution([1.0, 3.0])
+        assert result[1] == pytest.approx(3 * result[0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            normalize_distribution([])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValidationError):
+            normalize_distribution([1.0, -1.0])
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValidationError):
+            normalize_distribution([0.0, 0.0])
+
+
+class TestSmoothDistribution:
+    def test_zeros_replaced(self):
+        result = smooth_distribution([0.5, 0.5, 0.0])
+        assert result[2] > 0
+
+    def test_still_sums_to_one(self):
+        result = smooth_distribution([0.9, 0.1, 0.0, 0.0])
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_no_zeros_nearly_unchanged(self):
+        original = np.array([0.25, 0.25, 0.5])
+        result = smooth_distribution(original)
+        assert np.allclose(result, original)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValidationError):
+            smooth_distribution([0.5, 0.5], epsilon=0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            smooth_distribution([])
+
+
+class TestKlDivergence:
+    def test_identical_distributions_zero(self):
+        p = [0.2, 0.3, 0.5]
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_positive_for_different(self):
+        assert kl_divergence([0.9, 0.1], [0.5, 0.5]) > 0
+
+    def test_infinite_when_q_zero_where_p_positive(self):
+        assert math.isinf(kl_divergence([0.5, 0.5], [1.0, 0.0]))
+
+    def test_zero_p_entries_ignored(self):
+        value = kl_divergence([1.0, 0.0], [0.5, 0.5])
+        assert math.isfinite(value)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            kl_divergence([0.5, 0.5], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            kl_divergence([], [])
+
+    def test_known_value(self):
+        # KL([1,0] || [0.5,0.5]) = log(2)
+        assert kl_divergence([1.0, 0.0], [0.5, 0.5]) == pytest.approx(math.log(2))
+
+
+class TestCoefficientOfVariation:
+    def test_constant_values_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_single_value_zero(self):
+        assert coefficient_of_variation([3.0]) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # values 1 and 3: mean 2, population std 1 -> CV 0.5
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_zero_mean_raises(self):
+        with pytest.raises(ValidationError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            coefficient_of_variation([])
+
+
+class TestWeightedMean:
+    def test_equal_weights_is_mean(self):
+        assert weighted_mean([1.0, 2.0, 3.0], [1, 1, 1]) == pytest.approx(2.0)
+
+    def test_weights_shift_result(self):
+        assert weighted_mean([0.0, 10.0], [1.0, 3.0]) == pytest.approx(7.5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValidationError):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(ValidationError):
+            weighted_mean([1.0, 2.0], [1.0, -1.0])

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.validation and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.exceptions import (
+    EstimationError,
+    InsufficientDataError,
+    QueryError,
+    ReproError,
+    ValidationError,
+)
+from repro.utils.validation import (
+    require_in_range,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_positive(-1, "x")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValidationError, match="budget"):
+            require_positive(-1, "budget")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            require_in_range(1.5, 0.0, 1.0, "x")
+
+
+class TestRequireNonEmpty:
+    def test_accepts_non_empty(self):
+        assert require_non_empty([1], "xs") == [1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            require_non_empty([], "xs")
+
+
+class TestExceptionHierarchy:
+    def test_validation_error_is_repro_and_value_error(self):
+        assert issubclass(ValidationError, ReproError)
+        assert issubclass(ValidationError, ValueError)
+
+    def test_insufficient_data_is_estimation_error(self):
+        assert issubclass(InsufficientDataError, EstimationError)
+        assert issubclass(InsufficientDataError, ReproError)
+
+    def test_query_error_is_repro_error(self):
+        assert issubclass(QueryError, ReproError)
+
+    def test_catching_base_catches_all(self):
+        for exc_type in (ValidationError, EstimationError, QueryError):
+            with pytest.raises(ReproError):
+                raise exc_type("boom")
