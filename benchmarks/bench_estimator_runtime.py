@@ -1,15 +1,29 @@
-"""Estimator runtime comparison (Section 6.1.5).
+"""Estimator runtime comparison (Section 6.1.5) + machine-readable output.
 
 The paper reports roughly 3.5 s for the Monte-Carlo estimator versus 0.2 s
 for the bucket estimator on the real data sets, i.e. MC is over an order of
 magnitude slower because its inner loop scales with the sample size.  These
 micro-benchmarks measure each estimator on the same integrated sample so the
-relative cost can be compared directly from the pytest-benchmark table.
+relative cost can be compared directly from the pytest-benchmark table; the
+Monte-Carlo estimator is measured with both simulation engines (the legacy
+per-draw loop and the batched Gumbel top-k engine) at the paper-scale
+settings (n_runs=5, 10 count steps, 9 λ values).
+
+Run standalone to emit ``BENCH_estimator_runtime.json`` so the performance
+trajectory is tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_estimator_runtime.py [--quick]
+
+``--quick`` shrinks the Monte-Carlo settings and repeat counts for CI.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
 
 from repro.core.bucket import BucketEstimator
 from repro.core.frequency import FrequencyEstimator
@@ -17,43 +31,146 @@ from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
 from repro.core.naive import NaiveEstimator
 from repro.datasets import load_dataset
 
+#: Paper-scale Monte-Carlo settings (Algorithm 2/3 defaults).
+PAPER_MC = {"n_runs": 5, "n_count_steps": 10}
+#: Reduced settings for CI quick mode.
+QUICK_MC = {"n_runs": 2, "n_count_steps": 5}
 
-@pytest.fixture(scope="module")
-def employment_sample():
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_estimator_runtime.json"
+
+
+def _paper_scale_estimators(mc_settings: dict) -> dict:
+    return {
+        "naive": NaiveEstimator(),
+        "frequency": FrequencyEstimator(),
+        "bucket": BucketEstimator(),
+        "monte-carlo-loop": MonteCarloEstimator(
+            config=MonteCarloConfig(engine="loop", **mc_settings), seed=0
+        ),
+        "monte-carlo-vectorized": MonteCarloEstimator(
+            config=MonteCarloConfig(engine="vectorized", **mc_settings), seed=0
+        ),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------- #
+
+try:  # pytest is absent when the module runs standalone in minimal setups
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def employment_sample():
+        dataset = load_dataset("us-tech-employment", seed=42)
+        return dataset.sample(), dataset.attribute
+
+    def test_runtime_naive(benchmark, employment_sample):
+        sample, attribute = employment_sample
+        estimator = NaiveEstimator()
+        result = benchmark(estimator.estimate, sample, attribute)
+        assert result.corrected >= result.observed
+
+    def test_runtime_frequency(benchmark, employment_sample):
+        sample, attribute = employment_sample
+        estimator = FrequencyEstimator()
+        result = benchmark(estimator.estimate, sample, attribute)
+        assert result.corrected >= result.observed
+
+    def test_runtime_bucket(benchmark, employment_sample):
+        sample, attribute = employment_sample
+        estimator = BucketEstimator()
+        result = benchmark(estimator.estimate, sample, attribute)
+        assert result.corrected >= result.observed
+
+    def test_runtime_monte_carlo_loop(benchmark, employment_sample):
+        # Paper-like Monte-Carlo settings (5 runs, 10 grid steps) so the
+        # relative cost versus the bucket estimator mirrors Section 6.1.5.
+        sample, attribute = employment_sample
+        estimator = MonteCarloEstimator(
+            config=MonteCarloConfig(engine="loop", **PAPER_MC), seed=0
+        )
+        result = benchmark.pedantic(
+            estimator.estimate, args=(sample, attribute), rounds=2, iterations=1
+        )
+        assert result.corrected >= result.observed
+
+    def test_runtime_monte_carlo_vectorized(benchmark, employment_sample):
+        sample, attribute = employment_sample
+        estimator = MonteCarloEstimator(
+            config=MonteCarloConfig(engine="vectorized", **PAPER_MC), seed=0
+        )
+        result = benchmark.pedantic(
+            estimator.estimate, args=(sample, attribute), rounds=5, iterations=1
+        )
+        assert result.corrected >= result.observed
+
+
+# ---------------------------------------------------------------------- #
+# Standalone JSON emitter
+# ---------------------------------------------------------------------- #
+
+
+def run_suite(quick: bool = False) -> dict:
+    """Time every estimator at a fixed scale; return the JSON payload."""
+    mc_settings = QUICK_MC if quick else PAPER_MC
+    repeats = 3 if quick else 5
     dataset = load_dataset("us-tech-employment", seed=42)
-    return dataset.sample(), dataset.attribute
+    sample, attribute = dataset.sample(), dataset.attribute
+
+    timings: dict[str, float] = {}
+    estimates: dict[str, float] = {}
+    for name, estimator in _paper_scale_estimators(mc_settings).items():
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            estimate = estimator.estimate(sample, attribute)
+            best = min(best, time.perf_counter() - start)
+        timings[name] = best
+        estimates[name] = float(estimate.corrected)
+
+    speedup = timings["monte-carlo-loop"] / timings["monte-carlo-vectorized"]
+    return {
+        "benchmark": "estimator_runtime",
+        "dataset": dataset.name,
+        "scale": {
+            "n_observations": sample.n,
+            "n_unique": sample.c,
+            "n_sources": sample.num_sources,
+            "mc_settings": mc_settings,
+            "repeats": repeats,
+            "mode": "quick" if quick else "paper-scale",
+        },
+        "timings_seconds": {k: round(v, 6) for k, v in timings.items()},
+        "corrected_estimates": estimates,
+        "mc_vectorized_speedup_vs_loop": round(speedup, 2),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
 
 
-def test_runtime_naive(benchmark, employment_sample):
-    sample, attribute = employment_sample
-    estimator = NaiveEstimator()
-    result = benchmark(estimator.estimate, sample, attribute)
-    assert result.corrected >= result.observed
-
-
-def test_runtime_frequency(benchmark, employment_sample):
-    sample, attribute = employment_sample
-    estimator = FrequencyEstimator()
-    result = benchmark(estimator.estimate, sample, attribute)
-    assert result.corrected >= result.observed
-
-
-def test_runtime_bucket(benchmark, employment_sample):
-    sample, attribute = employment_sample
-    estimator = BucketEstimator()
-    result = benchmark(estimator.estimate, sample, attribute)
-    assert result.corrected >= result.observed
-
-
-def test_runtime_monte_carlo(benchmark, employment_sample):
-    # Paper-like Monte-Carlo settings (5 runs, 10 grid steps) so the relative
-    # cost versus the bucket estimator mirrors Section 6.1.5 (MC is the
-    # slowest estimator because its inner loop scales with the sample size).
-    sample, attribute = employment_sample
-    estimator = MonteCarloEstimator(
-        config=MonteCarloConfig(n_runs=5, n_count_steps=10), seed=0
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced MC settings and repeats (CI)"
     )
-    result = benchmark.pedantic(
-        estimator.estimate, args=(sample, attribute), rounds=2, iterations=1
+    parser.add_argument(
+        "--output",
+        default=str(DEFAULT_OUTPUT),
+        help="where to write the JSON payload (default: repo root)",
     )
-    assert result.corrected >= result.observed
+    args = parser.parse_args(argv)
+    payload = run_suite(quick=args.quick)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimator to apply (default: bucket)",
     )
     estimate.add_argument("--output", help="optional CSV file for the result row")
+    _add_engine_option(estimate)
 
     query = sub.add_parser(
         "query", help="run an open-world aggregate query over a CSV of mentions"
@@ -91,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the classical closed-world answer",
     )
+    _add_engine_option(query)
 
     dataset = sub.add_parser(
         "dataset", help="replay one of the built-in crowd-data stand-ins"
@@ -106,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimators to replay",
     )
     dataset.add_argument("--output", help="optional CSV file for the series")
+    _add_engine_option(dataset)
 
     experiment = sub.add_parser(
         "experiment", help="run one of the paper's figure/table drivers"
@@ -117,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_engine_option(subparser: argparse.ArgumentParser) -> None:
+    """Expose the Monte-Carlo simulation engine escape hatch."""
+    subparser.add_argument(
+        "--engine",
+        default="vectorized",
+        choices=["vectorized", "loop"],
+        help=(
+            "Monte-Carlo simulation engine: the batched Gumbel top-k engine "
+            "(default) or the legacy per-draw loop (parity oracle; see "
+            "DESIGN.md).  Ignored by non-simulation estimators."
+        ),
+    )
+
+
 # ---------------------------------------------------------------------- #
 # Subcommand implementations
 # ---------------------------------------------------------------------- #
@@ -125,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_estimate(args: argparse.Namespace) -> int:
     registry = read_sources_csv(args.csv, args.attribute)
     result = IntegrationPipeline(args.attribute).run(registry)
-    estimator = make_estimator(args.estimator)
+    estimator = make_estimator(args.estimator, engine=args.engine)
     estimate = estimator.estimate(result.sample, args.attribute)
     summary = result.sample.summary()
     rows = [
@@ -154,7 +171,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     result = IntegrationPipeline(args.attribute).run(registry)
     database = Database()
     database.add_integration_result("data", result)
-    open_world = OpenWorldExecutor(database, sum_estimator=make_estimator(args.estimator))
+    open_world = OpenWorldExecutor(
+        database, sum_estimator=make_estimator(args.estimator, engine=args.engine)
+    )
     answer = open_world.execute(args.sql)
     rows = [
         {
@@ -178,7 +197,9 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     if args.seed is not None:
         kwargs["seed"] = args.seed
     dataset = load_dataset(args.name, **kwargs)
-    runner = ProgressiveRunner(list(args.estimators))
+    runner = ProgressiveRunner(
+        {name: make_estimator(name, engine=args.engine) for name in args.estimators}
+    )
     step = args.step or max(1, dataset.total_observations // 10)
     result = runner.run(dataset, step=step)
     print(f"{dataset.description}  ({dataset.query})")

@@ -45,6 +45,12 @@ class FrequencyStatistics:
         if not cleaned:
             raise InsufficientDataError("frequency statistics are empty")
         self._frequencies = dict(sorted(cleaned.items()))
+        # The instance is immutable after construction, so the derived
+        # scalars can be computed once here; the estimator hot loops read
+        # ``n``, ``c`` and ``max_occurrences`` thousands of times per fit.
+        self._n = sum(j * fj for j, fj in self._frequencies.items())
+        self._c = sum(self._frequencies.values())
+        self._max_occurrences = max(self._frequencies)
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -93,18 +99,18 @@ class FrequencyStatistics:
 
     @property
     def n(self) -> int:
-        """Total number of observations ``n = Σ j · f_j``."""
-        return sum(j * fj for j, fj in self._frequencies.items())
+        """Total number of observations ``n = Σ j · f_j`` (cached)."""
+        return self._n
 
     @property
     def c(self) -> int:
-        """Number of unique observed entities ``c = Σ f_j``."""
-        return sum(self._frequencies.values())
+        """Number of unique observed entities ``c = Σ f_j`` (cached)."""
+        return self._c
 
     @property
     def max_occurrences(self) -> int:
-        """Largest observation count of any entity."""
-        return max(self._frequencies)
+        """Largest observation count of any entity (cached)."""
+        return self._max_occurrences
 
     # ------------------------------------------------------------------ #
     # Derived quantities (Equations 4 and 6)

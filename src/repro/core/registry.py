@@ -18,7 +18,7 @@ from repro.core.bucket import (
 )
 from repro.core.estimator import SumEstimator
 from repro.core.frequency import FrequencyEstimator
-from repro.core.montecarlo import MonteCarloEstimator
+from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
 from repro.core.naive import NaiveEstimator
 from repro.utils.exceptions import ValidationError
 
@@ -36,10 +36,12 @@ _FACTORIES: dict[str, Callable[..., SumEstimator]] = {
     "bucket-equiheight": lambda n_buckets=4, **kw: BucketEstimator(
         strategy=EquiHeightBucketing(n_buckets=n_buckets)
     ),
-    "monte-carlo": lambda seed=0, **kw: MonteCarloEstimator(seed=seed),
-    "monte-carlo-bucket": lambda seed=0, **kw: BucketEstimator(
+    "monte-carlo": lambda seed=0, engine="vectorized", **kw: MonteCarloEstimator(
+        config=MonteCarloConfig(engine=engine), seed=seed
+    ),
+    "monte-carlo-bucket": lambda seed=0, engine="vectorized", **kw: BucketEstimator(
         strategy=DynamicBucketing(),
-        base=MonteCarloEstimator(seed=seed),
+        base=MonteCarloEstimator(config=MonteCarloConfig(engine=engine), seed=seed),
         search_base=NaiveEstimator(),
     ),
 }

@@ -16,6 +16,7 @@ from repro.data.cleaning import FusionStrategy, MeanFusion, MedianFusion, FirstV
 from repro.data.sample import ObservedSample
 from repro.data.integration import IntegrationPipeline, IntegrationResult, integrate
 from repro.data.lineage import LineageTracker
+from repro.data.progressive import ProgressiveIntegrator
 from repro.data.io import (
     read_observations_csv,
     read_sample_csv,
@@ -38,6 +39,7 @@ __all__ = [
     "IntegrationResult",
     "integrate",
     "LineageTracker",
+    "ProgressiveIntegrator",
     "read_observations_csv",
     "read_sample_csv",
     "read_sources_csv",

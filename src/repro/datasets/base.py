@@ -51,6 +51,10 @@ class CrowdDataset:
         """The integrated sample after the first ``n_answers`` crowd answers."""
         return self.run.sample_at(n_answers)
 
+    def samples_at(self, prefix_sizes) -> list[ObservedSample]:
+        """Samples at several prefix sizes in one incremental stream pass."""
+        return self.run.samples_at(prefix_sizes)
+
     def observed_answer(self, n_answers: int | None = None) -> float:
         """The closed-world SUM answer after ``n_answers`` answers (default all)."""
         sample = self.sample() if n_answers is None else self.sample_at(n_answers)

@@ -178,8 +178,9 @@ class ProgressiveRunner:
         series = {
             name: EstimateSeries(estimator=name) for name in self.estimators
         }
-        for size in sizes:
-            sample = run.sample_at(size)
+        # One incremental pass over the stream instead of re-integrating
+        # every prefix from scratch (O(n) total rather than O(n·k)).
+        for size, sample in zip(sizes, run.samples_at(sizes)):
             observed.append(sample.sum(attribute))
             for name, estimator in self.estimators.items():
                 estimate = estimator.estimate(sample, attribute)

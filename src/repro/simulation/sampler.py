@@ -23,6 +23,7 @@ from repro.simulation.population import Population
 from repro.simulation.publicity import PublicityModel, UniformPublicity
 from repro.utils.exceptions import InsufficientDataError, ValidationError
 from repro.utils.rng import ensure_rng
+from repro.utils.sampling import gumbel_topk_indices
 
 
 def integrate_draws(
@@ -89,6 +90,20 @@ class SamplingRun:
         prefix = self.stream[: min(n_observations, len(self.stream))]
         return integrate_draws(prefix, self.attribute)
 
+    def samples_at(self, prefix_sizes: Sequence[int]) -> list[ObservedSample]:
+        """Integrated samples at several prefix sizes in one stream pass.
+
+        Equivalent to ``[self.sample_at(k) for k in prefix_sizes]`` but O(n)
+        total instead of O(n·k): the stream is consumed once by a
+        :class:`~repro.data.progressive.ProgressiveIntegrator`.  Sizes must
+        be non-decreasing.
+        """
+        from repro.data.progressive import ProgressiveIntegrator
+
+        return ProgressiveIntegrator(self.stream, self.attribute).samples_at(
+            prefix_sizes
+        )
+
     def prefix_sizes(self, step: int) -> list[int]:
         """Evenly spaced prefix sizes ``step, 2·step, ..., total`` for replay."""
         if step < 1:
@@ -141,9 +156,10 @@ class MultiSourceSampler:
         generator = ensure_rng(rng)
         probabilities = self.publicity.for_population(self.population)
         draw = min(size, self.population.size)
-        indices = generator.choice(
-            self.population.size, size=draw, replace=False, p=probabilities
-        )
+        # Gumbel top-k in descending key order is distributed exactly like
+        # sequential weighted sampling without replacement (see DESIGN.md),
+        # but runs in one vectorized pass instead of O(N·k).
+        indices = gumbel_topk_indices(probabilities, draw, generator, ordered=True)
         observations = []
         for seq, index in enumerate(indices):
             entity = self.population[int(index)]
@@ -209,21 +225,31 @@ class MultiSourceSampler:
         if arrival == "sequential":
             stream = [obs for source in sources for obs in source.observations]
         elif arrival == "roundrobin":
-            stream = []
-            cursors = [list(source.observations) for source in sources]
-            while any(cursors):
-                for queue in cursors:
-                    if queue:
-                        stream.append(queue.pop(0))
+            # One observation per source in turn; indexing by rank avoids the
+            # quadratic pop(0) queue shuffling of the naive implementation.
+            longest = max((len(source.observations) for source in sources), default=0)
+            stream = [
+                source.observations[rank]
+                for rank in range(longest)
+                for source in sources
+                if rank < len(source.observations)
+            ]
         elif arrival == "interleaved":
-            queues = [list(source.observations) for source in sources]
-            remaining = [len(q) for q in queues]
+            # Picking a source with probability proportional to its remaining
+            # observations is the same as picking a uniformly random remaining
+            # observation, so the arrival order is a uniform shuffle of the
+            # source labels with within-source order preserved.  One
+            # permutation replaces the O(n²) weighted-pick/pop(0) loop.
+            labels = np.repeat(
+                np.arange(len(sources)),
+                [len(source.observations) for source in sources],
+            )
+            cursors = [0] * len(sources)
             stream = []
-            while sum(remaining) > 0:
-                weights = np.array(remaining, dtype=float)
-                choice = int(rng.choice(len(queues), p=weights / weights.sum()))
-                stream.append(queues[choice].pop(0))
-                remaining[choice] -= 1
+            for label in rng.permutation(labels):
+                source = sources[label]
+                stream.append(source.observations[cursors[label]])
+                cursors[label] += 1
         else:
             raise ValidationError(
                 f"unknown arrival mode {arrival!r}; expected interleaved, "

@@ -1,0 +1,276 @@
+"""Vectorised weighted sampling without replacement (Gumbel top-k).
+
+Both the multi-source simulator and the Monte-Carlo estimator need the same
+primitive: draw ``k`` distinct items from a publicity distribution ``p``.
+``numpy.random.Generator.choice(replace=False, p=...)`` implements this with
+a sequential renormalisation loop that costs O(N·k) per draw, which makes it
+the runtime bottleneck of every grid cell and every simulated source.
+
+The Gumbel top-k trick replaces the sequential loop with one vectorised
+pass: perturb the log-probabilities with i.i.d. Gumbel(0, 1) noise and keep
+the ``k`` largest keys,
+
+    key_i = log p_i + G_i,        G_i ~ Gumbel(0, 1).
+
+Taking the argmax of the keys samples ``i`` with probability ``p_i`` (the
+Gumbel-max trick); conditioning on that choice, the remaining keys are still
+independent Gumbel-perturbed log-probabilities of the *renormalised*
+remaining distribution, so taking the keys in descending order is
+distributed exactly like sequential weighted sampling without replacement
+(the Efraimidis-Spirakis reservoir order).  See DESIGN.md for the argument.
+
+Implementation note: with ``E_i ~ Exp(1)``, ``−log E_i`` is Gumbel(0, 1),
+so descending order of ``log p_i + G_i`` is ascending order of ``E_i / p_i``
+-- the classic "exponential race".  We sample the race directly because
+numpy's ziggurat exponential sampler is several times faster than its
+Gumbel sampler (which needs two logarithms per draw), and it turns the
+zero-probability corner case into a clean ``inf`` instead of ``−inf`` key
+arithmetic.
+
+Because every draw is independent noise over shared key vectors, many draws
+batch into one matrix: :func:`batched_draw_counts` simulates ``n_draws``
+replicates of an entire multi-source round -- for several publicity vectors
+at once -- with a handful of numpy calls.  This is the engine room of the
+Monte-Carlo grid search (Algorithm 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import ValidationError
+
+#: Upper bound on the number of floats materialised per noise block; keeps
+#: the batched race matrices inside the cache hierarchy instead of thrashing
+#: when ``n_items`` is large (e.g. huge Chao92 search ceilings).
+_MAX_BLOCK_ITEMS = 8_000_000
+
+
+def _validated_probabilities(probabilities: Sequence[float]) -> np.ndarray:
+    """Validate a vector (or stack of vectors) of sampling weights."""
+    arr = np.asarray(probabilities, dtype=float)
+    if arr.ndim not in (1, 2) or arr.size == 0:
+        raise ValidationError("probabilities must be a non-empty 1-D or 2-D array")
+    if np.any(arr < 0):
+        raise ValidationError("probabilities must be non-negative")
+    if np.any(arr.sum(axis=-1) <= 0):
+        raise ValidationError("probabilities must not all be zero")
+    return arr
+
+
+def gumbel_topk_indices(
+    probabilities: Sequence[float],
+    k: int,
+    rng: np.random.Generator,
+    ordered: bool = True,
+) -> np.ndarray:
+    """Draw ``k`` distinct indices weighted by ``probabilities``.
+
+    Equivalent in distribution to
+    ``rng.choice(len(p), size=k, replace=False, p=p)`` but O(N + k·log k)
+    instead of O(N·k).
+
+    Parameters
+    ----------
+    probabilities:
+        Non-negative weights; they need not sum to one (only ratios matter
+        because the race keys are scale-invariant).
+    k:
+        Number of distinct indices to draw; at most the number of strictly
+        positive weights.
+    rng:
+        The generator supplying the exponential race noise.
+    ordered:
+        When true (default) the indices are returned in sampling order (the
+        first index is the first entity the source "found"), matching the
+        arrival semantics of sequential sampling.  When false the order is
+        unspecified, which skips the final sort.
+    """
+    p = _validated_probabilities(probabilities)
+    if p.ndim != 1:
+        raise ValidationError("gumbel_topk_indices expects a 1-D weight vector")
+    support = int(np.count_nonzero(p))
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if k > support:
+        raise ValidationError(
+            f"cannot draw {k} distinct items from {support} items with positive weight"
+        )
+    with np.errstate(divide="ignore"):
+        keys = rng.standard_exponential(p.size) / p
+    if k == p.size:
+        top = np.argsort(keys) if ordered else np.arange(k)
+    else:
+        top = np.argpartition(keys, k)[:k]
+        if ordered:
+            top = top[np.argsort(keys[top])]
+    return top
+
+
+def batched_draw_counts(
+    probabilities: Sequence[float],
+    sizes: Sequence[int],
+    n_draws: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Simulate ``n_draws`` replicates of a multi-source sampling round.
+
+    Each replicate lets every source ``j`` draw ``sizes[j]`` distinct items
+    (capped at the number of items) without replacement from
+    ``probabilities`` and accumulates how many sources picked each item --
+    exactly the per-item counts the Monte-Carlo estimator compares against
+    the observed frequency statistics.
+
+    ``probabilities`` may be one weight vector of shape ``(n_items,)`` or a
+    stack of shape ``(L, n_items)`` (e.g. one publicity vector per λ grid
+    value); each vector runs its own independent replicates, sharing a
+    single noise pass.  Returns ``(n_draws, n_items)`` in the 1-D case and
+    ``(L, n_draws, n_items)`` in the 2-D case.
+
+    The batching layout is (vector × replicate × source) rows over an item
+    axis; sources with equal sizes share one selection pass, and rows are
+    processed in blocks of at most ``_MAX_BLOCK_ITEMS`` floats so memory
+    stays bounded for large item counts.
+    """
+    p = _validated_probabilities(probabilities)
+    squeeze = p.ndim == 1
+    stacked = p[None, :] if squeeze else p
+    if n_draws < 1:
+        raise ValidationError(f"n_draws must be >= 1, got {n_draws}")
+    size_arr = np.asarray(sizes, dtype=int)
+    if size_arr.ndim != 1:
+        raise ValidationError("sizes must be a 1-D sequence")
+    if np.any(size_arr < 0):
+        raise ValidationError("source sizes must be non-negative")
+
+    n_vectors, n_items = stacked.shape
+    n_groups = n_vectors * n_draws
+    counts = np.zeros((n_groups, n_items), dtype=np.int64)
+    with np.errstate(divide="ignore"):
+        inverse_p = 1.0 / stacked
+    cdf = np.cumsum(stacked, axis=1)
+    cdf /= cdf[:, -1:]
+    # Like rng.choice(replace=False), a draw can never exceed the number of
+    # strictly positive weights of any vector.
+    min_support = int(np.min(np.count_nonzero(stacked > 0, axis=1)))
+
+    for k in np.unique(size_arr):
+        draw = int(min(k, n_items))
+        if draw <= 0:
+            continue
+        if draw > min_support:
+            raise ValidationError(
+                f"cannot draw {draw} distinct items from {min_support} items "
+                "with positive weight"
+            )
+        n_sources = int(np.count_nonzero(size_arr == k))
+        if draw >= n_items:
+            # Every such source enumerates the whole population.
+            counts += n_sources
+            continue
+        total_rows = n_groups * n_sources
+        # Row layout is (vector, replicate, source)-major, so the weight
+        # vector of a row is row // (n_draws · n_sources) and its count
+        # group (vector, replicate) is row // n_sources.
+        rows = np.arange(total_rows)
+        row_vector = rows // (n_draws * n_sources)
+        row_group = rows // n_sources
+        collision_mass = float(np.max(np.sum(stacked * stacked, axis=1)))
+        # Expected duplicates among m with-replacement draws is ≈ C(m,2)·Σp²;
+        # pad k by that expectation plus a generous tail margin so almost
+        # every row reaches k distinct values in one round.
+        expected_dups = 0.5 * (draw + 4) ** 2 * collision_mass
+        buffer = max(4, math.ceil(expected_dups + 4.0 * math.sqrt(expected_dups)))
+        if draw * 8 <= n_items and buffer <= 2 * draw + 8:
+            picked, keep, complete = _first_k_distinct_draws(
+                cdf, draw, row_vector, rng, oversample=draw + buffer
+            )
+            flat = row_group[:, None] * n_items + picked
+            counts += np.bincount(
+                flat[keep], minlength=n_groups * n_items
+            ).reshape(n_groups, n_items)
+            # Rows whose oversampled stream held fewer than ``draw`` distinct
+            # items keep their distinct prefix and are *continued*, not
+            # restarted: conditioned on the prefix, the remainder of
+            # sequential WOR is a race over the renormalised unseen items,
+            # which the masked exponential race samples exactly.  (A restart
+            # would be biased -- the failure event correlates with the
+            # prefix.)  Incomplete rows are rare by construction of the
+            # buffer, so this loop almost never runs.
+            for row in np.nonzero(~complete)[0]:
+                seen = picked[row][keep[row]]
+                keys = rng.standard_exponential(n_items) * inverse_p[row_vector[row]]
+                keys[seen] = np.inf
+                need = draw - seen.size
+                top = np.argpartition(keys, need)[:need]
+                counts[row_group[row]] += np.bincount(top, minlength=n_items)
+        else:
+            # Dense draws (k close to n_items, where rejection would thrash):
+            # exact top-k over full per-item race noise.
+            block = max(1, _MAX_BLOCK_ITEMS // n_items)
+            for start in range(0, total_rows, block):
+                chunk = rows[start : start + block]
+                keys = rng.standard_exponential((chunk.size, n_items))
+                keys *= inverse_p[row_vector[chunk]]
+                top = np.argpartition(keys, draw, axis=1)[:, :draw]
+                flat = row_group[chunk][:, None] * n_items + top
+                counts += np.bincount(
+                    flat.ravel(), minlength=n_groups * n_items
+                ).reshape(n_groups, n_items)
+
+    shaped = counts.reshape(n_vectors, n_draws, n_items)
+    return shaped[0] if squeeze else shaped
+
+
+def _first_k_distinct_draws(
+    cdf: np.ndarray,
+    k: int,
+    row_vector: np.ndarray,
+    rng: np.random.Generator,
+    oversample: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sparse without-replacement sampling via with-replacement rejection.
+
+    Draws ``oversample`` items *with* replacement per row by inverting the
+    CDF, then keeps each row's first ``k`` distinct values.  Skipping
+    duplicates of an i.i.d. stream draws each accepted item from the
+    renormalised distribution of the not-yet-seen items, so the kept prefix
+    is distributed exactly like sequential weighted sampling without
+    replacement -- at O(k·log n) cost per row instead of O(n) noise, a big
+    win for the sparse draws (k ≪ n) of the Monte-Carlo grid search.
+
+    Returns ``(picked, keep, complete)``: the raw draws of shape
+    ``(rows, oversample)``, a boolean mask selecting each row's (up to) first
+    ``k`` distinct entries, and a per-row flag telling whether ``k`` distinct
+    values were reached (callers must *continue* incomplete rows from their
+    distinct prefix with an exact sampler over the unseen items).
+    """
+    n_vectors, n_items = cdf.shape
+    uniforms = rng.random((row_vector.size, oversample))
+    # Invert all CDFs with ONE searchsorted call: vector v's CDF shifted by
+    # +v occupies (v, v+1] of a globally sorted concatenation, so the needle
+    # u + v lands inside its own vector's range.
+    if n_vectors == 1:
+        picked = np.searchsorted(cdf[0], uniforms, side="right")
+    else:
+        combined = (cdf + np.arange(n_vectors)[:, None]).ravel()
+        needles = uniforms + row_vector[:, None].astype(float)
+        picked = np.searchsorted(combined, needles.ravel(), side="right").reshape(
+            uniforms.shape
+        )
+        picked -= row_vector[:, None] * n_items
+    # First-occurrence mask per row: stable-sort the draws, flag repeats of
+    # the previous sorted value, scatter the flags back to draw order.
+    order = np.argsort(picked, axis=1, kind="stable")
+    sorted_vals = np.take_along_axis(picked, order, axis=1)
+    dup_sorted = np.zeros_like(picked, dtype=bool)
+    dup_sorted[:, 1:] = sorted_vals[:, 1:] == sorted_vals[:, :-1]
+    duplicate = np.empty_like(dup_sorted)
+    np.put_along_axis(duplicate, order, dup_sorted, axis=1)
+    distinct_rank = np.cumsum(~duplicate, axis=1)
+    keep = ~duplicate & (distinct_rank <= k)
+    complete = distinct_rank[:, -1] >= k
+    return picked, keep, complete

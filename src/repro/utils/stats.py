@@ -66,6 +66,36 @@ def kl_divergence(p: Sequence[float], q: Sequence[float]) -> float:
     return float(np.sum(p_arr[mask] * np.log(p_arr[mask] / q_arr[mask])))
 
 
+def smoothed_kl_divergence(
+    p: Sequence[float], q: Sequence[float], epsilon: float = 1e-10
+) -> float:
+    """Fused ``kl_divergence(smooth(p), smooth(q))`` with fewer temporaries.
+
+    The Monte-Carlo divergence inner loop smooths both distributions and
+    immediately feeds them to the KL divergence; doing the three steps
+    separately allocates three intermediate arrays per call.  This fusion
+    performs one smoothing pass per input and computes the divergence
+    directly.  After smoothing every entry is strictly positive, so the
+    ``0·log(0/x)`` and ``inf`` branches of :func:`kl_divergence` cannot
+    trigger and are skipped.
+    """
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape:
+        raise ValidationError(
+            f"distributions must have equal length, got {p_arr.shape} and {q_arr.shape}"
+        )
+    if p_arr.size == 0:
+        raise ValidationError("cannot compute KL divergence of empty distributions")
+    if epsilon <= 0:
+        raise ValidationError(f"epsilon must be positive, got {epsilon}")
+    p_s = np.where(p_arr <= 0, epsilon, p_arr)
+    p_s /= p_s.sum()
+    q_s = np.where(q_arr <= 0, epsilon, q_arr)
+    q_s /= q_s.sum()
+    return float(np.dot(p_s, np.log(p_s / q_s)))
+
+
 def coefficient_of_variation(values: Sequence[float]) -> float:
     """Coefficient of variation (population std / mean) of ``values``.
 

@@ -1,0 +1,88 @@
+"""Tests for the incremental ProgressiveIntegrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.progressive import ProgressiveIntegrator
+from repro.simulation.population import linear_value_population
+from repro.simulation.sampler import MultiSourceSampler, integrate_draws
+from repro.utils.exceptions import InsufficientDataError, ValidationError
+
+
+@pytest.fixture
+def run():
+    population = linear_value_population(size=50)
+    return MultiSourceSampler(population, "value").run([15] * 6, seed=9)
+
+
+def _samples_equal(a, b) -> bool:
+    return (
+        a.counts == b.counts
+        and a.source_sizes == b.source_sizes
+        and all(
+            a.value(eid, "value") == b.value(eid, "value") for eid in a.entity_ids
+        )
+    )
+
+
+class TestProgressiveIntegrator:
+    def test_matches_full_reintegration_at_every_prefix(self, run):
+        integrator = ProgressiveIntegrator(run.stream, "value")
+        for size in (1, 7, 30, 55, 90):
+            integrator.advance_to(size)
+            snapshot = integrator.snapshot()
+            reference = integrate_draws(run.stream[:size], "value")
+            assert _samples_equal(snapshot, reference)
+
+    def test_samples_at_matches_sample_at(self, run):
+        sizes = run.prefix_sizes(10)
+        incremental = run.samples_at(sizes)
+        for size, sample in zip(sizes, incremental):
+            assert _samples_equal(sample, run.sample_at(size))
+
+    def test_snapshots_are_independent(self, run):
+        integrator = ProgressiveIntegrator(run.stream, "value")
+        integrator.advance_to(10)
+        early = integrator.snapshot()
+        integrator.advance_to(90)
+        assert early.n == 10
+        assert integrator.snapshot().n == 90
+
+    def test_rewind_rejected(self, run):
+        integrator = ProgressiveIntegrator(run.stream, "value")
+        integrator.advance_to(20)
+        with pytest.raises(ValidationError):
+            integrator.advance_to(10)
+
+    def test_clamps_beyond_stream_end(self, run):
+        integrator = ProgressiveIntegrator(run.stream, "value")
+        integrator.advance_to(10_000)
+        assert integrator.position == run.total_observations
+
+    def test_empty_prefix_snapshot_rejected(self, run):
+        integrator = ProgressiveIntegrator(run.stream, "value")
+        with pytest.raises(InsufficientDataError):
+            integrator.snapshot()
+
+    def test_samples_at_validates_sizes(self, run):
+        with pytest.raises(ValidationError):
+            run.samples_at([0, 10])
+        with pytest.raises(ValidationError):
+            run.samples_at([20, 10])
+
+    def test_advance_is_single_pass(self, run):
+        class CountingList(list):
+            def __init__(self, items):
+                super().__init__(items)
+                self.reads = 0
+
+            def __getitem__(self, index):
+                if isinstance(index, int):
+                    self.reads += 1
+                return super().__getitem__(index)
+
+        stream = CountingList(run.stream)
+        integrator = ProgressiveIntegrator(stream, "value")
+        integrator.samples_at([10, 40, 90])
+        assert stream.reads == 90

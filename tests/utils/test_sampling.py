@@ -1,0 +1,199 @@
+"""Tests for the Gumbel top-k sampling kernel.
+
+The kernel must be statistically indistinguishable from
+``rng.choice(replace=False, p=...)`` -- the chi-square parity tests below
+compare inclusion frequencies over many trials -- while being deterministic
+per seed and robust at the edges (full draws, zero weights, both the
+rejection and the exponential-race code paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.sampling import batched_draw_counts, gumbel_topk_indices
+
+
+def _skewed(n: int, skew: float) -> np.ndarray:
+    weights = np.exp(-skew * np.arange(n) / n)
+    return weights / weights.sum()
+
+
+class TestGumbelTopkIndices:
+    def test_distinct_and_in_range(self):
+        rng = np.random.default_rng(0)
+        p = _skewed(40, 3.0)
+        indices = gumbel_topk_indices(p, 15, rng)
+        assert len(set(indices.tolist())) == 15
+        assert indices.min() >= 0 and indices.max() < 40
+
+    def test_full_draw_is_permutation(self):
+        rng = np.random.default_rng(1)
+        p = _skewed(12, 1.0)
+        indices = gumbel_topk_indices(p, 12, rng)
+        assert sorted(indices.tolist()) == list(range(12))
+
+    def test_deterministic_per_seed(self):
+        p = _skewed(30, 2.0)
+        a = gumbel_topk_indices(p, 10, np.random.default_rng(42))
+        b = gumbel_topk_indices(p, 10, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_zero_probability_items_never_drawn(self):
+        rng = np.random.default_rng(2)
+        p = np.array([0.5, 0.0, 0.3, 0.0, 0.2])
+        for _ in range(200):
+            drawn = gumbel_topk_indices(p, 3, rng)
+            assert 1 not in drawn and 3 not in drawn
+
+    def test_k_beyond_support_rejected(self):
+        rng = np.random.default_rng(3)
+        p = np.array([0.5, 0.0, 0.5])
+        with pytest.raises(ValidationError):
+            gumbel_topk_indices(p, 3, rng)
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValidationError):
+            gumbel_topk_indices([], 1, rng)
+        with pytest.raises(ValidationError):
+            gumbel_topk_indices([-0.1, 1.1], 1, rng)
+        with pytest.raises(ValidationError):
+            gumbel_topk_indices([0.0, 0.0], 1, rng)
+        with pytest.raises(ValidationError):
+            gumbel_topk_indices([0.5, 0.5], 0, rng)
+
+    def test_inclusion_probabilities_match_choice(self):
+        # Chi-square two-sample agreement of inclusion counts between the
+        # kernel and numpy's weighted without-replacement sampler.
+        rng = np.random.default_rng(123)
+        n, k, trials = 12, 4, 6000
+        p = _skewed(n, 2.0)
+        kernel_counts = np.zeros(n)
+        choice_counts = np.zeros(n)
+        for _ in range(trials):
+            kernel_counts[gumbel_topk_indices(p, k, rng)] += 1
+            choice_counts[rng.choice(n, size=k, replace=False, p=p)] += 1
+        # Two-sample chi-square over the inclusion histograms (df = n-1 = 11,
+        # 0.999 quantile ~ 31.3); generous margin keeps the test stable.
+        chi_square = np.sum(
+            (kernel_counts - choice_counts) ** 2 / (kernel_counts + choice_counts)
+        )
+        assert chi_square < 40.0
+
+    def test_first_draw_matches_marginal_distribution(self):
+        # The first index of an ordered draw must be distributed as p itself
+        # (the Gumbel-max trick); chi-square against the exact expectation.
+        rng = np.random.default_rng(99)
+        n, trials = 10, 8000
+        p = _skewed(n, 2.5)
+        first = np.zeros(n)
+        for _ in range(trials):
+            first[gumbel_topk_indices(p, 3, rng)[0]] += 1
+        expected = p * trials
+        chi_square = np.sum((first - expected) ** 2 / expected)
+        # df = 9, 0.999 quantile ~ 27.9.
+        assert chi_square < 35.0
+
+
+class TestBatchedDrawCounts:
+    def test_shape_and_row_sums(self):
+        rng = np.random.default_rng(0)
+        p = _skewed(50, 1.0)
+        counts = batched_draw_counts(p, [5, 10, 3], 7, rng)
+        assert counts.shape == (7, 50)
+        # Every replicate's counts sum to the total drawn across sources.
+        assert np.all(counts.sum(axis=1) == 18)
+        # Without replacement: no source can contribute an item twice, so
+        # counts are bounded by the number of sources.
+        assert counts.max() <= 3
+
+    def test_stacked_probabilities(self):
+        rng = np.random.default_rng(1)
+        stack = np.vstack([_skewed(30, 0.0), _skewed(30, 4.0)])
+        counts = batched_draw_counts(stack, [4, 4], 5, rng)
+        assert counts.shape == (2, 5, 30)
+        assert np.all(counts.sum(axis=2) == 8)
+
+    def test_full_population_draw(self):
+        rng = np.random.default_rng(2)
+        p = _skewed(6, 2.0)
+        counts = batched_draw_counts(p, [6, 10, 2], 3, rng)
+        # Sources of size >= n_items enumerate every item exactly once.
+        assert np.all(counts >= 2)
+        assert np.all(counts.sum(axis=1) == 14)
+
+    def test_zero_size_sources_skipped(self):
+        rng = np.random.default_rng(3)
+        counts = batched_draw_counts(_skewed(8, 1.0), [0, 3], 2, rng)
+        assert np.all(counts.sum(axis=1) == 3)
+
+    def test_deterministic_per_seed(self):
+        p = _skewed(40, 2.0)
+        a = batched_draw_counts(p, [5, 5], 4, np.random.default_rng(7))
+        b = batched_draw_counts(p, [5, 5], 4, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValidationError):
+            batched_draw_counts(_skewed(5, 1.0), [2], 0, rng)
+        with pytest.raises(ValidationError):
+            batched_draw_counts(_skewed(5, 1.0), [-1], 2, rng)
+        with pytest.raises(ValidationError):
+            batched_draw_counts(_skewed(5, 1.0), [[1, 2]], 2, rng)
+
+    def test_draw_beyond_support_rejected(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValidationError):
+            batched_draw_counts(np.array([0.5, 0.5, 0.0]), [3], 1, rng)
+        with pytest.raises(ValidationError):
+            batched_draw_counts(np.array([0.5, 0.5, 0.0, 0.0]), [3], 1, rng)
+
+    def test_continuation_path_matches_choice(self, monkeypatch):
+        # Force the rejection stream to be far too short (oversample == k) so
+        # a large share of rows must be continued from their distinct prefix;
+        # the continued draws must still match numpy's sampler -- this is the
+        # statistical guard against the subtle restart bias.
+        import repro.utils.sampling as sampling
+
+        original = sampling._first_k_distinct_draws
+
+        def tiny_oversample(cdf, k, row_vector, rng, oversample):
+            return original(cdf, k, row_vector, rng, oversample=k)
+
+        monkeypatch.setattr(sampling, "_first_k_distinct_draws", tiny_oversample)
+        n, k, trials = 16, 2, 4000
+        p = _skewed(n, 3.0)
+        kernel = batched_draw_counts(p, [k], trials, np.random.default_rng(21)).sum(
+            axis=0
+        )
+        reference = np.zeros(n)
+        rng = np.random.default_rng(22)
+        for _ in range(trials):
+            reference[rng.choice(n, size=k, replace=False, p=p)] += 1
+        both = kernel + reference
+        chi_square = np.sum((kernel - reference) ** 2 / np.maximum(both, 1))
+        # df = 15, 0.999 quantile ~ 37.7; generous margin for stability.
+        assert chi_square < 45.0
+
+    @pytest.mark.parametrize("k,n", [(4, 64), (20, 32)])
+    def test_inclusion_parity_with_choice(self, k, n):
+        # k=4/n=64 exercises the sparse rejection path, k=20/n=32 the dense
+        # exponential-race path; both must match numpy's sampler.
+        trials = 1500
+        p = _skewed(n, 3.0)
+        kernel = batched_draw_counts(p, [k], trials, np.random.default_rng(11)).sum(
+            axis=0
+        )
+        reference = np.zeros(n)
+        rng = np.random.default_rng(12)
+        for _ in range(trials):
+            reference[rng.choice(n, size=k, replace=False, p=p)] += 1
+        both = kernel + reference
+        mask = both > 0
+        chi_square = np.sum((kernel[mask] - reference[mask]) ** 2 / both[mask])
+        # df <= n-1 = 63 (resp. 31); 0.999 quantiles ~ 103 / 61.1.
+        assert chi_square < (110.0 if n == 64 else 70.0)

@@ -128,3 +128,49 @@ class TestWeightedMean:
     def test_negative_weights_raise(self):
         with pytest.raises(ValidationError):
             weighted_mean([1.0, 2.0], [1.0, -1.0])
+
+
+class TestSmoothedKlDivergence:
+    def test_matches_unfused_round_trip(self):
+        from repro.utils.stats import smoothed_kl_divergence
+
+        p = np.array([0.5, 0.3, 0.0, 0.2, 0.0])
+        q = np.array([0.1, 0.0, 0.4, 0.5, 0.0])
+        eps = 1e-6
+        fused = smoothed_kl_divergence(p, q, eps)
+        unfused = kl_divergence(smooth_distribution(p, eps), smooth_distribution(q, eps))
+        assert fused == pytest.approx(unfused)
+
+    def test_identical_distributions_zero(self):
+        from repro.utils.stats import smoothed_kl_divergence
+
+        p = np.array([0.25, 0.25, 0.5])
+        assert smoothed_kl_divergence(p, p, 1e-9) == pytest.approx(0.0)
+
+    def test_accepts_unnormalised_inputs(self):
+        from repro.utils.stats import smoothed_kl_divergence
+
+        # Smoothing renormalises, so scaling either input must not matter.
+        p = np.array([2.0, 1.0, 1.0])
+        q = np.array([10.0, 30.0, 60.0])
+        a = smoothed_kl_divergence(p, q, 1e-9)
+        b = smoothed_kl_divergence(p / p.sum(), q / q.sum(), 1e-9)
+        assert a == pytest.approx(b)
+
+    def test_length_mismatch_raises(self):
+        from repro.utils.stats import smoothed_kl_divergence
+
+        with pytest.raises(ValidationError):
+            smoothed_kl_divergence([0.5, 0.5], [1.0])
+
+    def test_invalid_epsilon_raises(self):
+        from repro.utils.stats import smoothed_kl_divergence
+
+        with pytest.raises(ValidationError):
+            smoothed_kl_divergence([0.5, 0.5], [0.5, 0.5], 0.0)
+
+    def test_empty_raises(self):
+        from repro.utils.stats import smoothed_kl_divergence
+
+        with pytest.raises(ValidationError):
+            smoothed_kl_divergence([], [])
