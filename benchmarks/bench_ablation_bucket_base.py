@@ -13,9 +13,7 @@ import numpy as np
 
 from conftest import show
 
-from repro.core.bucket import BucketEstimator, DynamicBucketing
-from repro.core.frequency import FrequencyEstimator
-from repro.core.naive import NaiveEstimator
+from repro.api.specs import build_estimator
 from repro.evaluation.experiments import ExperimentResult
 from repro.evaluation.metrics import relative_error
 from repro.simulation.scenarios import get_scenario
@@ -25,10 +23,8 @@ from repro.utils.rng import spawn_rngs
 def _run_ablation(repetitions: int = 4, seed: int = 21) -> ExperimentResult:
     scenario = get_scenario("realistic-w10")
     variants = {
-        "bucket(naive)": BucketEstimator(strategy=DynamicBucketing(), base=NaiveEstimator()),
-        "bucket(frequency)": BucketEstimator(
-            strategy=DynamicBucketing(), base=FrequencyEstimator()
-        ),
+        "bucket(naive)": build_estimator("bucket/naive"),
+        "bucket(frequency)": build_estimator("bucket/frequency"),
     }
     errors: dict[str, list[float]] = {name: [] for name in variants}
     deltas: dict[str, list[float]] = {name: [] for name in variants}

@@ -25,10 +25,7 @@ import platform
 import time
 from pathlib import Path
 
-from repro.core.bucket import BucketEstimator
-from repro.core.frequency import FrequencyEstimator
-from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
-from repro.core.naive import NaiveEstimator
+from repro.api.specs import build_estimator
 from repro.datasets import load_dataset
 
 #: Paper-scale Monte-Carlo settings (Algorithm 2/3 defaults).
@@ -40,15 +37,17 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_estimator_runti
 
 
 def _paper_scale_estimators(mc_settings: dict) -> dict:
+    """Benchmarked estimators, built from uniform spec strings."""
+    mc_params = "&".join(f"{key}={value}" for key, value in mc_settings.items())
     return {
-        "naive": NaiveEstimator(),
-        "frequency": FrequencyEstimator(),
-        "bucket": BucketEstimator(),
-        "monte-carlo-loop": MonteCarloEstimator(
-            config=MonteCarloConfig(engine="loop", **mc_settings), seed=0
+        "naive": build_estimator("naive"),
+        "frequency": build_estimator("frequency"),
+        "bucket": build_estimator("bucket"),
+        "monte-carlo-loop": build_estimator(
+            f"monte-carlo?seed=0&engine=loop&{mc_params}"
         ),
-        "monte-carlo-vectorized": MonteCarloEstimator(
-            config=MonteCarloConfig(engine="vectorized", **mc_settings), seed=0
+        "monte-carlo-vectorized": build_estimator(
+            f"monte-carlo?seed=0&engine=vectorized&{mc_params}"
         ),
     }
 

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Open-world SQL: run aggregate queries that account for unknown unknowns.
 
-This example integrates the GDP-per-state stand-in data set, registers it in
-the query engine, and compares classical (closed-world) execution with
-open-world execution for SUM, COUNT, AVG, MIN and MAX -- including the
-predicate support (``WHERE``) and the MIN/MAX trust flag of Section 5.
+This example adopts the GDP-per-state stand-in data set into an
+:class:`~repro.api.OpenWorldSession` and compares classical (closed-world)
+execution with open-world execution for SUM, COUNT, AVG, MIN and MAX --
+including the predicate support (``WHERE``) and the MIN/MAX trust flag of
+Section 5.
 
 Run with::
 
@@ -13,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ClosedWorldExecutor, Database, OpenWorldExecutor
+from repro import OpenWorldSession
 from repro.datasets import load_dataset
 
 
@@ -21,11 +22,9 @@ def main() -> None:
     dataset = load_dataset("us-gdp", seed=11, n_answers=90)
     sample = dataset.sample()
 
-    database = Database()
-    database.add_sample("us_states", sample)
-
-    closed = ClosedWorldExecutor(database)
-    opened = OpenWorldExecutor(database)
+    session = OpenWorldSession.from_sample(
+        sample, "gdp", table_name="us_states", estimator="bucket"
+    )
 
     print(f"{dataset.description}")
     print(f"True total GDP: {dataset.ground_truth:,.1f} $bn "
@@ -41,8 +40,8 @@ def main() -> None:
         "SELECT MAX(gdp) FROM us_states",
     ]
     for query in queries:
-        closed_result = closed.execute(query)
-        open_result = opened.execute(query)
+        closed_result = session.query(query, closed_world=True)
+        open_result = session.query(query)
         print(query)
         print(f"  closed world: {closed_result.observed:>12,.1f}")
         if open_result.trusted is None:

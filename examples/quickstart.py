@@ -1,13 +1,18 @@
 #!/usr/bin/env python
-"""Quickstart: estimate the impact of unknown unknowns on a SUM query.
+"""Quickstart: one OpenWorldSession from raw mentions to corrected answers.
 
-This walks through the paper's toy scenario end to end using the public API:
+This walks through the paper's toy scenario end to end using the unified
+``repro.api`` facade:
 
 1. several overlapping data sources report tech companies and their head
-   counts,
-2. the sources are integrated into one database (with lineage),
-3. the closed-world ``SELECT SUM(employees)`` answer is computed,
-4. the unknown-unknowns estimators correct it toward the (hidden) truth.
+   counts; their mentions are **ingested incrementally** into one
+   :class:`~repro.api.OpenWorldSession` (the session maintains the
+   integrated sample under appends -- no per-query rebuilds),
+2. the closed-world ``SELECT SUM(employees)`` answer is computed,
+3. estimator specs (``"naive"``, ``"frequency"``, ``"bucket"``, composite
+   strings like ``"bucket/monte-carlo?seed=3"``) correct it toward the
+   (hidden) truth,
+4. the session state is snapshotted, serialized to JSON, and restored.
 
 Run with::
 
@@ -16,77 +21,85 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    BucketEstimator,
-    DataSource,
-    FrequencyEstimator,
-    NaiveEstimator,
-    Observation,
-    integrate,
-    sum_upper_bound,
-)
+import json
+
+from repro import Observation, OpenWorldSession, sum_upper_bound
 
 # The hidden ground truth (what no single source knows): five companies with
 # a total of 14,200 employees.  Only the sources below are observable.
 GROUND_TRUTH = {"A": 1000, "B": 2000, "C": 900, "D": 10000, "E": 300}
 
+# Four overlapping sources; company C is never mentioned by anyone.
+SOURCE_CONTENTS = {
+    "web-list-1": ["A", "B", "D"],
+    "web-list-2": ["B", "D"],
+    "news-site": ["D"],
+    "crowd-worker": ["D", "A", "E"],
+}
 
-def build_sources() -> list[DataSource]:
-    """Four overlapping sources; company C is never mentioned by anyone."""
-    contents = {
-        "web-list-1": ["A", "B", "D"],
-        "web-list-2": ["B", "D"],
-        "news-site": ["D"],
-        "crowd-worker": ["D", "A", "E"],
-    }
-    sources = []
-    for source_id, companies in contents.items():
-        observations = [
-            Observation(
-                entity_id=name,
-                attributes={"employees": float(GROUND_TRUTH[name])},
-                source_id=source_id,
-            )
-            for name in companies
-        ]
-        sources.append(DataSource(source_id=source_id, observations=observations))
-    return sources
+
+def mentions(source_id: str) -> list[Observation]:
+    """The per-source observation stream (each mention carries the value)."""
+    return [
+        Observation(
+            entity_id=name,
+            attributes={"employees": float(GROUND_TRUTH[name])},
+            source_id=source_id,
+        )
+        for name in SOURCE_CONTENTS[source_id]
+    ]
 
 
 def main() -> None:
-    sources = build_sources()
-    result = integrate(sources, attribute="employees")
-    sample = result.sample
+    session = OpenWorldSession("employees")
 
+    # Sources arrive one after the other; each chunk is integrated in O(chunk).
+    for source_id in SOURCE_CONTENTS:
+        ingested = session.ingest(mentions(source_id))
+        print(f"ingested {ingested} mention(s) from {source_id:<14s} "
+              f"-> n={session.n}, unique={session.c}")
+    print()
+
+    sample = session.sample()
     observed = sample.sum("employees")
     truth = float(sum(GROUND_TRUTH.values()))
     print("Integrated database (K):")
-    for entity in result.database:
-        mentions = result.lineage.observation_count(entity.entity_id)
-        print(f"  {entity.entity_id}: {entity.value('employees'):>8.0f} employees "
-              f"({mentions} source(s))")
+    for entity_id in sample.entity_ids:
+        print(f"  {entity_id}: {sample.value(entity_id, 'employees'):>8.0f} employees "
+              f"({sample.count(entity_id)} mention(s))")
     print()
     print(f"Observed SUM(employees):      {observed:>12,.0f}")
     print(f"Hidden ground truth:          {truth:>12,.0f}")
     print(f"Impact of unknown unknowns:   {truth - observed:>12,.0f}")
     print()
 
-    print("Estimator corrections (closer to the truth is better):")
-    for estimator in (NaiveEstimator(), FrequencyEstimator(), BucketEstimator()):
-        estimate = estimator.estimate(sample, "employees")
+    print("Estimator-spec corrections (closer to the truth is better):")
+    for spec in ("naive", "frequency", "bucket"):
+        estimate = session.estimate(spec=spec)
         flag = "reliable" if estimate.reliable else "low coverage - interpret with care"
         print(
-            f"  {estimator.name:<10s} corrected = {estimate.corrected:>12,.0f}   "
+            f"  {spec:<10s} corrected = {estimate.corrected:>12,.0f}   "
             f"(delta = {estimate.delta:>10,.0f}, N-hat = {estimate.count_estimate:6.1f}, {flag})"
         )
-
     bound = sum_upper_bound(sample, "employees")
-    print()
     if bound.is_finite:
-        print(f"Worst-case upper bound on the true SUM: {bound.bound:,.0f}")
+        print(f"  worst-case upper bound on the true SUM: {bound.bound:,.0f}")
     else:
-        print("Worst-case upper bound: not yet meaningful (sample too small), "
-              "as expected for a handful of observations.")
+        print("  worst-case upper bound: not yet meaningful (sample too small)")
+    print()
+
+    # Open-world SQL over the same session state.
+    answer = session.query("SELECT SUM(employees) FROM data WHERE employees > 500")
+    print(f"{answer.query}")
+    print(f"  observed {answer.observed:,.0f} -> corrected {answer.corrected:,.0f}")
+    print()
+
+    # Every result serializes through one versioned JSON schema, and so does
+    # the session itself (replay / recovery / migration between workers).
+    payload = json.dumps(session.snapshot().to_dict())
+    restored = OpenWorldSession.restore(json.loads(payload))
+    print(f"snapshot round-trip: {len(payload)} JSON bytes, "
+          f"restored estimate = {restored.estimate(spec='bucket').corrected:,.0f}")
 
 
 if __name__ == "__main__":

@@ -8,17 +8,37 @@ sources.
 
 Quickstart
 ----------
->>> from repro import ObservedSample, BucketEstimator
->>> sample = ObservedSample.from_entity_values(
-...     [("acme", 120.0, 3), ("globex", 45.0, 1), ("initech", 80.0, 2)],
-...     attribute="employees",
+The one-stop entry point is the :class:`OpenWorldSession`: feed it
+per-source observations incrementally, then ask for corrected estimates or
+run open-world aggregate queries against the maintained state.
+
+>>> from repro import Observation, OpenWorldSession
+>>> session = OpenWorldSession("employees")
+>>> session.ingest(
+...     Observation(entity_id=name, source_id=src, attributes={"employees": size})
+...     for src, name, size in [
+...         ("web-list", "acme", 120.0), ("web-list", "globex", 45.0),
+...         ("news", "acme", 120.0), ("crowd", "initech", 80.0),
+...     ]
 ... )
->>> estimate = BucketEstimator().estimate(sample, "employees")
+4
+>>> estimate = session.estimate()               # default spec: "bucket"
 >>> estimate.observed <= estimate.corrected
 True
+>>> estimate = session.estimate(spec="bucket/monte-carlo?seed=3")
+>>> session.query("SELECT AVG(employees) FROM data").aggregate
+'AVG'
+
+Estimators are named by composable spec strings
+(``"bucket(equiwidth:8)/monte-carlo?seed=3&engine=vectorized"``); every
+result object serializes through one versioned JSON contract
+(``estimate.to_dict()`` / ``repro.api.from_dict``).
 
 Package layout
 --------------
+* :mod:`repro.api` -- the unified facade: estimator specs, the stateful
+  :class:`OpenWorldSession` (incremental ingest, snapshot/restore), and the
+  serializable result model.
 * :mod:`repro.core` -- the estimators (naive, frequency, bucket, Monte-Carlo),
   the SUM upper bound and the COUNT/AVG/MIN/MAX extensions.
 * :mod:`repro.data` -- the data-integration substrate (sources, cleaning,
@@ -32,6 +52,15 @@ Package layout
 * :mod:`repro.evaluation` -- progressive replay harness, metrics, and one
   experiment driver per figure/table of the paper.
 """
+
+from repro.api import (
+    EstimatorSpec,
+    OpenWorldSession,
+    SessionSnapshot,
+    build_estimator,
+    describe_estimators,
+    register_estimator,
+)
 
 from repro.core import (
     BucketEstimator,
@@ -72,9 +101,16 @@ from repro.utils.exceptions import (
     ValidationError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # api
+    "EstimatorSpec",
+    "OpenWorldSession",
+    "SessionSnapshot",
+    "build_estimator",
+    "describe_estimators",
+    "register_estimator",
     # core
     "BucketEstimator",
     "DynamicBucketing",

@@ -1,0 +1,26 @@
+"""Deprecation plumbing shared by the legacy entry-point shims.
+
+Each deprecated entry point warns exactly once per process (keyed by a
+stable string), so a replay loop calling a shim thousands of times does not
+flood stderr.  Tests reset the bookkeeping via
+:func:`reset_deprecation_warnings` to assert on the warning text.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_EMITTED: set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning the first time ``key`` is seen."""
+    if key in _EMITTED:
+        return
+    _EMITTED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecation warnings were emitted (test hook)."""
+    _EMITTED.clear()

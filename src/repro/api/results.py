@@ -1,0 +1,74 @@
+"""One serializable result model for every user-facing result object.
+
+All results -- :class:`~repro.core.estimator.Estimate`,
+:class:`~repro.query.executor.QueryResult`,
+:class:`~repro.evaluation.runner.EstimateSeries`,
+:class:`~repro.evaluation.runner.ProgressiveResult` and
+:class:`~repro.api.session.SessionSnapshot` -- share one JSON contract:
+each carries ``to_dict()``/``from_dict()`` producing a strict-JSON mapping
+under the versioned envelope ``{"schema": "repro.result/v1", "kind": ...}``
+(see :mod:`repro.utils.serialization`).
+
+This module adds the generic entry points: :func:`to_dict` serializes any
+result object, :func:`from_dict` dispatches a payload back to the right
+class via its ``kind`` field.  The CLI's ``--format json`` and any
+downstream tooling read exactly this shape instead of scraping formatted
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.serialization import RESULT_SCHEMA
+
+__all__ = ["RESULT_SCHEMA", "to_dict", "from_dict", "result_kinds"]
+
+
+def _kind_registry() -> dict[str, Any]:
+    # Imported lazily: evaluation.runner imports repro.api.session, so a
+    # module-level import here would cycle during package initialisation.
+    from repro.api.session import SessionSnapshot
+    from repro.core.estimator import Estimate
+    from repro.evaluation.runner import EstimateSeries, ProgressiveResult
+    from repro.query.executor import QueryResult
+
+    return {
+        "estimate": Estimate,
+        "query-result": QueryResult,
+        "estimate-series": EstimateSeries,
+        "progressive-result": ProgressiveResult,
+        "session-snapshot": SessionSnapshot,
+    }
+
+
+def result_kinds() -> list[str]:
+    """The ``kind`` values understood by :func:`from_dict`."""
+    return sorted(_kind_registry())
+
+
+def to_dict(result: Any) -> dict[str, Any]:
+    """Serialize any result object through its shared JSON contract."""
+    to_dict_method = getattr(result, "to_dict", None)
+    if to_dict_method is None:
+        raise ValidationError(
+            f"{type(result).__name__} does not implement the result "
+            "serialization contract (no to_dict method)"
+        )
+    return to_dict_method()
+
+
+def from_dict(payload: "dict[str, Any]") -> Any:
+    """Rebuild a result object from :func:`to_dict` output, by ``kind``."""
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"expected a serialized result mapping, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    registry = _kind_registry()
+    if kind not in registry:
+        raise ValidationError(
+            f"unknown result kind {kind!r}; expected one of {', '.join(result_kinds())}"
+        )
+    return registry[kind].from_dict(payload)

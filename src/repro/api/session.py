@@ -1,0 +1,433 @@
+"""The stateful open-world session: incremental ingestion, estimation, queries.
+
+:class:`OpenWorldSession` is the one entry point that ties the library
+together for streaming use.  Instead of rebuilding the
+:class:`~repro.data.sample.ObservedSample` from the full observation stream
+every time an estimate is needed (O(n) per prefix, O(n²) over a replay),
+the session *maintains* the integrated state under appends:
+
+* per-entity observation counts and first-seen fused values,
+* per-source contribution sizes,
+* the frequency histogram ``{j: f_j}`` backing
+  :class:`~repro.core.fstatistics.FrequencyStatistics`,
+
+so :meth:`ingest` costs O(chunk) and :meth:`estimate` / :meth:`query` reuse
+cached snapshots.  Ingesting a stream in chunks is **bit-identical** to
+integrating it in one shot (same entity order, same counts, same source
+sizes) -- the invariant the progressive replay harness and the parity tests
+rely on.
+
+:meth:`snapshot` / :meth:`restore` serialize the session state through the
+shared result-schema envelope, enabling replay, migration between workers,
+and crash recovery.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.specs import EstimatorSpec
+from repro.core.estimator import Estimate, SumEstimator
+from repro.core.fstatistics import FrequencyStatistics
+from repro.data.progressive import IntegrationState
+from repro.data.records import Observation
+from repro.data.sample import ObservedSample
+from repro.query.database import Database
+from repro.query.executor import ClosedWorldExecutor, OpenWorldExecutor, QueryResult
+from repro.utils.exceptions import InsufficientDataError, ValidationError
+from repro.utils.serialization import envelope, unwrap
+
+__all__ = ["OpenWorldSession", "SessionSnapshot"]
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Serializable state of an :class:`OpenWorldSession` at one instant.
+
+    Attributes
+    ----------
+    attribute:
+        The session's aggregated attribute.
+    table_name:
+        Name under which :meth:`OpenWorldSession.query` exposes the sample.
+    estimator:
+        Canonical default estimator spec string.
+    count_method:
+        COUNT-query correction method ("chao92" or "monte-carlo").
+    counts:
+        Per-entity observation counts, in first-seen order.
+    values:
+        Per-entity fused attribute values, same order as ``counts``.
+    seed_source_sizes:
+        Contribution sizes adopted wholesale (e.g. via
+        :meth:`OpenWorldSession.from_sample`) whose source ids are unknown.
+    source_sizes:
+        Contribution sizes of the sources seen by :meth:`ingest`, keyed by
+        source id so a restored session can continue their streams.
+    n_ingested:
+        Number of observations ingested so far.
+    """
+
+    attribute: str
+    table_name: str
+    estimator: str
+    count_method: str
+    counts: dict[str, int]
+    values: dict[str, dict[str, float]]
+    seed_source_sizes: tuple[int, ...]
+    source_sizes: dict[str, int]
+    n_ingested: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON representation under the shared result envelope."""
+        return envelope(
+            "session-snapshot",
+            {
+                "attribute": self.attribute,
+                "table_name": self.table_name,
+                "estimator": self.estimator,
+                "count_method": self.count_method,
+                "counts": self.counts,
+                "values": self.values,
+                "seed_source_sizes": list(self.seed_source_sizes),
+                "source_sizes": self.source_sizes,
+                "n_ingested": self.n_ingested,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, Any]") -> "SessionSnapshot":
+        """Rebuild a snapshot serialized with :meth:`to_dict`."""
+        body = unwrap(payload, "session-snapshot")
+        body["seed_source_sizes"] = tuple(body["seed_source_sizes"])
+        body["counts"] = {k: int(v) for k, v in body["counts"].items()}
+        return cls(**body)
+
+
+class OpenWorldSession:
+    """Stateful facade over integration, estimation and open-world querying.
+
+    Parameters
+    ----------
+    attribute:
+        The numeric attribute the session aggregates (fused on first sight
+        during ingestion, exactly like the batch integration of simulated
+        streams).
+    table_name:
+        Table name used by :meth:`query` (default ``"data"``).
+    estimator:
+        Default estimator spec (string or :class:`EstimatorSpec`) or an
+        already-built :class:`SumEstimator`; individual calls can override
+        it via their ``spec`` argument.
+    count_method:
+        Correction method for COUNT queries ("chao92" or "monte-carlo").
+
+    Example
+    -------
+    >>> session = OpenWorldSession("employees")
+    >>> session.ingest(observations)          # incremental, O(chunk)
+    >>> session.estimate().corrected          # SUM(employees), corrected
+    >>> session.query("SELECT AVG(employees) FROM data WHERE employees > 10")
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        *,
+        table_name: str = "data",
+        estimator: "str | EstimatorSpec | SumEstimator" = "bucket",
+        count_method: str = "chao92",
+    ) -> None:
+        if not attribute or not isinstance(attribute, str):
+            raise ValidationError("attribute must be a non-empty string")
+        self._attribute = attribute
+        self._table_name = table_name
+        self._count_method = count_method
+        if isinstance(estimator, SumEstimator):
+            self._default_spec: EstimatorSpec | None = None
+            self._default_estimator: SumEstimator | None = estimator
+        else:
+            self._default_spec = EstimatorSpec.of(estimator)
+            self._default_estimator = None
+        # Incrementally maintained integration state (shared implementation
+        # with the progressive replay; see repro.data.progressive).
+        self._state = IntegrationState()
+        self._seed_source_sizes: tuple[int, ...] = ()
+        self._n_ingested = 0
+        # Caches, invalidated on ingest.
+        self._sample_cache: ObservedSample | None = None
+        self._database_cache: Database | None = None
+        self._estimator_cache: dict[str, SumEstimator] = {}
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_sample(
+        cls, sample: ObservedSample, attribute: str | None = None, **kwargs: Any
+    ) -> "OpenWorldSession":
+        """Adopt an already-integrated :class:`ObservedSample` as session state.
+
+        This is how batch pipelines (CSV integration with value fusion, the
+        dataset generators) hand off to a session; further :meth:`ingest`
+        calls keep appending incrementally on top.
+        """
+        if attribute is None:
+            attrs = sample.attributes
+            if len(attrs) != 1:
+                raise ValidationError(
+                    "attribute is required when the sample carries "
+                    f"{len(attrs)} attributes"
+                )
+            attribute = attrs[0]
+        session = cls(attribute, **kwargs)
+        state = session._state
+        state.counts = sample.counts
+        state.values = sample.values_by_entity()
+        state.frequencies = sample.frequency_counts()
+        state.n = sample.n
+        session._seed_source_sizes = tuple(sample.source_sizes)
+        return session
+
+    # ------------------------------------------------------------------ #
+    # State inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def attribute(self) -> str:
+        """The session's aggregated attribute."""
+        return self._attribute
+
+    @property
+    def table_name(self) -> str:
+        """Name of the table :meth:`query` exposes."""
+        return self._table_name
+
+    @property
+    def default_spec(self) -> EstimatorSpec | None:
+        """The default estimator spec (``None`` if an instance was given)."""
+        return self._default_spec
+
+    @property
+    def n(self) -> int:
+        """Total number of observations (with duplicates) integrated."""
+        return self._state.n
+
+    @property
+    def c(self) -> int:
+        """Number of unique entities observed."""
+        return len(self._state.counts)
+
+    @property
+    def n_ingested(self) -> int:
+        """Observations consumed by :meth:`ingest` (excludes seeded state)."""
+        return self._n_ingested
+
+    @property
+    def source_sizes(self) -> tuple[int, ...]:
+        """Per-source contribution sizes (seeded sizes first)."""
+        return self._seed_source_sizes + tuple(self._state.per_source.values())
+
+    def __len__(self) -> int:
+        return len(self._state.counts)
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, observations: "Iterable[Observation] | Observation") -> int:
+        """Integrate a chunk of observations incrementally; returns the count.
+
+        Maintains counts, first-seen fused values, per-source sizes and the
+        frequency histogram in O(chunk).  Chunked ingestion is bit-identical
+        to one-shot integration of the concatenated stream.
+
+        The chunk is ingested atomically: it is validated in full before any
+        session state changes, so a bad observation raises
+        :class:`~repro.utils.exceptions.ValidationError` and leaves the
+        session exactly as it was.
+        """
+        if isinstance(observations, Observation):
+            chunk: Sequence[Observation] = (observations,)
+        elif isinstance(observations, (list, tuple)):
+            chunk = observations
+        else:
+            chunk = list(observations)
+        attribute = self._attribute
+        # Validation pass: nothing is mutated until the whole chunk is known
+        # to be ingestible.  Only first-seen observations carry the fused
+        # value, so those are the ones whose attribute must be readable.
+        first_seen: set[str] = set()
+        for obs in chunk:
+            if not isinstance(obs, Observation):
+                raise ValidationError(
+                    f"ingest expects Observation objects, got {type(obs).__name__}"
+                )
+            entity = obs.entity_id
+            if entity not in self._state.values and entity not in first_seen:
+                first_seen.add(entity)
+                try:
+                    float(obs.value(attribute))
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ValidationError(
+                        f"observation of entity {entity!r} does not carry a "
+                        f"numeric attribute {attribute!r}"
+                    ) from exc
+        # Commit pass: cannot fail.
+        for obs in chunk:
+            self._state.integrate(obs, attribute)
+        if chunk:
+            self._n_ingested += len(chunk)
+            self._sample_cache = None
+            self._database_cache = None
+        return len(chunk)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots of the integrated state
+    # ------------------------------------------------------------------ #
+
+    def sample(self) -> ObservedSample:
+        """The integrated :class:`ObservedSample` of everything seen so far.
+
+        Cached between ingests; ``ObservedSample`` copies its inputs, so the
+        returned snapshot is immune to further session activity.
+        """
+        if not self._state.counts:
+            raise InsufficientDataError("the session has not ingested any observations")
+        if self._sample_cache is None:
+            self._sample_cache = ObservedSample(
+                self._state.counts, self._state.values, source_sizes=self.source_sizes
+            )
+        return self._sample_cache
+
+    def statistics(self) -> FrequencyStatistics:
+        """Frequency statistics from the incrementally maintained histogram.
+
+        O(distinct frequencies), without re-scanning the per-entity counts.
+        """
+        if not self._state.frequencies:
+            raise InsufficientDataError("the session has not ingested any observations")
+        return FrequencyStatistics(self._state.frequencies)
+
+    # ------------------------------------------------------------------ #
+    # Estimation and querying
+    # ------------------------------------------------------------------ #
+
+    def estimate(
+        self,
+        attribute: str | None = None,
+        spec: "str | EstimatorSpec | SumEstimator | None" = None,
+    ) -> Estimate:
+        """Estimate the unknown-unknowns impact on ``SUM(attribute)``.
+
+        ``attribute`` defaults to the session attribute; ``spec`` defaults
+        to the session's default estimator.
+        """
+        estimator = self._resolve_estimator(spec)
+        return estimator.estimate(self.sample(), attribute or self._attribute)
+
+    def query(
+        self,
+        sql: str,
+        *,
+        spec: "str | EstimatorSpec | SumEstimator | None" = None,
+        closed_world: bool = False,
+    ) -> QueryResult:
+        """Run an aggregate query over the integrated state.
+
+        Open-world (estimator-corrected) by default; ``closed_world=True``
+        returns the classical answer instead.
+        """
+        database = self._database()
+        if closed_world:
+            return ClosedWorldExecutor(database).execute(sql)
+        executor = OpenWorldExecutor(
+            database,
+            sum_estimator=self._resolve_estimator(spec),
+            count_method=self._count_method,
+        )
+        return executor.execute(sql)
+
+    def _database(self) -> Database:
+        if self._database_cache is None:
+            database = Database()
+            database.add_sample(self._table_name, self.sample())
+            self._database_cache = database
+        return self._database_cache
+
+    def _resolve_estimator(
+        self, spec: "str | EstimatorSpec | SumEstimator | None"
+    ) -> SumEstimator:
+        if spec is None:
+            if self._default_estimator is not None:
+                return self._default_estimator
+            spec = self._default_spec
+        if isinstance(spec, SumEstimator):
+            return spec
+        parsed = EstimatorSpec.of(spec)
+        key = parsed.to_string()
+        if key not in self._estimator_cache:
+            self._estimator_cache[key] = parsed.build()
+        return self._estimator_cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> SessionSnapshot:
+        """Serializable copy of the full session state (for replay/recovery)."""
+        if self._default_spec is None:
+            raise ValidationError(
+                "cannot snapshot a session configured with an estimator "
+                "instance; construct it with a spec string instead"
+            )
+        return SessionSnapshot(
+            attribute=self._attribute,
+            table_name=self._table_name,
+            estimator=self._default_spec.to_string(),
+            count_method=self._count_method,
+            counts=dict(self._state.counts),
+            values={eid: dict(vals) for eid, vals in self._state.values.items()},
+            seed_source_sizes=self._seed_source_sizes,
+            source_sizes=dict(self._state.per_source),
+            n_ingested=self._n_ingested,
+        )
+
+    @classmethod
+    def restore(
+        cls, snapshot: "SessionSnapshot | dict[str, Any]"
+    ) -> "OpenWorldSession":
+        """Rebuild a session from :meth:`snapshot` output (object or dict).
+
+        The restored session continues exactly where the original stood:
+        further ingests from an already-seen source id keep extending that
+        source's contribution, so a snapshot/restore cycle in the middle of
+        a stream replay stays bit-identical to an uninterrupted run.
+        """
+        if isinstance(snapshot, dict):
+            snapshot = SessionSnapshot.from_dict(snapshot)
+        session = cls(
+            snapshot.attribute,
+            table_name=snapshot.table_name,
+            estimator=snapshot.estimator,
+            count_method=snapshot.count_method,
+        )
+        state = session._state
+        state.counts = dict(snapshot.counts)
+        state.values = {eid: dict(vals) for eid, vals in snapshot.values.items()}
+        state.per_source = dict(snapshot.source_sizes)
+        state.n = sum(state.counts.values())
+        state.frequencies = dict(Counter(state.counts.values()))
+        session._seed_source_sizes = tuple(snapshot.seed_source_sizes)
+        session._n_ingested = int(snapshot.n_ingested)
+        return session
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OpenWorldSession(attribute={self._attribute!r}, n={self.n}, "
+            f"c={self.c}, sources={len(self.source_sizes)})"
+        )

@@ -1,0 +1,765 @@
+"""Composable estimator specs: plugin registry + parseable mini-language.
+
+This module replaces the closed lambda table that used to live in
+:mod:`repro.core.registry` with two cooperating pieces:
+
+* a **plugin registry** -- estimator factories register themselves with
+  :func:`register_estimator`, declaring their parameters as typed
+  :class:`ParamSpec` entries (name, type, default, choices).  Unknown
+  parameters are a hard :class:`~repro.utils.exceptions.ValidationError`
+  listing the valid ones; defaults are read from the owning classes
+  (:class:`~repro.core.montecarlo.MonteCarloConfig` et al.) so they cannot
+  drift.
+* a **spec mini-language** -- one string describes a full estimator
+  composition and round-trips through :meth:`EstimatorSpec.parse` /
+  :meth:`EstimatorSpec.to_string`::
+
+      spec      := chain [ "?" params ]
+      chain     := component ( "/" component )*     # head / base / base-of-base
+      component := name [ "(" args ")" ]
+      args      := arg ( "," arg )*
+      params    := key "=" value ( "&" key "=" value )*
+
+  Examples::
+
+      "bucket"                                          # dynamic bucketing
+      "bucket(equiwidth:8)"                             # static strategy arg
+      "bucket/frequency"                                # frequency base inside buckets
+      "bucket(equiwidth:8)/monte-carlo?seed=3&engine=vectorized"
+      "monte-carlo?n_runs=10"
+
+  In a chain, each component is the *base estimator* of the component to
+  its left; ``?key=value`` parameters apply to every component of the chain
+  that declares them.
+
+The CLI, the open-world executor, :class:`~repro.evaluation.runner.
+ProgressiveRunner`, the benchmarks and :class:`~repro.api.session.
+OpenWorldSession` all accept specs uniformly (as strings or parsed
+:class:`EstimatorSpec` objects).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.bucket import (
+    DEFAULT_STATIC_BUCKETS,
+    BucketEstimator,
+    DynamicBucketing,
+    EquiHeightBucketing,
+    EquiWidthBucketing,
+)
+from repro.core.estimator import SumEstimator
+from repro.core.frequency import FrequencyEstimator
+from repro.core.montecarlo import (
+    DEFAULT_SEED,
+    ENGINES,
+    MonteCarloConfig,
+    MonteCarloEstimator,
+)
+from repro.core.naive import NaiveEstimator
+from repro.utils.exceptions import ValidationError
+
+__all__ = [
+    "ParamSpec",
+    "EstimatorDefinition",
+    "ComponentSpec",
+    "EstimatorSpec",
+    "register_estimator",
+    "available_estimators",
+    "build_estimator",
+    "describe_estimators",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Parameter specs
+# ---------------------------------------------------------------------- #
+
+_BOOL_STRINGS = {
+    "true": True,
+    "false": False,
+    "1": True,
+    "0": False,
+    "yes": True,
+    "no": False,
+}
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared parameter of a registered estimator.
+
+    Attributes
+    ----------
+    name:
+        Parameter name as it appears in spec strings and keyword arguments.
+    kind:
+        Expected type: ``int``, ``float``, ``str`` or ``bool``.
+    default:
+        Value used when the spec does not set the parameter.  ``None`` means
+        "unset" (the factory decides; used where the effective default
+        depends on other parts of the spec).
+    choices:
+        Optional closed set of accepted values.
+    doc:
+        One-line description shown by :func:`describe_estimators`.
+    """
+
+    name: str
+    kind: type
+    default: Any = None
+    choices: tuple[Any, ...] | None = None
+    doc: str = ""
+
+    def coerce(self, raw: Any) -> Any:
+        """Convert ``raw`` (a spec-string token or Python value) to :attr:`kind`."""
+        value = self._convert(raw)
+        if self.choices is not None and value not in self.choices:
+            raise ValidationError(
+                f"parameter {self.name!r} must be one of "
+                f"{', '.join(map(repr, self.choices))}; got {raw!r}"
+            )
+        return value
+
+    def _convert(self, raw: Any) -> Any:
+        if self.kind is bool:
+            if isinstance(raw, bool):
+                return raw
+            if isinstance(raw, str) and raw.strip().lower() in _BOOL_STRINGS:
+                return _BOOL_STRINGS[raw.strip().lower()]
+            raise ValidationError(
+                f"parameter {self.name!r} expects a boolean "
+                f"(true/false), got {raw!r}"
+            )
+        if self.kind is int:
+            if isinstance(raw, bool):
+                raise ValidationError(f"parameter {self.name!r} expects an integer, got {raw!r}")
+            if isinstance(raw, int):
+                return raw
+            if isinstance(raw, str):
+                try:
+                    return int(raw.strip())
+                except ValueError:
+                    pass
+            raise ValidationError(f"parameter {self.name!r} expects an integer, got {raw!r}")
+        if self.kind is float:
+            if isinstance(raw, bool):
+                raise ValidationError(f"parameter {self.name!r} expects a number, got {raw!r}")
+            if isinstance(raw, (int, float)):
+                return float(raw)
+            if isinstance(raw, str):
+                try:
+                    return float(raw.strip())
+                except ValueError:
+                    pass
+            raise ValidationError(f"parameter {self.name!r} expects a number, got {raw!r}")
+        if self.kind is str:
+            if isinstance(raw, str):
+                return raw.strip()
+            raise ValidationError(f"parameter {self.name!r} expects a string, got {raw!r}")
+        raise ValidationError(
+            f"parameter {self.name!r} declares unsupported type {self.kind!r}"
+        )  # pragma: no cover - registration-time programming error
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class EstimatorDefinition:
+    """A registered estimator: factory plus declared interface.
+
+    The factory is called as ``factory(args, base, **params)`` where
+    ``args`` is the tuple of raw structural arguments from the spec
+    (``bucket(equiwidth:8)`` -> ``("equiwidth:8",)``), ``base`` is the
+    already-built base estimator from the chain (or ``None``), and
+    ``params`` holds every declared parameter, coerced, with defaults
+    filled in -- except parameters whose default is ``None`` and which the
+    spec did not set, which are passed as ``None`` (meaning "unset").
+    """
+
+    name: str
+    factory: Callable[..., SumEstimator]
+    summary: str
+    params: tuple[ParamSpec, ...] = ()
+    accepts_base: bool = False
+    arg_doc: str = ""
+
+    def param(self, name: str) -> ParamSpec | None:
+        """The declared parameter called ``name``, if any."""
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        return None
+
+
+_REGISTRY: dict[str, EstimatorDefinition] = {}
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
+
+
+def register_estimator(
+    name: str,
+    *,
+    summary: str,
+    params: tuple[ParamSpec, ...] | list[ParamSpec] = (),
+    accepts_base: bool = False,
+    arg_doc: str = "",
+) -> Callable[[Callable[..., SumEstimator]], Callable[..., SumEstimator]]:
+    """Class decorator-style registration of an estimator factory.
+
+    Usage::
+
+        @register_estimator("naive", summary="mean substitution (Section 3.1)")
+        def _build_naive(args, base, **params):
+            return NaiveEstimator()
+
+    Registering an already-taken name raises :class:`ValidationError`
+    (plugins must pick unique names); the factory itself is returned
+    unchanged so it stays directly callable and testable.
+    """
+    key = name.strip().lower()
+    if not _NAME_RE.match(key):
+        raise ValidationError(
+            f"invalid estimator name {name!r}; names are lowercase "
+            "[a-z0-9_-] and must not start with a separator"
+        )
+
+    def decorate(factory: Callable[..., SumEstimator]) -> Callable[..., SumEstimator]:
+        if key in _REGISTRY:
+            raise ValidationError(f"estimator {key!r} is already registered")
+        seen: set[str] = set()
+        for spec in params:
+            if spec.name in seen:
+                raise ValidationError(
+                    f"estimator {key!r} declares parameter {spec.name!r} twice"
+                )
+            seen.add(spec.name)
+        _REGISTRY[key] = EstimatorDefinition(
+            name=key,
+            factory=factory,
+            summary=summary,
+            params=tuple(params),
+            accepts_base=accepts_base,
+            arg_doc=arg_doc,
+        )
+        return factory
+
+    return decorate
+
+
+def available_estimators() -> list[str]:
+    """Sorted names of every registered estimator."""
+    return sorted(_REGISTRY)
+
+
+def _definition(name: str) -> EstimatorDefinition:
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise ValidationError(
+            f"unknown estimator {name!r}; available: {', '.join(available_estimators())}"
+        )
+    return _REGISTRY[key]
+
+
+def describe_estimators(name: str | None = None) -> dict[str, Any]:
+    """Introspect the registry: summaries, parameters, defaults, choices.
+
+    Returns a JSON-safe mapping ``{name: description}`` (restricted to one
+    estimator when ``name`` is given) so tooling can render help text or
+    validate configuration without constructing estimators.
+    """
+    names = [_definition(name).name] if name is not None else available_estimators()
+    out: dict[str, Any] = {}
+    for key in names:
+        definition = _REGISTRY[key]
+        out[key] = {
+            "summary": definition.summary,
+            "accepts_base": definition.accepts_base,
+            "args": definition.arg_doc,
+            "params": [
+                {
+                    "name": spec.name,
+                    "type": spec.kind.__name__,
+                    "default": spec.default,
+                    "choices": list(spec.choices) if spec.choices is not None else None,
+                    "doc": spec.doc,
+                }
+                for spec in definition.params
+            ],
+        }
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Spec parsing
+# ---------------------------------------------------------------------- #
+
+_COMPONENT_RE = re.compile(r"^([a-z0-9][a-z0-9_-]*)(?:\(([^()]*)\))?$")
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One component of a spec chain: a registered name plus raw args."""
+
+    name: str
+    args: tuple[str, ...] = ()
+
+    def to_string(self) -> str:
+        """Canonical spec-string form of the component."""
+        if not self.args:
+            return self.name
+        return f"{self.name}({','.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """A parsed, validated estimator spec (chain + parameters).
+
+    Instances are immutable; :meth:`with_params` returns a modified copy.
+    ``params`` keeps the raw string values in the order given, so
+    :meth:`to_string` reproduces the input exactly and
+    ``EstimatorSpec.parse(s).to_string() == canonical(s)`` round-trips.
+    """
+
+    components: tuple[ComponentSpec, ...]
+    params: tuple[tuple[str, str], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, text: str) -> "EstimatorSpec":
+        """Parse and validate a spec string (see module docstring grammar)."""
+        if not isinstance(text, str) or not text.strip():
+            raise ValidationError("estimator spec must be a non-empty string")
+        body = text.strip()
+        param_pairs: list[tuple[str, str]] = []
+        if "?" in body:
+            body, _, query = body.partition("?")
+            if "?" in query:
+                raise ValidationError(
+                    f"spec {text!r} contains more than one '?' parameter section"
+                )
+            if not query:
+                raise ValidationError(f"spec {text!r} has an empty parameter section")
+            for item in query.split("&"):
+                key, sep, value = item.partition("=")
+                key = key.strip().lower()
+                if not sep or not key or not value.strip():
+                    raise ValidationError(
+                        f"malformed parameter {item!r} in spec {text!r}; "
+                        "expected key=value"
+                    )
+                if any(existing == key for existing, _ in param_pairs):
+                    raise ValidationError(
+                        f"parameter {key!r} given more than once in spec {text!r}"
+                    )
+                param_pairs.append((key, value.strip()))
+        components: list[ComponentSpec] = []
+        for chunk in body.split("/"):
+            chunk = chunk.strip().lower()
+            match = _COMPONENT_RE.match(chunk)
+            if not match:
+                raise ValidationError(
+                    f"malformed component {chunk!r} in spec {text!r}; "
+                    "expected name or name(arg,...)"
+                )
+            name, raw_args = match.groups()
+            args = tuple(a.strip() for a in raw_args.split(",")) if raw_args else ()
+            if raw_args is not None and (not raw_args or any(not a for a in args)):
+                raise ValidationError(
+                    f"component {chunk!r} in spec {text!r} has an empty argument"
+                )
+            components.append(ComponentSpec(name=name, args=args))
+        spec = cls(components=tuple(components), params=tuple(param_pairs))
+        spec.validate()
+        return spec
+
+    @classmethod
+    def of(cls, value: "str | EstimatorSpec") -> "EstimatorSpec":
+        """Normalize a spec string or spec object to an :class:`EstimatorSpec`."""
+        if isinstance(value, EstimatorSpec):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise ValidationError(
+            f"expected an estimator spec string or EstimatorSpec, got {type(value).__name__}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check component names, chain shape, and parameter declarations."""
+        if not self.components:
+            raise ValidationError("an estimator spec needs at least one component")
+        definitions = [_definition(c.name) for c in self.components]
+        for definition, component in list(zip(definitions, self.components))[:-1]:
+            if not definition.accepts_base:
+                raise ValidationError(
+                    f"estimator {component.name!r} does not accept a base "
+                    f"estimator; remove the '/' chain after it"
+                )
+        for key, value in self.params:
+            spec = self._param_spec(key)
+            spec.coerce(value)  # type/choice errors surface at parse time
+
+    def supported_params(self) -> dict[str, ParamSpec]:
+        """All parameters declared anywhere in the chain (first declarer wins)."""
+        out: dict[str, ParamSpec] = {}
+        for component in self.components:
+            for spec in _definition(component.name).params:
+                out.setdefault(spec.name, spec)
+        return out
+
+    def _param_spec(self, key: str) -> ParamSpec:
+        supported = self.supported_params()
+        if key in supported:
+            return supported[key]
+        chain = "/".join(c.name for c in self.components)
+        if supported:
+            valid = ", ".join(sorted(supported))
+            raise ValidationError(
+                f"unknown parameter {key!r} for spec {chain!r}; "
+                f"valid parameters: {valid}"
+            )
+        raise ValidationError(
+            f"unknown parameter {key!r}: spec {chain!r} accepts no parameters"
+        )
+
+    def param_value(self, key: str) -> str | None:
+        """The raw value of parameter ``key`` in this spec, if set."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Transformation
+    # ------------------------------------------------------------------ #
+
+    def with_params(self, **overrides: Any) -> "EstimatorSpec":
+        """A copy of the spec with ``overrides`` set (replacing duplicates)."""
+        pairs = [(k, v) for k, v in self.params if k not in overrides]
+        for key, value in overrides.items():
+            pairs.append((key.lower(), _stringify(value)))
+        spec = EstimatorSpec(components=self.components, params=tuple(pairs))
+        spec.validate()
+        return spec
+
+    def with_default_params(self, **defaults: Any) -> "EstimatorSpec":
+        """Like :meth:`with_params`, but only fills parameters the spec
+        does not already set, and silently skips parameters no component of
+        the chain declares (used by the CLI's global ``--engine`` flag)."""
+        supported = self.supported_params()
+        overrides = {
+            key: value
+            for key, value in defaults.items()
+            if key in supported and self.param_value(key) is None
+        }
+        return self.with_params(**overrides) if overrides else self
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+
+    def to_string(self) -> str:
+        """Canonical round-trippable spec string."""
+        chain = "/".join(component.to_string() for component in self.components)
+        if not self.params:
+            return chain
+        query = "&".join(f"{key}={value}" for key, value in self.params)
+        return f"{chain}?{query}"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+
+    def build(self) -> SumEstimator:
+        """Instantiate the described estimator composition."""
+        self.validate()
+        estimator: SumEstimator | None = None
+        # Build from the tail of the chain inward: each component receives
+        # the estimator to its right as its base.
+        for component in reversed(self.components):
+            definition = _definition(component.name)
+            if component.args and not definition.arg_doc:
+                raise ValidationError(
+                    f"estimator {component.name!r} takes no arguments, "
+                    f"got {component.to_string()!r}"
+                )
+            params = self._component_params(definition)
+            estimator = definition.factory(component.args, estimator, **params)
+        assert estimator is not None
+        return estimator
+
+    def _component_params(self, definition: EstimatorDefinition) -> dict[str, Any]:
+        """Declared parameters of one component, coerced, defaults filled."""
+        resolved: dict[str, Any] = {
+            spec.name: spec.default for spec in definition.params
+        }
+        for key, value in self.params:
+            spec = definition.param(key)
+            if spec is not None:
+                resolved[key] = spec.coerce(value)
+        return resolved
+
+
+def _stringify(value: Any) -> str:
+    """Spec-string token for a Python parameter value."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def build_estimator(
+    spec: "str | EstimatorSpec | SumEstimator", **params: Any
+) -> SumEstimator:
+    """Build an estimator from a spec (string or parsed) or pass one through.
+
+    Keyword arguments are merged into the spec's parameter section (unknown
+    ones raise :class:`ValidationError` listing the valid names), so
+    ``build_estimator("monte-carlo", seed=5)`` and
+    ``build_estimator("monte-carlo?seed=5")`` are equivalent.
+    """
+    if isinstance(spec, SumEstimator):
+        if params:
+            raise ValidationError(
+                "cannot apply spec parameters to an already-built estimator"
+            )
+        return spec
+    parsed = EstimatorSpec.of(spec)
+    if params:
+        parsed = parsed.with_params(**params)
+    return parsed.build()
+
+
+# ---------------------------------------------------------------------- #
+# Built-in estimator definitions
+# ---------------------------------------------------------------------- #
+
+_MC_DEFAULTS = {f.name: f.default for f in dataclasses.fields(MonteCarloConfig)}
+
+_MC_PARAMS = (
+    ParamSpec("seed", int, default=DEFAULT_SEED, doc="simulation RNG seed"),
+    ParamSpec(
+        "engine",
+        str,
+        default=_MC_DEFAULTS["engine"],
+        choices=ENGINES,
+        doc="simulation engine: batched Gumbel top-k or legacy per-draw loop",
+    ),
+    ParamSpec(
+        "n_runs",
+        int,
+        default=_MC_DEFAULTS["n_runs"],
+        doc="Monte-Carlo repetitions per grid cell (Algorithm 2)",
+    ),
+    ParamSpec(
+        "n_count_steps",
+        int,
+        default=_MC_DEFAULTS["n_count_steps"],
+        doc="θ_N grid steps between c and the Chao92 estimate",
+    ),
+)
+
+
+def _monte_carlo_config(params: Mapping[str, Any]) -> MonteCarloConfig:
+    return MonteCarloConfig(
+        engine=params["engine"],
+        n_runs=params["n_runs"],
+        n_count_steps=params["n_count_steps"],
+    )
+
+
+@register_estimator("naive", summary="mean substitution over Chao92 (Section 3.1)")
+def _build_naive(args, base, **params):
+    return NaiveEstimator()
+
+
+@register_estimator(
+    "frequency",
+    summary="per-frequency-class breakdown (Section 3.2)",
+    params=(
+        ParamSpec(
+            "uniform",
+            bool,
+            default=False,
+            doc="assume a uniform publicity distribution (Appendix C variant)",
+        ),
+    ),
+)
+def _build_frequency(args, base, **params):
+    return FrequencyEstimator(assume_uniform=params["uniform"])
+
+
+@register_estimator(
+    "frequency-uniform",
+    summary="frequency estimator with the uniform-publicity assumption "
+    "(alias of frequency?uniform=true)",
+)
+def _build_frequency_uniform(args, base, **params):
+    return FrequencyEstimator(assume_uniform=True)
+
+
+@register_estimator(
+    "monte-carlo",
+    summary="simulation-fitted count estimate (Section 3.4)",
+    params=_MC_PARAMS,
+)
+def _build_monte_carlo(args, base, **params):
+    return MonteCarloEstimator(
+        config=_monte_carlo_config(params), seed=params["seed"]
+    )
+
+
+_BUCKET_STRATEGIES = ("dynamic", "equiwidth", "equiheight")
+
+
+def _bucket_strategy(args: tuple[str, ...], n_buckets: int | None):
+    """Resolve the structural strategy argument of ``bucket(...)``."""
+    if len(args) > 1:
+        raise ValidationError(
+            f"bucket takes at most one strategy argument, got {args!r}"
+        )
+    token = args[0] if args else "dynamic"
+    name, sep, count_text = token.partition(":")
+    if name not in _BUCKET_STRATEGIES:
+        raise ValidationError(
+            f"unknown bucketing strategy {name!r}; "
+            f"expected one of {', '.join(_BUCKET_STRATEGIES)}"
+        )
+    if name == "dynamic":
+        if sep:
+            raise ValidationError("the dynamic strategy takes no bucket count")
+        if n_buckets is not None:
+            raise ValidationError(
+                "n_buckets only applies to the equiwidth/equiheight strategies"
+            )
+        return DynamicBucketing()
+    if sep and n_buckets is not None:
+        raise ValidationError(
+            f"bucket count given twice: {token!r} and n_buckets={n_buckets}"
+        )
+    if sep:
+        try:
+            count = int(count_text)
+        except ValueError:
+            raise ValidationError(
+                f"bucket count in {token!r} must be an integer"
+            ) from None
+    else:
+        count = n_buckets if n_buckets is not None else DEFAULT_STATIC_BUCKETS
+    cls = EquiWidthBucketing if name == "equiwidth" else EquiHeightBucketing
+    return cls(n_buckets=count)
+
+
+@register_estimator(
+    "bucket",
+    summary="per-bucket estimation (Section 3.3); chain a base estimator "
+    "with '/', e.g. bucket/frequency",
+    params=(
+        ParamSpec(
+            "n_buckets",
+            int,
+            default=None,
+            doc=f"bucket count for the static strategies "
+            f"(default {DEFAULT_STATIC_BUCKETS}); exclusive with an "
+            "explicit equiwidth:K / equiheight:K count",
+        ),
+        ParamSpec(
+            "search",
+            str,
+            default="auto",
+            choices=("auto", "none", "naive", "frequency"),
+            doc="cheaper estimator used only while searching bucket "
+            "boundaries; 'auto' picks naive when the base is Monte-Carlo",
+        ),
+    ),
+    accepts_base=True,
+    arg_doc="dynamic | equiwidth[:K] | equiheight[:K]",
+)
+def _build_bucket(args, base, **params):
+    strategy = _bucket_strategy(args, params["n_buckets"])
+    search = params["search"]
+    if search == "auto":
+        search_base = (
+            NaiveEstimator() if isinstance(base, MonteCarloEstimator) else None
+        )
+    elif search == "naive":
+        search_base = NaiveEstimator()
+    elif search == "frequency":
+        search_base = FrequencyEstimator()
+    else:
+        search_base = None
+    return BucketEstimator(strategy=strategy, base=base, search_base=search_base)
+
+
+@register_estimator(
+    "bucket-frequency",
+    summary="dynamic bucketing with the frequency estimator inside each "
+    "bucket (alias of bucket/frequency)",
+)
+def _build_bucket_frequency(args, base, **params):
+    return BucketEstimator(strategy=DynamicBucketing(), base=FrequencyEstimator())
+
+
+@register_estimator(
+    "bucket-equiwidth",
+    summary="static equal-width bucketing (alias of bucket(equiwidth))",
+    params=(
+        ParamSpec(
+            "n_buckets",
+            int,
+            default=DEFAULT_STATIC_BUCKETS,
+            doc="number of equal-width buckets",
+        ),
+    ),
+)
+def _build_bucket_equiwidth(args, base, **params):
+    return BucketEstimator(strategy=EquiWidthBucketing(n_buckets=params["n_buckets"]))
+
+
+@register_estimator(
+    "bucket-equiheight",
+    summary="static equal-height bucketing (alias of bucket(equiheight))",
+    params=(
+        ParamSpec(
+            "n_buckets",
+            int,
+            default=DEFAULT_STATIC_BUCKETS,
+            doc="number of equal-cardinality buckets",
+        ),
+    ),
+)
+def _build_bucket_equiheight(args, base, **params):
+    return BucketEstimator(strategy=EquiHeightBucketing(n_buckets=params["n_buckets"]))
+
+
+@register_estimator(
+    "monte-carlo-bucket",
+    summary="dynamic buckets searched with the naive estimator, valued "
+    "with Monte-Carlo (alias of bucket/monte-carlo; Appendix D)",
+    params=_MC_PARAMS,
+)
+def _build_monte_carlo_bucket(args, base, **params):
+    return BucketEstimator(
+        strategy=DynamicBucketing(),
+        base=MonteCarloEstimator(
+            config=_monte_carlo_config(params), seed=params["seed"]
+        ),
+        search_base=NaiveEstimator(),
+    )

@@ -12,23 +12,30 @@ Four subcommands cover the common workflows::
 (``entity_id, source_id, <attribute>`` -- see :mod:`repro.data.io`);
 ``dataset`` replays one of the built-in crowd-data stand-ins; ``experiment``
 runs one of the paper's figure/table drivers.
+
+Estimators are given as **estimator specs** (see :mod:`repro.api.specs`):
+any registered name (``bucket``, ``monte-carlo``, ...) or a composite
+string such as ``"bucket(equiwidth:8)/monte-carlo?seed=3"``.  The
+``--format json`` flag emits the shared versioned result schema
+(:mod:`repro.api.results`) instead of a formatted table, so downstream
+tooling never has to scrape the tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
-from repro.core.registry import available_estimators, make_estimator
+from repro.api.session import OpenWorldSession
+from repro.api.specs import EstimatorSpec, available_estimators
 from repro.data.integration import IntegrationPipeline
 from repro.data.io import read_sources_csv, write_estimates_csv
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.evaluation import experiments
-from repro.evaluation.reporting import format_result_table, format_rows, format_series
+from repro.evaluation.reporting import format_result_table, format_series
 from repro.evaluation.runner import ProgressiveRunner
-from repro.query.database import Database
-from repro.query.executor import ClosedWorldExecutor, OpenWorldExecutor
 from repro.utils.exceptions import ReproError
 
 #: Experiment drivers reachable from the command line.
@@ -53,6 +60,15 @@ EXPERIMENTS = {
 }
 
 
+def _estimator_spec(text: str) -> str:
+    """argparse type: validate an estimator spec, return it unchanged."""
+    try:
+        EstimatorSpec.parse(text).build()
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -60,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Estimate the impact of unknown unknowns on aggregate query results.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    spec_help = (
+        "estimator spec: one of %s, or a composite string such as "
+        "'bucket(equiwidth:8)/monte-carlo?seed=3'"
+    ) % ", ".join(available_estimators())
 
     estimate = sub.add_parser(
         "estimate", help="estimate corrected aggregates from a CSV of per-source mentions"
@@ -69,11 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument(
         "--estimator",
         default="bucket",
-        choices=available_estimators(),
-        help="estimator to apply (default: bucket)",
+        type=_estimator_spec,
+        help=f"{spec_help} (default: bucket)",
     )
     estimate.add_argument("--output", help="optional CSV file for the result row")
     _add_engine_option(estimate)
+    _add_format_option(estimate)
 
     query = sub.add_parser(
         "query", help="run an open-world aggregate query over a CSV of mentions"
@@ -84,15 +105,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--estimator",
         default="bucket",
-        choices=available_estimators(),
-        help="estimator used by the open-world executor",
+        type=_estimator_spec,
+        help=f"{spec_help} (used by the open-world executor)",
     )
     query.add_argument(
         "--closed-world",
         action="store_true",
-        help="also print the classical closed-world answer",
+        help=(
+            "also print the classical closed-world answer (with --format "
+            "json it is already the 'observed' field of the payload, so "
+            "this flag adds nothing there)"
+        ),
     )
     _add_engine_option(query)
+    _add_format_option(query)
 
     dataset = sub.add_parser(
         "dataset", help="replay one of the built-in crowd-data stand-ins"
@@ -104,11 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--estimators",
         nargs="+",
         default=["naive", "frequency", "bucket"],
-        choices=available_estimators(),
-        help="estimators to replay",
+        type=_estimator_spec,
+        help=f"estimators to replay; each is an {spec_help}",
     )
     dataset.add_argument("--output", help="optional CSV file for the series")
     _add_engine_option(dataset)
+    _add_format_option(dataset)
 
     experiment = sub.add_parser(
         "experiment", help="run one of the paper's figure/table drivers"
@@ -124,13 +151,46 @@ def _add_engine_option(subparser: argparse.ArgumentParser) -> None:
     """Expose the Monte-Carlo simulation engine escape hatch."""
     subparser.add_argument(
         "--engine",
-        default="vectorized",
+        default=None,
         choices=["vectorized", "loop"],
         help=(
             "Monte-Carlo simulation engine: the batched Gumbel top-k engine "
             "(default) or the legacy per-draw loop (parity oracle; see "
-            "DESIGN.md).  Ignored by non-simulation estimators."
+            "DESIGN.md).  Fills the 'engine' spec parameter when the spec "
+            "does not set it; ignored by non-simulation estimators."
         ),
+    )
+
+
+def _add_format_option(subparser: argparse.ArgumentParser) -> None:
+    """Expose the output format switch."""
+    subparser.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "json"],
+        help=(
+            "output format: a human-readable table (default) or the "
+            "versioned JSON result schema (repro.api.results)"
+        ),
+    )
+
+
+def _resolve_spec(text: str, engine: str | None) -> EstimatorSpec:
+    """Parse a spec and fill the --engine default where it applies."""
+    spec = EstimatorSpec.parse(text)
+    if engine is not None:
+        spec = spec.with_default_params(engine=engine)
+    return spec
+
+
+def _session_from_csv(args: argparse.Namespace) -> OpenWorldSession:
+    """Integrate the mentions CSV and adopt it as session state."""
+    registry = read_sources_csv(args.csv, args.attribute)
+    result = IntegrationPipeline(args.attribute).run(registry)
+    return OpenWorldSession.from_sample(
+        result.sample,
+        args.attribute,
+        estimator=_resolve_spec(args.estimator, args.engine),
     )
 
 
@@ -140,11 +200,9 @@ def _add_engine_option(subparser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    registry = read_sources_csv(args.csv, args.attribute)
-    result = IntegrationPipeline(args.attribute).run(registry)
-    estimator = make_estimator(args.estimator, engine=args.engine)
-    estimate = estimator.estimate(result.sample, args.attribute)
-    summary = result.sample.summary()
+    session = _session_from_csv(args)
+    estimate = session.estimate()
+    summary = session.sample().summary()
     rows = [
         {
             "estimator": estimate.estimator,
@@ -159,22 +217,25 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             "reliable": estimate.reliable,
         }
     ]
-    print(format_result_table(f"SUM({args.attribute}) with unknown unknowns", rows))
+    if args.format == "json":
+        print(json.dumps(estimate.to_dict(), indent=2, allow_nan=False))
+    else:
+        print(format_result_table(f"SUM({args.attribute}) with unknown unknowns", rows))
     if args.output:
         write_estimates_csv(args.output, rows)
-        print(f"\nwrote {args.output}")
+        if args.format != "json":
+            print(f"\nwrote {args.output}")
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    registry = read_sources_csv(args.csv, args.attribute)
-    result = IntegrationPipeline(args.attribute).run(registry)
-    database = Database()
-    database.add_integration_result("data", result)
-    open_world = OpenWorldExecutor(
-        database, sum_estimator=make_estimator(args.estimator, engine=args.engine)
-    )
-    answer = open_world.execute(args.sql)
+    session = _session_from_csv(args)
+    answer = session.query(args.sql)
+    if args.format == "json":
+        # The closed-world answer is the 'observed' field of the payload;
+        # --closed-world therefore needs no extra output here.
+        print(json.dumps(answer.to_dict(), indent=2, allow_nan=False))
+        return 0
     rows = [
         {
             "aggregate": answer.aggregate,
@@ -187,7 +248,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     ]
     print(format_result_table(args.sql, rows))
     if args.closed_world:
-        closed = ClosedWorldExecutor(database).execute(args.sql)
+        closed = session.query(args.sql, closed_world=True)
         print(f"\nclosed-world answer: {closed.observed:,.4g}")
     return 0
 
@@ -197,11 +258,13 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     if args.seed is not None:
         kwargs["seed"] = args.seed
     dataset = load_dataset(args.name, **kwargs)
-    runner = ProgressiveRunner(
-        {name: make_estimator(name, engine=args.engine) for name in args.estimators}
-    )
+    specs = [_resolve_spec(text, args.engine) for text in args.estimators]
+    runner = ProgressiveRunner({text: spec for text, spec in zip(args.estimators, specs)})
     step = args.step or max(1, dataset.total_observations // 10)
     result = runner.run(dataset, step=step)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, allow_nan=False))
+        return 0
     print(f"{dataset.description}  ({dataset.query})")
     print(format_series(result))
     if args.output:

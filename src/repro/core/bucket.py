@@ -33,6 +33,10 @@ from repro.core.naive import NaiveEstimator
 from repro.data.sample import ObservedSample
 from repro.utils.exceptions import EstimationError, ValidationError
 
+#: Default bucket count of the static (equi-width / equi-height) strategies;
+#: the estimator registry reads this instead of repeating the value.
+DEFAULT_STATIC_BUCKETS = 4
+
 
 @dataclass
 class Bucket:

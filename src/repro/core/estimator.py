@@ -24,6 +24,7 @@ import math
 from repro.core.fstatistics import FrequencyStatistics
 from repro.data.sample import ObservedSample
 from repro.utils.exceptions import EstimationError
+from repro.utils.serialization import envelope, unwrap
 
 #: Minimum estimated sample coverage below which the paper advises not to
 #: trust coverage-based estimates (Section 6.5).
@@ -95,6 +96,36 @@ class Estimate:
         if ground_truth == 0:
             raise EstimationError("relative error undefined for zero ground truth")
         return abs(self.corrected - ground_truth) / abs(ground_truth)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (repro.api.results contract)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON representation under the shared result envelope."""
+        return envelope(
+            "estimate",
+            {
+                "observed": self.observed,
+                "delta": self.delta,
+                "corrected": self.corrected,
+                "count_estimate": self.count_estimate,
+                "missing_count": self.missing_count,
+                "value_estimate": self.value_estimate,
+                "coverage": self.coverage,
+                "cv_squared": self.cv_squared,
+                "estimator": self.estimator,
+                "reliable": self.reliable,
+                "details": self.details,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, Any]") -> "Estimate":
+        """Rebuild an :class:`Estimate` serialized with :meth:`to_dict`."""
+        body = unwrap(payload, "estimate")
+        body.pop("reliable", None)  # derived property, not a field
+        return cls(**body)
 
 
 class SumEstimator(ABC):

@@ -38,6 +38,11 @@ from repro.utils.stats import smooth_distribution, smoothed_kl_divergence
 #: default; the legacy per-draw loop is kept as the parity oracle.
 ENGINES = ("vectorized", "loop")
 
+#: Default RNG seed of the estimator.  The estimator registry reads this
+#: (and the :class:`MonteCarloConfig` field defaults) instead of repeating
+#: the values, so there is exactly one place they can change.
+DEFAULT_SEED = 0
+
 
 @dataclass
 class MonteCarloConfig:
@@ -110,7 +115,7 @@ class MonteCarloEstimator(SumEstimator):
     def __init__(
         self,
         config: MonteCarloConfig | None = None,
-        seed: "int | np.random.Generator | None" = 0,
+        seed: "int | np.random.Generator | None" = DEFAULT_SEED,
     ) -> None:
         self.config = config or MonteCarloConfig()
         self._seed = seed

@@ -1,71 +1,58 @@
-"""Estimator registry: build estimators from short string names.
+"""Deprecated estimator registry shim over :mod:`repro.api.specs`.
 
-The evaluation harness, the benchmarks and the open-world query executor all
-refer to estimators by name ("naive", "frequency", "bucket", "monte-carlo",
-...).  This module centralises that mapping so a new estimator only needs to
-be registered once.
+The closed lambda table that used to live here has been replaced by the
+decorator-based plugin registry and the estimator-spec mini-language in
+:mod:`repro.api.specs`.  This module keeps the old entry points alive:
+
+* :func:`available_estimators` simply re-exports the registry listing.
+* :func:`make_estimator` is a thin deprecated wrapper around
+  :func:`repro.api.specs.build_estimator`; unlike the old lambdas it is
+  strict -- unknown keyword arguments raise
+  :class:`~repro.utils.exceptions.ValidationError` listing the valid ones
+  instead of being silently swallowed.
+
+New code should use ``repro.api`` (``build_estimator``, ``EstimatorSpec``,
+``register_estimator``) directly.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
-
-from repro.core.bucket import (
-    BucketEstimator,
-    DynamicBucketing,
-    EquiHeightBucketing,
-    EquiWidthBucketing,
-)
 from repro.core.estimator import SumEstimator
-from repro.core.frequency import FrequencyEstimator
-from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
-from repro.core.naive import NaiveEstimator
-from repro.utils.exceptions import ValidationError
 
-_FACTORIES: dict[str, Callable[..., SumEstimator]] = {
-    "naive": lambda **kw: NaiveEstimator(),
-    "frequency": lambda **kw: FrequencyEstimator(),
-    "frequency-uniform": lambda **kw: FrequencyEstimator(assume_uniform=True),
-    "bucket": lambda **kw: BucketEstimator(strategy=DynamicBucketing()),
-    "bucket-frequency": lambda **kw: BucketEstimator(
-        strategy=DynamicBucketing(), base=FrequencyEstimator()
-    ),
-    "bucket-equiwidth": lambda n_buckets=4, **kw: BucketEstimator(
-        strategy=EquiWidthBucketing(n_buckets=n_buckets)
-    ),
-    "bucket-equiheight": lambda n_buckets=4, **kw: BucketEstimator(
-        strategy=EquiHeightBucketing(n_buckets=n_buckets)
-    ),
-    "monte-carlo": lambda seed=0, engine="vectorized", **kw: MonteCarloEstimator(
-        config=MonteCarloConfig(engine=engine), seed=seed
-    ),
-    "monte-carlo-bucket": lambda seed=0, engine="vectorized", **kw: BucketEstimator(
-        strategy=DynamicBucketing(),
-        base=MonteCarloEstimator(config=MonteCarloConfig(engine=engine), seed=seed),
-        search_base=NaiveEstimator(),
-    ),
-}
+__all__ = ["available_estimators", "make_estimator", "MAKE_ESTIMATOR_DEPRECATION"]
+
+#: Exact warning text of the :func:`make_estimator` deprecation (pinned by
+#: the test suite).
+MAKE_ESTIMATOR_DEPRECATION = (
+    "repro.core.registry.make_estimator is deprecated; use "
+    "repro.api.build_estimator(spec, **params) or "
+    "repro.api.EstimatorSpec.parse(spec).build() instead"
+)
 
 
 def available_estimators() -> list[str]:
-    """Names accepted by :func:`make_estimator`."""
-    return sorted(_FACTORIES)
+    """Names accepted by :func:`make_estimator` (registry listing)."""
+    # Imported lazily: repro.api.specs imports the core estimator modules,
+    # so a module-level import here would cycle during package init.
+    from repro.api.specs import available_estimators as _available
+
+    return _available()
 
 
 def make_estimator(name: str, **kwargs) -> SumEstimator:
-    """Instantiate an estimator by name.
+    """Deprecated: instantiate an estimator by name.
 
     Parameters
     ----------
     name:
-        One of :func:`available_estimators`.
+        One of :func:`available_estimators` (or any estimator spec string).
     **kwargs:
-        Estimator-specific options (e.g. ``n_buckets`` for the static bucket
-        variants, ``seed`` for the Monte-Carlo estimator).
+        Declared estimator parameters (e.g. ``n_buckets`` for the static
+        bucket variants, ``seed`` for the Monte-Carlo estimator).  Unknown
+        parameters raise :class:`~repro.utils.exceptions.ValidationError`.
     """
-    key = name.strip().lower()
-    if key not in _FACTORIES:
-        raise ValidationError(
-            f"unknown estimator {name!r}; available: {', '.join(available_estimators())}"
-        )
-    return _FACTORIES[key](**kwargs)
+    from repro.api._compat import warn_once
+    from repro.api.specs import build_estimator
+
+    warn_once("make_estimator", MAKE_ESTIMATOR_DEPRECATION)
+    return build_estimator(name, **kwargs)

@@ -20,6 +20,45 @@ from repro.data.sample import ObservedSample
 from repro.utils.exceptions import InsufficientDataError, ValidationError
 
 
+class IntegrationState:
+    """Incrementally maintained first-seen integration state.
+
+    One implementation of the "chunked == batch, bit-identical" invariant
+    (DESIGN.md), shared by :class:`ProgressiveIntegrator` (prefix replay
+    over a fixed stream) and :class:`~repro.api.session.OpenWorldSession`
+    (open-ended appends): per-entity counts and first-seen fused values in
+    first-seen order, per-source contribution sizes in first-seen-source
+    order, plus the frequency histogram ``{j: f_j}`` maintained under each
+    append.
+    """
+
+    __slots__ = ("counts", "values", "per_source", "frequencies", "n")
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.values: dict[str, dict[str, float]] = {}
+        self.per_source: dict[str, int] = {}
+        self.frequencies: dict[int, int] = {}
+        self.n = 0
+
+    def integrate(self, obs: Observation, attribute: str) -> None:
+        """Fold one observation into the state (first-seen value fusion)."""
+        entity = obs.entity_id
+        old = self.counts.get(entity, 0)
+        self.counts[entity] = old + 1
+        if old:
+            remaining = self.frequencies[old] - 1
+            if remaining:
+                self.frequencies[old] = remaining
+            else:
+                del self.frequencies[old]
+        else:
+            self.values[entity] = {attribute: float(obs.value(attribute))}
+        self.frequencies[old + 1] = self.frequencies.get(old + 1, 0) + 1
+        self.per_source[obs.source_id] = self.per_source.get(obs.source_id, 0) + 1
+        self.n += 1
+
+
 class ProgressiveIntegrator:
     """Integrates a stream prefix by prefix without re-reading it.
 
@@ -42,9 +81,7 @@ class ProgressiveIntegrator:
         self._observations = observations
         self._attribute = attribute
         self._position = 0
-        self._counts: dict[str, int] = {}
-        self._values: dict[str, dict[str, float]] = {}
-        self._per_source: dict[str, int] = {}
+        self._state = IntegrationState()
 
     @property
     def position(self) -> int:
@@ -71,12 +108,7 @@ class ProgressiveIntegrator:
         target = min(n_observations, len(self._observations))
         attribute = self._attribute
         for index in range(self._position, target):
-            obs = self._observations[index]
-            entity = obs.entity_id
-            self._counts[entity] = self._counts.get(entity, 0) + 1
-            self._per_source[obs.source_id] = self._per_source.get(obs.source_id, 0) + 1
-            if entity not in self._values:
-                self._values[entity] = {attribute: float(obs.value(attribute))}
+            self._state.integrate(self._observations[index], attribute)
         self._position = target
 
     def snapshot(self) -> ObservedSample:
@@ -87,8 +119,9 @@ class ProgressiveIntegrator:
         """
         if self._position == 0:
             raise InsufficientDataError("cannot snapshot an empty prefix")
+        state = self._state
         return ObservedSample(
-            self._counts, self._values, source_sizes=list(self._per_source.values())
+            state.counts, state.values, source_sizes=list(state.per_source.values())
         )
 
     def samples_at(self, prefix_sizes: Sequence[int]) -> list[ObservedSample]:

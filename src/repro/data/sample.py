@@ -187,6 +187,14 @@ class ObservedSample:
             [self.value(entity_id, attribute) for entity_id in self._counts], dtype=float
         )
 
+    def values_by_entity(self) -> dict[str, dict[str, float]]:
+        """Deep copy of the full per-entity attribute-value mapping.
+
+        Preserves first-seen entity order; used to adopt a sample as
+        incremental session state (:meth:`repro.api.OpenWorldSession.from_sample`).
+        """
+        return {eid: dict(attrs) for eid, attrs in self._values.items()}
+
     def has_attribute(self, attribute: str) -> bool:
         """True if every observed entity carries ``attribute``."""
         return all(attribute in attrs for attrs in self._values.values())

@@ -3,9 +3,16 @@
 Every figure of the paper is a curve "estimate after k crowd answers".  The
 :class:`ProgressiveRunner` replays the arrival-ordered stream of a
 :class:`~repro.simulation.sampler.SamplingRun` (or a
-:class:`~repro.datasets.base.CrowdDataset`), rebuilds the integrated sample
-at a set of prefix sizes, runs every configured estimator on each prefix,
-and collects the resulting series.
+:class:`~repro.datasets.base.CrowdDataset`) as a thin loop over an
+:class:`~repro.api.session.OpenWorldSession`: each prefix step ingests only
+the new observations (incremental state maintenance instead of per-prefix
+rebuilds), runs every configured estimator on the maintained sample, and
+collects the resulting series.
+
+Estimators are given as estimator specs (strings like
+``"bucket/monte-carlo?seed=3"`` or parsed
+:class:`~repro.api.specs.EstimatorSpec` objects) or as already-built
+:class:`~repro.core.estimator.SumEstimator` instances.
 """
 
 from __future__ import annotations
@@ -13,14 +20,17 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
+from repro.api.session import OpenWorldSession
+from repro.api.specs import EstimatorSpec, build_estimator
 from repro.core.estimator import SumEstimator
-from repro.core.registry import make_estimator
 from repro.data.sample import ObservedSample
 from repro.datasets.base import CrowdDataset
 from repro.evaluation.metrics import series_summary
 from repro.simulation.sampler import SamplingRun
 from repro.utils.exceptions import ValidationError
+from repro.utils.serialization import envelope, unwrap
 
 
 @dataclass
@@ -59,6 +69,29 @@ class EstimateSeries:
     def summary(self, ground_truth: float) -> dict[str, float]:
         """Error summary of this series against a ground truth."""
         return series_summary(self.estimates, ground_truth)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (repro.api.results contract)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON representation under the shared result envelope."""
+        return envelope(
+            "estimate-series",
+            {
+                "estimator": self.estimator,
+                "sample_sizes": self.sample_sizes,
+                "estimates": self.estimates,
+                "deltas": self.deltas,
+                "count_estimates": self.count_estimates,
+                "coverages": self.coverages,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, Any]") -> "EstimateSeries":
+        """Rebuild an :class:`EstimateSeries` serialized with :meth:`to_dict`."""
+        return cls(**unwrap(payload, "estimate-series"))
 
 
 @dataclass
@@ -113,6 +146,35 @@ class ProgressiveResult:
             raise ValidationError("no estimator produced a finite final estimate")
         return min(finite, key=finite.get)
 
+    # ------------------------------------------------------------------ #
+    # Serialization (repro.api.results contract)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON representation under the shared result envelope."""
+        return envelope(
+            "progressive-result",
+            {
+                "attribute": self.attribute,
+                "sample_sizes": self.sample_sizes,
+                "observed": self.observed,
+                "series": {
+                    name: series.to_dict() for name, series in self.series.items()
+                },
+                "ground_truth": self.ground_truth,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, Any]") -> "ProgressiveResult":
+        """Rebuild a :class:`ProgressiveResult` serialized with :meth:`to_dict`."""
+        body = unwrap(payload, "progressive-result")
+        body["series"] = {
+            name: EstimateSeries.from_dict(series)
+            for name, series in body["series"].items()
+        }
+        return cls(**body)
+
 
 class ProgressiveRunner:
     """Replays an observation stream through a set of estimators.
@@ -120,20 +182,33 @@ class ProgressiveRunner:
     Parameters
     ----------
     estimators:
-        Either a mapping ``{name: SumEstimator}`` or a sequence of estimator
-        names understood by :func:`repro.core.registry.make_estimator`.
+        Either a mapping ``{name: estimator-or-spec}`` or a sequence of
+        estimator specs (strings understood by
+        :meth:`repro.api.specs.EstimatorSpec.parse`, parsed spec objects, or
+        built :class:`SumEstimator` instances).
     """
 
     def __init__(
         self,
-        estimators: "Mapping[str, SumEstimator] | Sequence[str]",
+        estimators: "Mapping[str, SumEstimator | str | EstimatorSpec] "
+        "| Sequence[str | EstimatorSpec | SumEstimator]",
     ) -> None:
         if isinstance(estimators, Mapping):
-            self.estimators = dict(estimators)
+            self.estimators = {
+                name: build_estimator(spec) for name, spec in estimators.items()
+            }
         else:
-            self.estimators = {name: make_estimator(name) for name in estimators}
+            self.estimators = {
+                self._spec_label(spec): build_estimator(spec) for spec in estimators
+            }
         if not self.estimators:
             raise ValidationError("at least one estimator is required")
+
+    @staticmethod
+    def _spec_label(spec: "str | EstimatorSpec | SumEstimator") -> str:
+        if isinstance(spec, SumEstimator):
+            return spec.name
+        return EstimatorSpec.of(spec).to_string()
 
     # ------------------------------------------------------------------ #
     # Replay
@@ -178,9 +253,15 @@ class ProgressiveRunner:
         series = {
             name: EstimateSeries(estimator=name) for name in self.estimators
         }
-        # One incremental pass over the stream instead of re-integrating
-        # every prefix from scratch (O(n) total rather than O(n·k)).
-        for size, sample in zip(sizes, run.samples_at(sizes)):
+        # A thin loop over one session: each step ingests only the new slice
+        # of the stream, so the whole replay costs O(n) stream work instead
+        # of O(n·k) per-prefix rebuilds.
+        session = OpenWorldSession(attribute)
+        position = 0
+        for size in sizes:
+            session.ingest(run.stream[position:size])
+            position = size
+            sample = session.sample()
             observed.append(sample.sum(attribute))
             for name, estimator in self.estimators.items():
                 estimate = estimator.estimate(sample, attribute)

@@ -33,6 +33,7 @@ from repro.query.database import Database
 from repro.query.parser import parse_query
 from repro.query.table import Table
 from repro.utils.exceptions import QueryError
+from repro.utils.serialization import envelope, unwrap
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,33 @@ class QueryResult:
     def delta(self) -> float:
         """Estimated impact of unknown unknowns on the answer."""
         return self.corrected - self.observed
+
+    # ------------------------------------------------------------------ #
+    # Serialization (repro.api.results contract)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON representation under the shared result envelope."""
+        return envelope(
+            "query-result",
+            {
+                "query": self.query,
+                "aggregate": self.aggregate,
+                "observed": self.observed,
+                "corrected": self.corrected,
+                "delta": self.delta,
+                "trusted": self.trusted,
+                "matching_rows": self.matching_rows,
+                "details": self.details,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, Any]") -> "QueryResult":
+        """Rebuild a :class:`QueryResult` serialized with :meth:`to_dict`."""
+        body = unwrap(payload, "query-result")
+        body.pop("delta", None)  # derived property, not a field
+        return cls(**body)
 
 
 def _closed_world_value(table: Table, query: Query) -> tuple[float, int]:
@@ -121,6 +149,15 @@ class ClosedWorldExecutor:
         )
 
 
+#: Exact warning text of the ``estimator=`` keyword deprecation (pinned by
+#: the test suite).
+ESTIMATOR_KEYWORD_DEPRECATION = (
+    "OpenWorldExecutor(estimator=...) is deprecated; pass "
+    "sum_estimator=<spec string> (e.g. 'bucket/monte-carlo') or a built "
+    "SumEstimator instead"
+)
+
+
 class OpenWorldExecutor:
     """Query execution corrected for unknown unknowns.
 
@@ -129,7 +166,11 @@ class OpenWorldExecutor:
     database:
         The database holding the integrated tables (with lineage counts).
     sum_estimator:
-        Estimator used for SUM queries (default: dynamic bucket).
+        Estimator used for SUM queries: a built
+        :class:`~repro.core.estimator.SumEstimator`, an estimator spec
+        string such as ``"bucket(equiwidth:8)/monte-carlo?seed=3"``, or a
+        parsed :class:`~repro.api.specs.EstimatorSpec` (default: dynamic
+        bucket).
     count_method:
         "chao92" (default) or "monte-carlo" for COUNT queries.
     """
@@ -137,12 +178,36 @@ class OpenWorldExecutor:
     def __init__(
         self,
         database: Database,
-        sum_estimator: SumEstimator | None = None,
+        sum_estimator: "SumEstimator | str | None" = None,
         count_method: str = "chao92",
         monte_carlo: MonteCarloEstimator | None = None,
+        **deprecated: Any,
     ) -> None:
+        if deprecated:
+            unknown = [key for key in deprecated if key != "estimator"]
+            if unknown:
+                raise TypeError(
+                    f"OpenWorldExecutor() got unexpected keyword arguments {unknown}"
+                )
+            from repro.api._compat import warn_once
+
+            warn_once("open-world-executor-estimator", ESTIMATOR_KEYWORD_DEPRECATION)
+            if sum_estimator is not None:
+                raise ValueError(
+                    "pass either sum_estimator or the deprecated estimator "
+                    "keyword, not both"
+                )
+            sum_estimator = deprecated["estimator"]
+        if sum_estimator is None:
+            resolved: SumEstimator = BucketEstimator()
+        elif isinstance(sum_estimator, SumEstimator):
+            resolved = sum_estimator
+        else:
+            from repro.api.specs import build_estimator
+
+            resolved = build_estimator(sum_estimator)
         self.database = database
-        self.sum_estimator = sum_estimator or BucketEstimator()
+        self.sum_estimator = resolved
         self.count_method = count_method
         self.monte_carlo = monte_carlo
 

@@ -1,0 +1,104 @@
+"""Shared JSON serialization contract for result objects.
+
+Every serializable result (:class:`~repro.core.estimator.Estimate`,
+:class:`~repro.query.executor.QueryResult`,
+:class:`~repro.evaluation.runner.EstimateSeries`, session snapshots, ...)
+uses the same versioned envelope::
+
+    {"schema": "repro.result/v1", "kind": "estimate", ...payload...}
+
+so downstream tooling can dispatch on ``kind`` and refuse payloads from a
+different schema generation instead of silently misreading them.
+
+The payloads are *strict* JSON: non-finite floats (which estimates
+legitimately produce -- a diverging ``Δ̂`` is ``inf``, a COUNT query has a
+``nan`` value estimate) are encoded as ``{"__float__": "nan"}`` markers so
+``json.dumps(..., allow_nan=False)`` always succeeds and the decoded object
+is bit-identical to the original.  NumPy scalars and arrays are converted
+to their plain Python equivalents on the way out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.utils.exceptions import ValidationError
+
+#: Schema identifier stamped on every serialized result.  Bump the version
+#: suffix whenever a field changes meaning; ``from_dict`` refuses payloads
+#: from any other generation.
+RESULT_SCHEMA = "repro.result/v1"
+
+#: Markers used to round-trip non-finite floats through strict JSON.
+_NONFINITE = {"nan": float("nan"), "inf": float("inf"), "-inf": float("-inf")}
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively convert ``value`` into strict-JSON-safe primitives.
+
+    Handles non-finite floats, NumPy scalars/arrays, tuples and nested
+    containers.  Mapping keys are coerced to strings (JSON object keys).
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        if math.isnan(value):
+            return {"__float__": "nan"}
+        return {"__float__": "inf" if value > 0 else "-inf"}
+    if isinstance(value, np.generic):
+        return encode_value(value.item())
+    if isinstance(value, np.ndarray):
+        return [encode_value(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): encode_value(item) for key, item in value.items()}
+    raise ValidationError(
+        f"cannot serialize value of type {type(value).__name__!r}: {value!r}"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (lists stay lists)."""
+    if isinstance(value, dict):
+        if set(value) == {"__float__"}:
+            marker = value["__float__"]
+            if marker not in _NONFINITE:
+                raise ValidationError(f"unknown float marker {marker!r}")
+            return _NONFINITE[marker]
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+def envelope(kind: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Wrap ``payload`` in the versioned result envelope."""
+    return {"schema": RESULT_SCHEMA, "kind": kind, **encode_value(payload)}
+
+
+def unwrap(payload: Any, kind: str) -> dict[str, Any]:
+    """Validate the envelope of ``payload`` and return the decoded body."""
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"expected a serialized {kind!r} mapping, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema != RESULT_SCHEMA:
+        raise ValidationError(
+            f"unsupported schema {schema!r}; this build reads {RESULT_SCHEMA!r}"
+        )
+    found = payload.get("kind")
+    if found != kind:
+        raise ValidationError(f"expected kind {kind!r}, got {found!r}")
+    body = {
+        key: decode_value(value)
+        for key, value in payload.items()
+        if key not in ("schema", "kind")
+    }
+    return body

@@ -56,3 +56,16 @@ class TestRegistry:
     def test_frequency_uniform_variant(self):
         estimator = make_estimator("frequency-uniform")
         assert estimator.assume_uniform is True
+
+    def test_unknown_kwargs_rejected(self):
+        # Regression: the old lambda registry silently swallowed unknown
+        # kwargs via **kw (make_estimator("naive", n_buckets=4) succeeded).
+        with pytest.raises(ValidationError):
+            make_estimator("naive", n_buckets=4)
+        with pytest.raises(ValidationError, match="valid parameters"):
+            make_estimator("bucket-equiwidth", buckets=7)
+
+    def test_accepts_spec_strings(self):
+        estimator = make_estimator("bucket/frequency")
+        assert isinstance(estimator, BucketEstimator)
+        assert isinstance(estimator.base, FrequencyEstimator)

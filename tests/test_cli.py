@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import json
 
 import pytest
 
@@ -46,6 +47,25 @@ class TestParser:
                 ["estimate", "file.csv", "--attribute", "gdp", "--estimator", "magic"]
             )
 
+    def test_composite_spec_accepted(self):
+        args = build_parser().parse_args(
+            [
+                "estimate",
+                "file.csv",
+                "--attribute",
+                "gdp",
+                "--estimator",
+                "bucket(equiwidth:8)/monte-carlo?seed=3",
+            ]
+        )
+        assert args.estimator == "bucket(equiwidth:8)/monte-carlo?seed=3"
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["estimate", "file.csv", "--attribute", "gdp", "--estimator", "bucket?x=1"]
+            )
+
     def test_experiment_choices_cover_all_figures(self):
         expected = {
             "fig2", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b",
@@ -83,6 +103,43 @@ class TestEstimateCommand:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_json_format_emits_result_schema(self, mentions_csv, capsys):
+        code = main(
+            [
+                "estimate",
+                str(mentions_csv),
+                "--attribute",
+                "gdp",
+                "--estimator",
+                "naive",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.result/v1"
+        assert payload["kind"] == "estimate"
+        assert payload["estimator"] == "naive"
+        assert payload["observed"] == pytest.approx(2481 + 1639 + 1455 + 893)
+
+    def test_composite_spec_runs(self, mentions_csv, capsys):
+        code = main(
+            [
+                "estimate",
+                str(mentions_csv),
+                "--attribute",
+                "gdp",
+                "--estimator",
+                "bucket/frequency?search=naive",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corrected"] >= payload["observed"]
+
 
 class TestQueryCommand:
     def test_open_world_query(self, mentions_csv, capsys):
@@ -101,6 +158,25 @@ class TestQueryCommand:
         out = capsys.readouterr().out
         assert "SELECT SUM(gdp) FROM data" in out
         assert "closed-world answer" in out
+
+    def test_json_format(self, mentions_csv, capsys):
+        code = main(
+            [
+                "query",
+                str(mentions_csv),
+                "--attribute",
+                "gdp",
+                "--sql",
+                "SELECT COUNT(*) FROM data",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "query-result"
+        assert payload["aggregate"] == "COUNT"
+        assert payload["observed"] == 4.0
 
     def test_bad_sql_is_reported(self, mentions_csv, capsys):
         code = main(
@@ -141,6 +217,26 @@ class TestDatasetCommand:
         rows = list(csv.DictReader(output.open()))
         assert "naive" in rows[0]
         assert "bucket" in rows[0]
+
+    def test_json_format_emits_progressive_result(self, capsys):
+        code = main(
+            [
+                "dataset",
+                "us-gdp",
+                "--seed",
+                "1",
+                "--step",
+                "60",
+                "--estimators",
+                "naive",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "progressive-result"
+        assert payload["series"]["naive"]["kind"] == "estimate-series"
 
 
 class TestExperimentCommand:
