@@ -43,6 +43,9 @@ Package layout
   the SUM upper bound and the COUNT/AVG/MIN/MAX extensions.
 * :mod:`repro.data` -- the data-integration substrate (sources, cleaning,
   lineage, the observed sample).
+* :mod:`repro.parallel` -- pluggable execution backends (serial, thread,
+  process pool with shared-memory broadcast) sharding the Monte-Carlo grid
+  and the progressive replays, with bit-identical results everywhere.
 * :mod:`repro.query` -- a small aggregate-query engine with closed-world and
   open-world (estimator-corrected) execution.
 * :mod:`repro.simulation` -- the multi-source sampling simulator used by the
@@ -92,6 +95,13 @@ from repro.data import (
     ObservedSample,
     integrate,
 )
+from repro.parallel import (
+    BACKENDS,
+    ExecutionBackend,
+    ParallelExecutionError,
+    get_backend,
+    set_default_backend,
+)
 from repro.query import ClosedWorldExecutor, Database, OpenWorldExecutor, Table, parse_query
 from repro.utils.exceptions import (
     EstimationError,
@@ -101,7 +111,7 @@ from repro.utils.exceptions import (
     ValidationError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # api
@@ -132,6 +142,12 @@ __all__ = [
     "estimate_sum",
     "make_estimator",
     "sum_upper_bound",
+    # parallel
+    "BACKENDS",
+    "ExecutionBackend",
+    "ParallelExecutionError",
+    "get_backend",
+    "set_default_backend",
     # data
     "DataSource",
     "Entity",

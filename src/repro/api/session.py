@@ -43,6 +43,18 @@ from repro.utils.serialization import envelope, unwrap
 __all__ = ["OpenWorldSession", "SessionSnapshot"]
 
 
+def _parallel_overrides(
+    backend: str | None, workers: int | None
+) -> dict[str, Any]:
+    """Spec parameter overrides implied by estimate()'s backend/workers."""
+    overrides: dict[str, Any] = {}
+    if backend is not None:
+        overrides["backend"] = backend
+    if workers is not None:
+        overrides["workers"] = workers
+    return overrides
+
+
 @dataclass(frozen=True)
 class SessionSnapshot:
     """Serializable state of an :class:`OpenWorldSession` at one instant.
@@ -321,13 +333,22 @@ class OpenWorldSession:
         self,
         attribute: str | None = None,
         spec: "str | EstimatorSpec | SumEstimator | None" = None,
+        *,
+        backend: str | None = None,
+        workers: int | None = None,
     ) -> Estimate:
         """Estimate the unknown-unknowns impact on ``SUM(attribute)``.
 
         ``attribute`` defaults to the session attribute; ``spec`` defaults
-        to the session's default estimator.
+        to the session's default estimator.  ``backend``/``workers`` are
+        passed through to the estimator spec (overriding its ``backend`` /
+        ``workers`` parameters) so callers can shard e.g. the Monte-Carlo
+        grid search without rebuilding the spec string; estimators whose
+        spec declares no such parameters ignore them.
         """
-        estimator = self._resolve_estimator(spec)
+        estimator = self._resolve_estimator(
+            spec, overrides=_parallel_overrides(backend, workers)
+        )
         return estimator.estimate(self.sample(), attribute or self._attribute)
 
     def query(
@@ -360,15 +381,33 @@ class OpenWorldSession:
         return self._database_cache
 
     def _resolve_estimator(
-        self, spec: "str | EstimatorSpec | SumEstimator | None"
+        self,
+        spec: "str | EstimatorSpec | SumEstimator | None",
+        overrides: "dict[str, Any] | None" = None,
     ) -> SumEstimator:
         if spec is None:
             if self._default_estimator is not None:
+                if overrides:
+                    raise ValidationError(
+                        "backend/workers overrides require a spec-configured "
+                        "estimator; this session was constructed with an "
+                        "already-built estimator instance"
+                    )
                 return self._default_estimator
             spec = self._default_spec
         if isinstance(spec, SumEstimator):
+            if overrides:
+                raise ValidationError(
+                    "backend/workers overrides cannot be applied to an "
+                    "already-built estimator instance; pass a spec instead"
+                )
             return spec
         parsed = EstimatorSpec.of(spec)
+        if overrides:
+            supported = parsed.supported_params()
+            parsed = parsed.with_params(
+                **{key: value for key, value in overrides.items() if key in supported}
+            )
         key = parsed.to_string()
         if key not in self._estimator_cache:
             self._estimator_cache[key] = parsed.build()

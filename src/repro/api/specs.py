@@ -27,6 +27,7 @@ This module replaces the closed lambda table that used to live in
       "bucket/frequency"                                # frequency base inside buckets
       "bucket(equiwidth:8)/monte-carlo?seed=3&engine=vectorized"
       "monte-carlo?n_runs=10"
+      "monte-carlo?backend=process&workers=4"    # sharded grid search
 
   In a chain, each component is the *base estimator* of the component to
   its left; ``?key=value`` parameters apply to every component of the chain
@@ -62,6 +63,7 @@ from repro.core.montecarlo import (
     MonteCarloEstimator,
 )
 from repro.core.naive import NaiveEstimator
+from repro.parallel.backends import BACKENDS
 from repro.utils.exceptions import ValidationError
 
 __all__ = [
@@ -574,6 +576,21 @@ _MC_PARAMS = (
         default=_MC_DEFAULTS["n_count_steps"],
         doc="θ_N grid steps between c and the Chao92 estimate",
     ),
+    ParamSpec(
+        "backend",
+        str,
+        default=_MC_DEFAULTS["backend"],
+        choices=BACKENDS,
+        doc="execution backend the θ_N grid rows are sharded over "
+        "(results are bit-identical across backends and worker counts)",
+    ),
+    ParamSpec(
+        "workers",
+        int,
+        default=_MC_DEFAULTS["n_workers"],
+        doc="worker count of the backend (default: all CPUs for "
+        "thread/process pools)",
+    ),
 )
 
 
@@ -582,6 +599,8 @@ def _monte_carlo_config(params: Mapping[str, Any]) -> MonteCarloConfig:
         engine=params["engine"],
         n_runs=params["n_runs"],
         n_count_steps=params["n_count_steps"],
+        backend=params["backend"],
+        n_workers=params["workers"],
     )
 
 

@@ -30,6 +30,7 @@ from collections.abc import Sequence
 
 from repro.api.session import OpenWorldSession
 from repro.api.specs import EstimatorSpec, available_estimators
+from repro.parallel.backends import BACKENDS
 from repro.data.integration import IntegrationPipeline
 from repro.data.io import read_sources_csv, write_estimates_csv
 from repro.datasets.registry import available_datasets, load_dataset
@@ -94,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     estimate.add_argument("--output", help="optional CSV file for the result row")
     _add_engine_option(estimate)
+    _add_parallel_options(estimate)
     _add_format_option(estimate)
 
     query = sub.add_parser(
@@ -118,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_engine_option(query)
+    _add_parallel_options(query)
     _add_format_option(query)
 
     dataset = sub.add_parser(
@@ -135,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dataset.add_argument("--output", help="optional CSV file for the series")
     _add_engine_option(dataset)
+    _add_parallel_options(dataset)
     _add_format_option(dataset)
 
     experiment = sub.add_parser(
@@ -162,6 +166,27 @@ def _add_engine_option(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_options(subparser: argparse.ArgumentParser) -> None:
+    """Expose the execution-backend selection (repro.parallel)."""
+    subparser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKENDS),
+        help=(
+            "execution backend for the parallelizable work: the Monte-Carlo "
+            "grid rows of 'estimate'/'query' specs, or the (prefix x "
+            "estimator) cells of a 'dataset' replay.  Results are "
+            "bit-identical across backends and worker counts."
+        ),
+    )
+    subparser.add_argument(
+        "--workers",
+        default=None,
+        type=int,
+        help="worker count for --backend (default: all CPUs)",
+    )
+
+
 def _add_format_option(subparser: argparse.ArgumentParser) -> None:
     """Expose the output format switch."""
     subparser.add_argument(
@@ -175,11 +200,28 @@ def _add_format_option(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _resolve_spec(text: str, engine: str | None) -> EstimatorSpec:
-    """Parse a spec and fill the --engine default where it applies."""
+def _resolve_spec(
+    text: str,
+    engine: str | None,
+    backend: str | None = None,
+    workers: int | None = None,
+) -> EstimatorSpec:
+    """Parse a spec and fill the --engine/--backend/--workers defaults.
+
+    The flags only fill parameters the spec does not already set (and are
+    silently ignored by components that declare no such parameter), so an
+    explicit ``?backend=...`` in the spec always wins.
+    """
     spec = EstimatorSpec.parse(text)
+    defaults = {}
     if engine is not None:
-        spec = spec.with_default_params(engine=engine)
+        defaults["engine"] = engine
+    if backend is not None:
+        defaults["backend"] = backend
+    if workers is not None:
+        defaults["workers"] = workers
+    if defaults:
+        spec = spec.with_default_params(**defaults)
     return spec
 
 
@@ -190,7 +232,7 @@ def _session_from_csv(args: argparse.Namespace) -> OpenWorldSession:
     return OpenWorldSession.from_sample(
         result.sample,
         args.attribute,
-        estimator=_resolve_spec(args.estimator, args.engine),
+        estimator=_resolve_spec(args.estimator, args.engine, args.backend, args.workers),
     )
 
 
@@ -258,8 +300,15 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     if args.seed is not None:
         kwargs["seed"] = args.seed
     dataset = load_dataset(args.name, **kwargs)
+    # --backend/--workers shard the replay's (prefix x estimator) cells at
+    # the runner level; the estimator specs themselves stay serial inside
+    # each cell so worker processes never nest their own pools.
     specs = [_resolve_spec(text, args.engine) for text in args.estimators]
-    runner = ProgressiveRunner({text: spec for text, spec in zip(args.estimators, specs)})
+    runner = ProgressiveRunner(
+        {text: spec for text, spec in zip(args.estimators, specs)},
+        backend=args.backend,
+        n_workers=args.workers,
+    )
     step = args.step or max(1, dataset.total_observations // 10)
     result = runner.run(dataset, step=step)
     if args.format == "json":

@@ -60,6 +60,10 @@ class Estimate:
     details:
         Estimator-specific diagnostics (bucket boundaries, fitted MC
         parameters, ...).
+    runtime:
+        Optional execution metadata (``wall_time_s``, ``backend``,
+        ``n_workers``) recorded by estimators that run through a
+        :mod:`repro.parallel` backend; ``None`` for closed-form estimators.
     """
 
     observed: float
@@ -72,6 +76,7 @@ class Estimate:
     cv_squared: float
     estimator: str
     details: dict[str, Any] = field(default_factory=dict)
+    runtime: "dict[str, Any] | None" = None
 
     @property
     def reliable(self) -> bool:
@@ -117,14 +122,20 @@ class Estimate:
                 "estimator": self.estimator,
                 "reliable": self.reliable,
                 "details": self.details,
+                "runtime": self.runtime,
             },
         )
 
     @classmethod
     def from_dict(cls, payload: "dict[str, Any]") -> "Estimate":
-        """Rebuild an :class:`Estimate` serialized with :meth:`to_dict`."""
+        """Rebuild an :class:`Estimate` serialized with :meth:`to_dict`.
+
+        Payloads written before the ``runtime`` field existed (schema v1
+        without the key) still round-trip: the field defaults to ``None``.
+        """
         body = unwrap(payload, "estimate")
         body.pop("reliable", None)  # derived property, not a field
+        body.setdefault("runtime", None)
         return cls(**body)
 
 
@@ -167,6 +178,7 @@ class SumEstimator(ABC):
         count_estimate: float,
         value_estimate: float,
         details: dict[str, Any] | None = None,
+        runtime: dict[str, Any] | None = None,
     ) -> Estimate:
         """Assemble an :class:`Estimate` with the common bookkeeping filled in."""
         stats = self._statistics(sample)
@@ -185,6 +197,7 @@ class SumEstimator(ABC):
             cv_squared=stats.cv_squared(),
             estimator=self.name,
             details=dict(details or {}),
+            runtime=dict(runtime) if runtime is not None else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

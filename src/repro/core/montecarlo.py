@@ -15,11 +15,18 @@ estimate of the naive estimator.  Because unmatched simulated uniques are
 penalised by the KL objective, ``N̂_MC`` tends to stay close to the observed
 unique count ``c``, which is exactly the conservative behaviour the paper
 reports (good under streakers, overly timid when publicity is uniform).
+
+The grid search itself is *sharded*: every θ_N grid row is an independent
+task fanned out over a :mod:`repro.parallel` execution backend
+(``serial``/``thread``/``process``), each row drawing its noise from its own
+:class:`numpy.random.SeedSequence` child keyed by the row index, so the
+estimate is bit-identical whatever backend or worker count executes it.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -29,8 +36,9 @@ from repro.core.estimator import Estimate, SumEstimator
 from repro.core.fstatistics import FrequencyStatistics
 from repro.core.species import chao92_estimate
 from repro.data.sample import ObservedSample
+from repro.parallel.backends import BACKENDS, ExecutionBackend, resolve_backend
+from repro.parallel.seeding import spawn_task_seeds
 from repro.utils.exceptions import ValidationError
-from repro.utils.rng import ensure_rng
 from repro.utils.sampling import batched_draw_counts
 from repro.utils.stats import smooth_distribution, smoothed_kl_divergence
 
@@ -70,6 +78,16 @@ class MonteCarloConfig:
         per-draw implementation, kept as a parity oracle and escape hatch
         (see DESIGN.md).  Both sample the same distribution; point estimates
         agree up to Monte-Carlo noise within the grid resolution.
+    backend:
+        Execution backend the θ_N grid rows are sharded over: one of
+        :data:`repro.parallel.BACKENDS` (``"serial"``, ``"thread"``,
+        ``"process"``), an :class:`~repro.parallel.ExecutionBackend`
+        instance, or ``None`` to follow the process-wide default
+        (:func:`repro.parallel.set_default_backend` / ``REPRO_BACKEND``).
+        The estimate is bit-identical across backends and worker counts.
+    n_workers:
+        Worker count of the backend (``None``: all CPUs for thread/process
+        pools, or the configured default).
     """
 
     n_runs: int = 5
@@ -78,6 +96,8 @@ class MonteCarloConfig:
     smoothing_epsilon: float = 1e-6
     surface_degree: int = 2
     engine: str = "vectorized"
+    backend: "str | ExecutionBackend | None" = None
+    n_workers: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -96,6 +116,14 @@ class MonteCarloConfig:
             raise ValidationError(
                 f"unknown engine {self.engine!r}; expected one of {', '.join(ENGINES)}"
             )
+        if self.backend is not None and not isinstance(self.backend, ExecutionBackend):
+            if self.backend not in BACKENDS:
+                raise ValidationError(
+                    f"unknown backend {self.backend!r}; expected one of "
+                    f"{', '.join(BACKENDS)}"
+                )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {self.n_workers}")
 
 
 class MonteCarloEstimator(SumEstimator):
@@ -127,7 +155,9 @@ class MonteCarloEstimator(SumEstimator):
     def estimate(self, sample: ObservedSample, attribute: str) -> Estimate:
         """Estimate the unknown-unknowns impact on ``SUM(attribute)``."""
         self._check_attribute(sample, attribute)
+        start = time.perf_counter()
         n_mc, diagnostics = self.estimate_population_size(sample)
+        wall_time = time.perf_counter() - start
         observed_sum = sample.sum(attribute)
         mean_value = observed_sum / sample.c
         delta = mean_value * max(n_mc - sample.c, 0.0)
@@ -138,6 +168,11 @@ class MonteCarloEstimator(SumEstimator):
             count_estimate=n_mc,
             value_estimate=mean_value,
             details=diagnostics,
+            runtime={
+                "wall_time_s": wall_time,
+                "backend": diagnostics["backend"],
+                "n_workers": diagnostics["n_workers"],
+            },
         )
 
     def estimate_population_size(
@@ -145,10 +180,15 @@ class MonteCarloEstimator(SumEstimator):
     ) -> tuple[float, dict[str, Any]]:
         """Algorithm 3: grid search + surface fit for ``N̂_MC``.
 
+        The θ_N grid rows are independent tasks sharded over the configured
+        :mod:`repro.parallel` backend.  Row ``i`` draws its simulation noise
+        from the ``i``-th :class:`numpy.random.SeedSequence` child of the
+        estimator seed, so the returned surface is bit-identical whatever
+        backend or worker count executed it (see DESIGN.md).
+
         Returns the fitted count estimate and a diagnostics dictionary
-        (grid, divergences, fitted optimum).
+        (grid, divergences, fitted optimum, backend).
         """
-        rng = ensure_rng(self._seed)
         stats = FrequencyStatistics.from_sample(sample)
         c = stats.c
         chao = chao92_estimate(stats)
@@ -164,18 +204,23 @@ class MonteCarloEstimator(SumEstimator):
         if not source_sizes:
             source_sizes = [stats.n]
 
-        observed_items = _descending_item_counts(stats)
-        if self.config.engine == "vectorized":
-            divergences = self._divergence_grid_vectorized(
-                count_grid, lambda_grid, observed_items, source_sizes, rng
-            )
-        else:
-            divergences = np.zeros((len(count_grid), len(lambda_grid)))
-            for i, theta_n in enumerate(count_grid):
-                for j, theta_lambda in enumerate(lambda_grid):
-                    divergences[i, j] = self._average_divergence(
-                        theta_n, theta_lambda, observed_items, source_sizes, rng
-                    )
+        backend = resolve_backend(self.config.backend, self.config.n_workers)
+        row_seeds = spawn_task_seeds(self._seed, len(count_grid))
+        rows = backend.map(
+            _grid_row_divergences,
+            list(zip(count_grid, row_seeds)),
+            shared={
+                # Observed-side invariants of the whole grid, broadcast once
+                # (zero-copy shared-memory views on the process backend).
+                "observed_items": _descending_item_counts(stats),
+                "source_sizes": np.asarray(source_sizes, dtype=np.int64),
+                "lambda_grid": np.asarray(lambda_grid, dtype=float),
+                "engine": self.config.engine,
+                "n_runs": self.config.n_runs,
+                "epsilon": self.config.smoothing_epsilon,
+            },
+        )
+        divergences = np.vstack(rows)
 
         n_best, lambda_best = self._fit_and_minimise(
             count_grid, lambda_grid, divergences
@@ -188,150 +233,10 @@ class MonteCarloEstimator(SumEstimator):
             "fitted_lambda": float(lambda_best),
             "chao92_upper": float(n_upper),
             "engine": self.config.engine,
+            "backend": backend.name,
+            "n_workers": backend.n_workers,
         }
         return float(n_best), diagnostics
-
-    # ------------------------------------------------------------------ #
-    # Algorithm 2: one simulation cell
-    # ------------------------------------------------------------------ #
-
-    def _average_divergence(
-        self,
-        theta_n: int,
-        theta_lambda: float,
-        observed_items: np.ndarray,
-        source_sizes: list[int],
-        rng: np.random.Generator,
-    ) -> float:
-        """Average KL divergence between observed and simulated f-statistics.
-
-        The legacy per-draw engine: one ``rng.choice`` call per source per
-        run.  Kept as the parity oracle for the vectorized engine.
-        """
-        publicity = exponential_publicity(theta_n, theta_lambda)
-        total = 0.0
-        for _ in range(self.config.n_runs):
-            simulated_counts = self._simulate_sources(publicity, source_sizes, rng)
-            total += self._divergence(observed_items, simulated_counts, theta_n)
-        return total / self.config.n_runs
-
-    def _divergence_grid_vectorized(
-        self,
-        count_grid: list[int],
-        lambda_grid: list[float],
-        observed_items: np.ndarray,
-        source_sizes: list[int],
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        """All grid cells' average divergences via batched Gumbel top-k draws.
-
-        One grid row (fixed ``θ_N``, all λ values) is simulated per
-        :func:`batched_draw_counts` call: every λ × run × source draw shares
-        one noise pass, and all ``n_λ · n_runs`` divergences of the row come
-        out of a single matrix computation.  The observed comparison vector
-        only depends on ``θ_N`` (the padded length), so it is hoisted out of
-        the λ and run dimensions entirely; ``Σ p·log p`` of the observed side
-        is likewise computed once per row.
-        """
-        epsilon = self.config.smoothing_epsilon
-        lambdas = np.asarray(lambda_grid, dtype=float)
-        divergences = np.empty((len(count_grid), lambdas.size))
-        obs_size = observed_items.size
-        for i, theta_n in enumerate(count_grid):
-            # Simulated count vectors have exactly theta_n entries, so the
-            # padded comparison length is fixed for the whole grid row.
-            length = max(theta_n, obs_size)
-            obs = np.zeros(length)
-            obs[:obs_size] = observed_items
-            obs_p = smooth_distribution(obs / max(obs.sum(), 1.0), epsilon)
-            obs_entropy = float(np.dot(obs_p, np.log(obs_p)))
-            # Publicity matrix of the row: p_λi ∝ exp(−λ·i/θ_N), one row per λ.
-            ranks = np.arange(theta_n, dtype=float)
-            weights = np.exp(np.outer(-lambdas / theta_n, ranks))
-            publicities = weights / weights.sum(axis=1, keepdims=True)
-            counts = batched_draw_counts(
-                publicities, source_sizes, self.config.n_runs, rng
-            )
-            divergences[i] = self._mean_smoothed_kl(
-                obs_p, obs_entropy, counts, length, epsilon
-            )
-        return divergences
-
-    @staticmethod
-    def _mean_smoothed_kl(
-        obs_p: np.ndarray,
-        obs_entropy: float,
-        counts: np.ndarray,
-        length: int,
-        epsilon: float,
-    ) -> np.ndarray:
-        """Mean KL(obs ‖ run) over simulated runs for every λ, vectorized.
-
-        ``counts`` has shape ``(n_λ, n_runs, θ_N)``.  Each run's counts are
-        sorted descending ("indexing"), padded to ``length``, normalised and
-        smoothed exactly like the loop engine; ``KL(p‖q) = Σ p·log p − Σ
-        p·log q`` lets the observed entropy term be shared across all runs
-        and λ so only the cross terms need a matrix product.  Returns the
-        per-λ averages.
-        """
-        n_lambdas, n_runs, n_items = counts.shape
-        sim = np.zeros((n_lambdas, n_runs, length))
-        sim[:, :, :n_items] = -np.sort(-counts, axis=2)
-        totals = sim.sum(axis=2, keepdims=True)
-        degenerate = totals[:, :, 0] <= 0
-        np.copyto(totals, 1.0, where=totals <= 0)
-        sim_p = sim / totals
-        np.copyto(sim_p, epsilon, where=sim_p <= 0)
-        sim_p /= sim_p.sum(axis=2, keepdims=True)
-        cross = np.log(sim_p) @ obs_p
-        result = obs_entropy - cross.mean(axis=1)
-        result[degenerate.any(axis=1)] = np.inf
-        return result
-
-    @staticmethod
-    def _simulate_sources(
-        publicity: np.ndarray,
-        source_sizes: list[int],
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Simulate every source sampling without replacement; return item counts."""
-        n_items = publicity.size
-        counts = np.zeros(n_items, dtype=int)
-        for size in source_sizes:
-            draw = min(size, n_items)
-            if draw <= 0:
-                continue
-            chosen = rng.choice(n_items, size=draw, replace=False, p=publicity)
-            counts[chosen] += 1
-        return counts
-
-    def _divergence(
-        self,
-        observed_items: np.ndarray,
-        simulated_counts: np.ndarray,
-        theta_n: int,
-    ) -> float:
-        """KL divergence between smoothed observed and simulated count histograms.
-
-        Both samples are turned into per-item count vectors sorted in
-        descending order ("indexing" in Algorithm 2) and padded to the
-        assumed population size, so that the i-th most frequent observed item
-        is compared against the i-th most frequent simulated item.  Observed
-        zero entries are smoothed so the divergence stays defined, which is
-        exactly what penalises simulations that postulate many never-observed
-        items.
-        """
-        simulated_items = np.sort(simulated_counts)[::-1].astype(float)
-        length = max(theta_n, observed_items.size, simulated_items.size)
-        obs = np.zeros(length)
-        sim = np.zeros(length)
-        obs[: observed_items.size] = observed_items
-        sim[: simulated_items.size] = simulated_items
-        if sim.sum() <= 0:
-            return float("inf")
-        return smoothed_kl_divergence(
-            obs / max(obs.sum(), 1.0), sim / sim.sum(), self.config.smoothing_epsilon
-        )
 
     # ------------------------------------------------------------------ #
     # Algorithm 3: grid + surface fit
@@ -393,6 +298,176 @@ class MonteCarloEstimator(SumEstimator):
         finite = np.where(np.isfinite(divergences), divergences, np.inf)
         i, j = np.unravel_index(int(np.argmin(finite)), finite.shape)
         return float(count_grid[i]), float(lambda_grid[j])
+
+
+# ---------------------------------------------------------------------- #
+# Grid-row simulation tasks (Algorithm 2, one θ_N row per task)
+# ---------------------------------------------------------------------- #
+#
+# These are module-level functions (not methods) because the process
+# backend pickles the task function by reference; the task tuple carries
+# only (θ_N, SeedSequence) while the observed-side invariants arrive through
+# the backend's broadcast ``shared`` mapping.
+
+
+def _grid_row_divergences(
+    task: "tuple[int, np.random.SeedSequence]", shared: "dict[str, Any]"
+) -> np.ndarray:
+    """Average KL divergences of one θ_N grid row, for every λ.
+
+    The row builds its own :class:`numpy.random.Generator` from the
+    :class:`~numpy.random.SeedSequence` child in the task, so its draws are
+    a pure function of (estimator seed, row index) -- the property that
+    makes the whole surface backend- and worker-count-independent.
+    """
+    theta_n, seed = task
+    rng = np.random.default_rng(seed)
+    observed_items = shared["observed_items"]
+    source_sizes = shared["source_sizes"]
+    lambdas = shared["lambda_grid"]
+    n_runs = shared["n_runs"]
+    epsilon = shared["epsilon"]
+    if shared["engine"] == "vectorized":
+        return _vectorized_row(
+            theta_n, lambdas, observed_items, source_sizes, n_runs, epsilon, rng
+        )
+    return _loop_row(
+        theta_n, lambdas, observed_items, source_sizes, n_runs, epsilon, rng
+    )
+
+
+def _vectorized_row(
+    theta_n: int,
+    lambdas: np.ndarray,
+    observed_items: np.ndarray,
+    source_sizes: np.ndarray,
+    n_runs: int,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One grid row via batched Gumbel top-k draws.
+
+    Every λ × run × source draw of the row shares one noise pass
+    (:func:`batched_draw_counts`), and all ``n_λ · n_runs`` divergences come
+    out of a single matrix computation.  The observed comparison vector only
+    depends on ``θ_N`` (the padded length), so it is computed once per row
+    and hoisted out of the λ and run dimensions; ``Σ p·log p`` of the
+    observed side is likewise shared.
+    """
+    obs_size = observed_items.size
+    # Simulated count vectors have exactly theta_n entries, so the padded
+    # comparison length is fixed for the whole grid row.
+    length = max(theta_n, obs_size)
+    obs = np.zeros(length)
+    obs[:obs_size] = observed_items
+    obs_p = smooth_distribution(obs / max(obs.sum(), 1.0), epsilon)
+    obs_entropy = float(np.dot(obs_p, np.log(obs_p)))
+    # Publicity matrix of the row: p_λi ∝ exp(−λ·i/θ_N), one row per λ.
+    ranks = np.arange(theta_n, dtype=float)
+    weights = np.exp(np.outer(-lambdas / theta_n, ranks))
+    publicities = weights / weights.sum(axis=1, keepdims=True)
+    counts = batched_draw_counts(publicities, source_sizes, n_runs, rng)
+    return _mean_smoothed_kl(obs_p, obs_entropy, counts, length, epsilon)
+
+
+def _loop_row(
+    theta_n: int,
+    lambdas: np.ndarray,
+    observed_items: np.ndarray,
+    source_sizes: np.ndarray,
+    n_runs: int,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One grid row via the legacy per-draw loop (the parity oracle)."""
+    row = np.empty(lambdas.size)
+    for j, theta_lambda in enumerate(lambdas):
+        publicity = exponential_publicity(theta_n, float(theta_lambda))
+        total = 0.0
+        for _ in range(n_runs):
+            simulated_counts = _simulate_sources(publicity, source_sizes, rng)
+            total += _cell_divergence(
+                observed_items, simulated_counts, theta_n, epsilon
+            )
+        row[j] = total / n_runs
+    return row
+
+
+def _mean_smoothed_kl(
+    obs_p: np.ndarray,
+    obs_entropy: float,
+    counts: np.ndarray,
+    length: int,
+    epsilon: float,
+) -> np.ndarray:
+    """Mean KL(obs ‖ run) over simulated runs for every λ, vectorized.
+
+    ``counts`` has shape ``(n_λ, n_runs, θ_N)``.  Each run's counts are
+    sorted descending ("indexing"), padded to ``length``, normalised and
+    smoothed exactly like the loop engine; ``KL(p‖q) = Σ p·log p − Σ
+    p·log q`` lets the observed entropy term be shared across all runs
+    and λ so only the cross terms need a matrix product.  Returns the
+    per-λ averages.
+    """
+    n_lambdas, n_runs, n_items = counts.shape
+    sim = np.zeros((n_lambdas, n_runs, length))
+    sim[:, :, :n_items] = -np.sort(-counts, axis=2)
+    totals = sim.sum(axis=2, keepdims=True)
+    degenerate = totals[:, :, 0] <= 0
+    np.copyto(totals, 1.0, where=totals <= 0)
+    sim_p = sim / totals
+    np.copyto(sim_p, epsilon, where=sim_p <= 0)
+    sim_p /= sim_p.sum(axis=2, keepdims=True)
+    cross = np.log(sim_p) @ obs_p
+    result = obs_entropy - cross.mean(axis=1)
+    result[degenerate.any(axis=1)] = np.inf
+    return result
+
+
+def _simulate_sources(
+    publicity: np.ndarray,
+    source_sizes: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Simulate every source sampling without replacement; return item counts."""
+    n_items = publicity.size
+    counts = np.zeros(n_items, dtype=int)
+    for size in source_sizes:
+        draw = min(int(size), n_items)
+        if draw <= 0:
+            continue
+        chosen = rng.choice(n_items, size=draw, replace=False, p=publicity)
+        counts[chosen] += 1
+    return counts
+
+
+def _cell_divergence(
+    observed_items: np.ndarray,
+    simulated_counts: np.ndarray,
+    theta_n: int,
+    epsilon: float,
+) -> float:
+    """KL divergence between smoothed observed and simulated count histograms.
+
+    Both samples are turned into per-item count vectors sorted in
+    descending order ("indexing" in Algorithm 2) and padded to the
+    assumed population size, so that the i-th most frequent observed item
+    is compared against the i-th most frequent simulated item.  Observed
+    zero entries are smoothed so the divergence stays defined, which is
+    exactly what penalises simulations that postulate many never-observed
+    items.
+    """
+    simulated_items = np.sort(simulated_counts)[::-1].astype(float)
+    length = max(theta_n, observed_items.size, simulated_items.size)
+    obs = np.zeros(length)
+    sim = np.zeros(length)
+    obs[: observed_items.size] = observed_items
+    sim[: simulated_items.size] = simulated_items
+    if sim.sum() <= 0:
+        return float("inf")
+    return smoothed_kl_divergence(
+        obs / max(obs.sum(), 1.0), sim / sim.sum(), epsilon
+    )
 
 
 # ---------------------------------------------------------------------- #

@@ -3,31 +3,40 @@
 Every figure of the paper is a curve "estimate after k crowd answers".  The
 :class:`ProgressiveRunner` replays the arrival-ordered stream of a
 :class:`~repro.simulation.sampler.SamplingRun` (or a
-:class:`~repro.datasets.base.CrowdDataset`) as a thin loop over an
+:class:`~repro.datasets.base.CrowdDataset`) over an
 :class:`~repro.api.session.OpenWorldSession`: each prefix step ingests only
 the new observations (incremental state maintenance instead of per-prefix
-rebuilds), runs every configured estimator on the maintained sample, and
-collects the resulting series.
+rebuilds) and snapshots the maintained sample.  The estimation work -- one
+(prefix × estimator) cell per estimate -- is then fanned out over a
+:mod:`repro.parallel` execution backend; :meth:`ProgressiveRunner.run_all`
+extends the same fan-out across several datasets at once
+(dataset × estimator × prefix cells in one ``map``).
 
 Estimators are given as estimator specs (strings like
 ``"bucket/monte-carlo?seed=3"`` or parsed
 :class:`~repro.api.specs.EstimatorSpec` objects) or as already-built
-:class:`~repro.core.estimator.SumEstimator` instances.
+:class:`~repro.core.estimator.SumEstimator` instances.  With value-seeded
+estimators (the default everywhere) the replay is bit-identical across
+backends and worker counts; an estimator carrying a live
+:class:`numpy.random.Generator` is only reproducible on the serial backend,
+where cells run in order against the shared generator state.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.api.session import OpenWorldSession
 from repro.api.specs import EstimatorSpec, build_estimator
-from repro.core.estimator import SumEstimator
+from repro.core.estimator import Estimate, SumEstimator
 from repro.data.sample import ObservedSample
 from repro.datasets.base import CrowdDataset
 from repro.evaluation.metrics import series_summary
+from repro.parallel.backends import ExecutionBackend, resolve_backend
 from repro.simulation.sampler import SamplingRun
 from repro.utils.exceptions import ValidationError
 from repro.utils.serialization import envelope, unwrap
@@ -111,6 +120,11 @@ class ProgressiveResult:
         One :class:`EstimateSeries` per estimator, keyed by estimator name.
     ground_truth:
         The true answer when known (the dashed line), else ``None``.
+    runtime:
+        Optional execution metadata of the replay (``wall_time_s``,
+        ``backend``, ``n_workers``, ``n_cells``) recorded by
+        :class:`ProgressiveRunner`; ``None`` for hand-built results and
+        payloads predating the field.
     """
 
     attribute: str
@@ -118,6 +132,7 @@ class ProgressiveResult:
     observed: list[float]
     series: dict[str, EstimateSeries]
     ground_truth: float | None = None
+    runtime: dict[str, Any] | None = None
 
     def estimator_names(self) -> list[str]:
         """Names of all replayed estimators."""
@@ -162,18 +177,58 @@ class ProgressiveResult:
                     name: series.to_dict() for name, series in self.series.items()
                 },
                 "ground_truth": self.ground_truth,
+                "runtime": self.runtime,
             },
         )
 
     @classmethod
     def from_dict(cls, payload: "dict[str, Any]") -> "ProgressiveResult":
-        """Rebuild a :class:`ProgressiveResult` serialized with :meth:`to_dict`."""
+        """Rebuild a :class:`ProgressiveResult` serialized with :meth:`to_dict`.
+
+        Payloads written before the ``runtime`` field existed still
+        round-trip (the field defaults to ``None``).
+        """
         body = unwrap(payload, "progressive-result")
         body["series"] = {
             name: EstimateSeries.from_dict(series)
             for name, series in body["series"].items()
         }
+        body.setdefault("runtime", None)
         return cls(**body)
+
+
+#: Internal key :meth:`ProgressiveRunner.run` files its single source under
+#: when delegating to :meth:`ProgressiveRunner.run_all`.
+_SINGLE_SOURCE_KEY = "__single__"
+
+
+def _estimate_prefix_cells(
+    task: "tuple[ObservedSample, str, dict[str, SumEstimator]]",
+    shared: "dict[str, Any]",
+) -> "list[tuple[float, float, float, float]]":
+    """Backend task: all estimator cells of one replay prefix.
+
+    Module-level so the process backend can pickle it by reference.  One
+    task per (source × prefix) keeps each prefix sample crossing the IPC
+    pipe exactly once (instead of once per estimator), while the fan-out
+    stays fine-grained enough for work stealing -- prefixes vastly
+    outnumber workers.  Returns the four series entries per estimator, in
+    the runner's estimator order, instead of full :class:`Estimate` objects
+    to keep the result pipe narrow.
+    """
+    sample, attribute, estimators = task
+    cells = []
+    for estimator in estimators.values():
+        estimate: Estimate = estimator.estimate(sample, attribute)
+        cells.append(
+            (
+                estimate.corrected,
+                estimate.delta,
+                estimate.count_estimate,
+                estimate.coverage,
+            )
+        )
+    return cells
 
 
 class ProgressiveRunner:
@@ -186,12 +241,23 @@ class ProgressiveRunner:
         estimator specs (strings understood by
         :meth:`repro.api.specs.EstimatorSpec.parse`, parsed spec objects, or
         built :class:`SumEstimator` instances).
+    backend:
+        Execution backend the (prefix × estimator) estimation cells are
+        fanned out over: a :data:`repro.parallel.BACKENDS` name, an
+        :class:`~repro.parallel.ExecutionBackend` instance, or ``None`` for
+        the process-wide default (serial unless overridden).  Stream
+        ingestion is inherently sequential and always runs inline; only the
+        independent estimation cells are sharded.
+    n_workers:
+        Worker count of the backend (``None``: backend default).
     """
 
     def __init__(
         self,
         estimators: "Mapping[str, SumEstimator | str | EstimatorSpec] "
         "| Sequence[str | EstimatorSpec | SumEstimator]",
+        backend: "str | ExecutionBackend | None" = None,
+        n_workers: "int | None" = None,
     ) -> None:
         if isinstance(estimators, Mapping):
             self.estimators = {
@@ -203,6 +269,8 @@ class ProgressiveRunner:
             }
         if not self.estimators:
             raise ValidationError("at least one estimator is required")
+        self._backend = backend
+        self._n_workers = n_workers
 
     @staticmethod
     def _spec_label(spec: "str | EstimatorSpec | SumEstimator") -> str:
@@ -236,48 +304,126 @@ class ProgressiveRunner:
             Smallest prefix worth estimating on (tiny prefixes only produce
             divergent estimates).
         """
-        if isinstance(source, CrowdDataset):
-            run = source.run
-            ground_truth = source.ground_truth
-            attribute = source.attribute
-        else:
-            run = source
-            attribute = run.attribute
-            ground_truth = run.population.true_sum(attribute)
-        total = run.total_observations
-        if total == 0:
-            raise ValidationError("the observation stream is empty")
-
-        sizes = self._resolve_prefix_sizes(total, prefix_sizes, step, min_prefix)
-        observed: list[float] = []
-        series = {
-            name: EstimateSeries(estimator=name) for name in self.estimators
-        }
-        # A thin loop over one session: each step ingests only the new slice
-        # of the stream, so the whole replay costs O(n) stream work instead
-        # of O(n·k) per-prefix rebuilds.
-        session = OpenWorldSession(attribute)
-        position = 0
-        for size in sizes:
-            session.ingest(run.stream[position:size])
-            position = size
-            sample = session.sample()
-            observed.append(sample.sum(attribute))
-            for name, estimator in self.estimators.items():
-                estimate = estimator.estimate(sample, attribute)
-                entry = series[name]
-                entry.sample_sizes.append(size)
-                entry.estimates.append(estimate.corrected)
-                entry.deltas.append(estimate.delta)
-                entry.count_estimates.append(estimate.count_estimate)
-                entry.coverages.append(estimate.coverage)
-        return ProgressiveResult(
-            attribute=attribute,
-            sample_sizes=list(sizes),
-            observed=observed,
-            series=series,
-            ground_truth=ground_truth,
+        results = self.run_all(
+            {_SINGLE_SOURCE_KEY: source}, prefix_sizes, step, min_prefix
         )
+        return results[_SINGLE_SOURCE_KEY]
+
+    def run_all(
+        self,
+        sources: "Mapping[str, SamplingRun | CrowdDataset] "
+        "| Sequence[SamplingRun | CrowdDataset]",
+        prefix_sizes: Sequence[int] | None = None,
+        step: int | None = None,
+        min_prefix: int = 10,
+    ) -> dict[str, ProgressiveResult]:
+        """Replay several sources, fanning every estimation cell out at once.
+
+        The (dataset × estimator × prefix) cells of *all* sources form one
+        task list over the configured backend, so a slow cell of one dataset
+        overlaps the cells of every other -- the scenario-sweep shape the
+        benchmark harness runs.  Returns ``{source name: result}``; unnamed
+        sequences are keyed by their dataset ``name`` attribute (or
+        positional index).
+        """
+        named = self._named_sources(sources)
+        backend = resolve_backend(self._backend, self._n_workers)
+        start = time.perf_counter()
+
+        # Phase 1, inline: sequential O(stream) ingestion per source, one
+        # incremental session each, snapshotting the sample at every prefix.
+        replays: dict[str, dict[str, Any]] = {}
+        tasks: list[tuple[ObservedSample, str, dict[str, SumEstimator]]] = []
+        task_keys: list[tuple[str, int]] = []
+        for key, source in named.items():
+            if isinstance(source, CrowdDataset):
+                run = source.run
+                ground_truth = source.ground_truth
+                attribute = source.attribute
+            else:
+                run = source
+                attribute = run.attribute
+                ground_truth = run.population.true_sum(attribute)
+            total = run.total_observations
+            if total == 0:
+                raise ValidationError(
+                    "the observation stream is empty"
+                    if key == _SINGLE_SOURCE_KEY
+                    else f"the observation stream of {key!r} is empty"
+                )
+            sizes = self._resolve_prefix_sizes(total, prefix_sizes, step, min_prefix)
+            session = OpenWorldSession(attribute)
+            observed: list[float] = []
+            position = 0
+            for index, size in enumerate(sizes):
+                session.ingest(run.stream[position:size])
+                position = size
+                sample = session.sample()
+                observed.append(sample.sum(attribute))
+                tasks.append((sample, attribute, self.estimators))
+                task_keys.append((key, index))
+            replays[key] = {
+                "attribute": attribute,
+                "ground_truth": ground_truth,
+                "sizes": sizes,
+                "observed": observed,
+            }
+
+        # Phase 2, fanned out: every (source × prefix) task is independent
+        # and evaluates all estimators on its one sample.
+        prefix_cells = backend.map(_estimate_prefix_cells, tasks)
+
+        # Phase 3, inline: reassemble the ordered series per source.
+        results: dict[str, ProgressiveResult] = {}
+        series_by_source: dict[str, dict[str, EstimateSeries]] = {
+            key: {name: EstimateSeries(estimator=name) for name in self.estimators}
+            for key in replays
+        }
+        for (key, index), cells in zip(task_keys, prefix_cells):
+            size = replays[key]["sizes"][index]
+            for name, (corrected, delta, count, coverage) in zip(
+                self.estimators, cells
+            ):
+                entry = series_by_source[key][name]
+                entry.sample_sizes.append(size)
+                entry.estimates.append(corrected)
+                entry.deltas.append(delta)
+                entry.count_estimates.append(count)
+                entry.coverages.append(coverage)
+        runtime = {
+            "wall_time_s": time.perf_counter() - start,
+            "backend": backend.name,
+            "n_workers": backend.n_workers,
+            "n_cells": len(tasks) * len(self.estimators),
+        }
+        for key, replay in replays.items():
+            results[key] = ProgressiveResult(
+                attribute=replay["attribute"],
+                sample_sizes=list(replay["sizes"]),
+                observed=replay["observed"],
+                series=series_by_source[key],
+                ground_truth=replay["ground_truth"],
+                runtime=dict(runtime),
+            )
+        return results
+
+    @staticmethod
+    def _named_sources(
+        sources: "Mapping[str, SamplingRun | CrowdDataset] "
+        "| Sequence[SamplingRun | CrowdDataset]",
+    ) -> "dict[str, SamplingRun | CrowdDataset]":
+        if isinstance(sources, Mapping):
+            named = dict(sources)
+        else:
+            named = {}
+            for index, source in enumerate(sources):
+                key = getattr(source, "name", None) or f"source-{index}"
+                if key in named:
+                    key = f"{key}-{index}"
+                named[key] = source
+        if not named:
+            raise ValidationError("at least one source is required")
+        return named
 
     def run_single(
         self, sample: ObservedSample, attribute: str

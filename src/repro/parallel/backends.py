@@ -1,0 +1,477 @@
+"""Pluggable execution backends for embarrassingly parallel fan-out.
+
+Every fan-out layer of the library -- the Monte-Carlo (θ_N, θ_λ) grid
+search, the progressive replay's (dataset × estimator × prefix) cells, the
+benchmark harness's scenario sweeps -- runs through one abstraction::
+
+    backend = get_backend("process", n_workers=4)
+    results = backend.map(fn, tasks, shared={"obs": numpy_array})
+
+``map`` applies ``fn(task, shared)`` to every task and returns the results
+**in task order**, whatever the execution schedule was.  Three
+implementations cover the deployment spectrum:
+
+``serial``
+    Plain loop in the calling thread.  Zero overhead, the reference
+    semantics every other backend must reproduce bit for bit.
+``thread``
+    A persistent :class:`~concurrent.futures.ThreadPoolExecutor`.  Tasks
+    dominated by numpy kernels release the GIL for large stretches, so
+    threads overlap usefully without any serialization cost.
+``process``
+    A persistent worker pool (:class:`~concurrent.futures.
+    ProcessPoolExecutor`).  Tasks are submitted in *chunks* onto the pool's
+    shared call queue, so idle workers steal the next chunk the moment they
+    finish -- dynamic load balancing without a scheduler thread.  Read-only
+    numpy invariants are broadcast through POSIX shared memory
+    (:mod:`repro.parallel.sharedmem`) instead of being pickled per chunk.
+    A crashed worker surfaces as :class:`ParallelExecutionError` (never a
+    hang), and ``KeyboardInterrupt`` tears the pool down cleanly.
+
+Determinism is the backends' contract, not an accident: tasks carry their
+own :class:`numpy.random.SeedSequence` children (see
+:mod:`repro.parallel.seeding`), results are reassembled by task index, and
+therefore every backend at every worker count produces identical bytes.
+
+The process-wide *default* backend (used when a
+:class:`~repro.core.montecarlo.MonteCarloConfig` leaves ``backend=None``)
+is ``serial`` unless overridden by :func:`set_default_backend` or the
+``REPRO_BACKEND`` / ``REPRO_WORKERS`` environment variables -- the hook the
+CI smoke job uses to re-run the whole estimator suite on the process
+backend.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+import multiprocessing
+
+import numpy as np
+
+from repro.parallel.sharedmem import (
+    SharedArraySpec,
+    attach_arrays,
+    close_attachments,
+    destroy_segments,
+    publish_arrays,
+)
+from repro.utils.exceptions import ReproError, ValidationError
+
+__all__ = [
+    "BACKENDS",
+    "ParallelExecutionError",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "default_backend",
+    "shutdown_backends",
+]
+
+#: Names accepted wherever a backend can be configured (specs, CLI, config).
+BACKENDS = ("serial", "thread", "process")
+
+#: Environment variables consulted for the process-wide default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Chunks submitted per worker per ``map`` call.  Several small chunks per
+#: worker (rather than one big slice each) is what lets fast workers steal
+#: the stragglers' remaining work.
+_CHUNKS_PER_WORKER = 4
+
+#: True in a process-pool worker (set by the pool initializer).  A nested
+#: fan-out layer inside a worker must not follow the inherited process-wide
+#: default onto another pool: under fork the worker even inherits the
+#: parent's cached executors, whose manager threads do not exist in the
+#: child, so a nested submit would hang forever.
+_IN_WORKER_PROCESS = False
+
+#: Same guard for thread-pool workers (per-thread: the parent thread keeps
+#: fanning out normally while worker threads run their cells serially).
+#: Submitting nested work to the *same* thread pool from inside a worker
+#: deadlocks once every worker blocks on futures only workers can run.
+_THREAD_WORKER_STATE = threading.local()
+
+
+def _in_worker() -> bool:
+    """True when the calling thread/process is a backend pool worker."""
+    return _IN_WORKER_PROCESS or getattr(_THREAD_WORKER_STATE, "active", False)
+
+
+def _process_worker_initializer() -> None:
+    """Runs once in every freshly started process-pool worker.
+
+    Marks the process as a worker and drops the fork-inherited backend
+    cache -- those executors are dead copies (their queue-management
+    threads only live in the parent) and must never be submitted to.
+    """
+    global _IN_WORKER_PROCESS
+    _IN_WORKER_PROCESS = True
+    _BACKEND_CACHE.clear()
+
+
+class ParallelExecutionError(ReproError):
+    """A backend failed structurally (crashed worker, dead pool, ...).
+
+    Task-level exceptions raised by the mapped function itself are *not*
+    wrapped -- they propagate unchanged, exactly as the serial backend
+    would raise them.
+    """
+
+
+class ExecutionBackend(ABC):
+    """Ordered ``map`` over independent tasks, with optional shared state."""
+
+    #: Registry name of the backend ("serial", "thread", "process").
+    name: str = "abstract"
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+
+    @abstractmethod
+    def map(
+        self,
+        fn: Callable[[Any, Mapping[str, Any]], Any],
+        tasks: Sequence[Any],
+        shared: "Mapping[str, Any] | None" = None,
+    ) -> list[Any]:
+        """Apply ``fn(task, shared)`` to every task; results in task order.
+
+        ``shared`` is a read-only mapping broadcast to every invocation;
+        numpy arrays in it may be transported zero-copy (process backend),
+        so tasks must not mutate them.
+        """
+
+    def close(self) -> None:
+        """Release pooled resources; the backend may be reused afterwards."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_workers={self.n_workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """The reference implementation: a plain ordered loop, one worker."""
+
+    name = "serial"
+
+    def __init__(self, n_workers: int = 1) -> None:
+        super().__init__(1)
+
+    def map(self, fn, tasks, shared=None):
+        context = dict(shared or {})
+        return [fn(task, context) for task in tasks]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Persistent thread pool; tasks share the parent's memory directly."""
+
+    name = "thread"
+
+    def __init__(self, n_workers: int) -> None:
+        super().__init__(n_workers)
+        self._executor: ThreadPoolExecutor | None = None
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="repro-parallel"
+            )
+        return self._executor
+
+    def map(self, fn, tasks, shared=None):
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        context = dict(shared or {})
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(_run_thread_task, fn, task, context) for task in tasks
+        ]
+        return _gather(futures, on_interrupt=lambda: None)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+def _run_thread_task(fn, task, context):
+    """Thread-pool task wrapper: flags the worker thread for nested calls."""
+    _THREAD_WORKER_STATE.active = True
+    try:
+        return fn(task, context)
+    finally:
+        _THREAD_WORKER_STATE.active = False
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent process pool with shared-memory broadcast and chunking.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size.  The pool is created lazily on the first ``map`` and
+        reused across calls, so repeated estimates amortise the worker
+        start-up cost.
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``fork`` where
+        available (cheap, no re-import) and ``spawn`` elsewhere; mapped
+        functions must be module-level either way so tasks stay picklable.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int, start_method: str | None = None) -> None:
+        super().__init__(n_workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method of the worker pool."""
+        return self._context.get_start_method()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=self._context,
+                initializer=_process_worker_initializer,
+            )
+        return self._executor
+
+    def map(self, fn, tasks, shared=None):
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        plain, arrays = _split_shared(shared)
+        specs: dict[str, SharedArraySpec] = {}
+        segments: list[Any] = []
+        try:
+            if arrays:
+                specs, segments = publish_arrays(arrays)
+            executor = self._ensure_executor()
+            chunk_size = max(
+                1, -(-len(tasks) // (self.n_workers * _CHUNKS_PER_WORKER))
+            )
+            futures = [
+                executor.submit(_run_chunk, fn, tasks[i : i + chunk_size], plain, specs)
+                for i in range(0, len(tasks), chunk_size)
+            ]
+            chunks = _gather(futures, on_interrupt=self._discard_pool)
+        except BrokenProcessPool as exc:
+            self._discard_pool()
+            raise ParallelExecutionError(
+                f"a worker of the {self.n_workers}-worker process pool died "
+                "unexpectedly (killed, out of memory, or crashed during "
+                "unpickling); the pool has been torn down and will be "
+                "recreated on the next call"
+            ) from exc
+        finally:
+            destroy_segments(segments)
+        return [result for chunk in chunks for result in chunk]
+
+    def _discard_pool(self) -> None:
+        """Tear the pool down hard (crash / interrupt recovery path)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+def _gather(futures: list[Future], on_interrupt: Callable[[], None]) -> list[Any]:
+    """Collect future results in submission order; cancel the rest on error.
+
+    ``KeyboardInterrupt`` (and any task failure) cancels every not-yet-run
+    future before propagating, so a Ctrl-C never leaves queued work running
+    behind the user's back.
+    """
+    try:
+        return [future.result() for future in futures]
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        if isinstance(sys.exc_info()[1], KeyboardInterrupt):
+            on_interrupt()
+        raise
+
+
+def _split_shared(
+    shared: "Mapping[str, Any] | None",
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Partition shared state into picklable plain values and numpy arrays."""
+    plain: dict[str, Any] = {}
+    arrays: dict[str, np.ndarray] = {}
+    for key, value in (shared or {}).items():
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        else:
+            plain[key] = value
+    return plain, arrays
+
+
+def _run_chunk(
+    fn: Callable[[Any, Mapping[str, Any]], Any],
+    chunk: Sequence[Any],
+    plain: dict[str, Any],
+    specs: "Mapping[str, SharedArraySpec]",
+) -> list[Any]:
+    """Worker-side chunk executor: attach shared views, run, detach."""
+    views, handles = attach_arrays(specs)
+    try:
+        context = {**plain, **views}
+        return [fn(task, context) for task in chunk]
+    finally:
+        close_attachments(handles)
+
+
+# ---------------------------------------------------------------------- #
+# Backend registry, caching, and the process-wide default
+# ---------------------------------------------------------------------- #
+
+_BACKEND_CLASSES: dict[str, type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+#: Cached live backends keyed by (name, n_workers): pools persist across
+#: estimate calls so the fan-out layers never pay start-up twice.
+_BACKEND_CACHE: dict[tuple[str, int], ExecutionBackend] = {}
+
+#: Explicit process-wide default (overrides the environment when set).
+_DEFAULT_BACKEND: "tuple[str, int | None] | None" = None
+
+
+def _validated_name(name: str) -> str:
+    key = str(name).strip().lower()
+    if key not in _BACKEND_CLASSES:
+        raise ValidationError(
+            f"unknown execution backend {name!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    return key
+
+
+def _resolve_worker_count(name: str, n_workers: "int | None") -> int:
+    if name == "serial":
+        return 1
+    if n_workers is None:
+        return max(1, os.cpu_count() or 1)
+    if n_workers < 1:
+        raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+    return int(n_workers)
+
+
+def set_default_backend(
+    name: "str | None", n_workers: "int | None" = None
+) -> "tuple[str, int | None] | None":
+    """Set the process-wide default backend; returns the previous setting.
+
+    ``None`` clears the override, falling back to the ``REPRO_BACKEND`` /
+    ``REPRO_WORKERS`` environment variables and finally to ``serial``.
+    """
+    global _DEFAULT_BACKEND
+    previous = _DEFAULT_BACKEND
+    if name is None:
+        _DEFAULT_BACKEND = None
+    else:
+        _DEFAULT_BACKEND = (_validated_name(name), n_workers)
+    return previous
+
+
+def default_backend() -> "tuple[str, int | None]":
+    """The effective default ``(backend name, worker count or None)``."""
+    if _DEFAULT_BACKEND is not None:
+        return _DEFAULT_BACKEND
+    env_name = os.environ.get(BACKEND_ENV)
+    if env_name:
+        env_workers = os.environ.get(WORKERS_ENV)
+        try:
+            workers = int(env_workers) if env_workers else None
+        except ValueError:
+            raise ValidationError(
+                f"{WORKERS_ENV} must be an integer, got {env_workers!r}"
+            ) from None
+        return _validated_name(env_name), workers
+    return "serial", None
+
+
+def get_backend(
+    backend: "str | ExecutionBackend", n_workers: "int | None" = None
+) -> ExecutionBackend:
+    """Return a (cached) backend instance for ``backend``/``n_workers``.
+
+    Instances are cached by (name, resolved worker count), so every caller
+    asking for ``("process", 4)`` shares one persistent pool.  An already
+    constructed :class:`ExecutionBackend` passes through unchanged.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    name = _validated_name(backend)
+    workers = _resolve_worker_count(name, n_workers)
+    key = (name, workers)
+    if key not in _BACKEND_CACHE:
+        _BACKEND_CACHE[key] = _BACKEND_CLASSES[name](workers)
+    return _BACKEND_CACHE[key]
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend | None", n_workers: "int | None" = None
+) -> ExecutionBackend:
+    """Like :func:`get_backend`, but ``None`` means "the configured default".
+
+    This is the entry point the estimator and runner layers use: a config
+    that does not pin a backend follows :func:`set_default_backend` (or the
+    environment), keeping single-machine scripts, the CLI flags, and the
+    CI process-backend smoke run all on one switch.
+
+    Inside a pool worker, ``None`` always resolves to serial -- the outer
+    layer already owns the parallelism, and following the inherited default
+    onto another pool would oversubscribe (threads) or deadlock on
+    fork-inherited dead executors (processes).
+    """
+    if backend is None:
+        if _in_worker():
+            return get_backend("serial")
+        default_name, default_workers = default_backend()
+        return get_backend(default_name, n_workers if n_workers is not None else default_workers)
+    return get_backend(backend, n_workers)
+
+
+def shutdown_backends() -> None:
+    """Close and forget every cached backend (used by tests and atexit)."""
+    for backend in list(_BACKEND_CACHE.values()):
+        backend.close()
+    _BACKEND_CACHE.clear()
+
+
+atexit.register(shutdown_backends)

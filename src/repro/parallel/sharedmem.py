@@ -1,0 +1,148 @@
+"""Zero-copy numpy broadcast for the process backend.
+
+The Monte-Carlo grid search hands every worker the same observed-side
+invariants (the descending per-item count vector, the source sizes, the λ
+grid).  Pickling those arrays into every task would serialize them once per
+chunk; instead the process backend publishes them once per ``map`` call into
+POSIX shared memory and ships only tiny descriptors, so workers reconstruct
+read-only views onto the same physical pages.
+
+The lifecycle is strictly parent-owned:
+
+* :func:`publish_arrays` copies each array into a fresh
+  :class:`~multiprocessing.shared_memory.SharedMemory` segment and returns
+  picklable :class:`SharedArraySpec` descriptors plus the live segments;
+* workers call :func:`attach_arrays` per chunk, which maps the segments
+  *without* registering them with a resource tracker -- on Python < 3.13
+  attaching registers the segment a second time, and depending on the start
+  method that either double-unregisters the parent's bookkeeping (fork,
+  shared tracker) or lets an exiting worker's own tracker unlink memory its
+  siblings still read (spawn);
+* the parent alone unlinks via :func:`destroy_segments` once the ``map``
+  call has gathered all results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SharedArraySpec",
+    "publish_arrays",
+    "attach_arrays",
+    "destroy_segments",
+]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable descriptor of one published array: segment name + layout."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def publish_arrays(
+    arrays: "Mapping[str, np.ndarray]",
+) -> tuple[dict[str, SharedArraySpec], list[shared_memory.SharedMemory]]:
+    """Copy ``arrays`` into shared-memory segments.
+
+    Returns the descriptors to ship to workers and the live segments the
+    caller must eventually pass to :func:`destroy_segments` (also on error
+    paths -- segments outlive the process otherwise).
+    """
+    specs: dict[str, SharedArraySpec] = {}
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        for key, array in arrays.items():
+            contiguous = np.ascontiguousarray(array)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(contiguous.nbytes, 1)
+            )
+            segments.append(segment)
+            view = np.ndarray(
+                contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf
+            )
+            view[...] = contiguous
+            specs[key] = SharedArraySpec(
+                name=segment.name,
+                shape=tuple(contiguous.shape),
+                dtype=contiguous.dtype.str,
+            )
+    except BaseException:
+        destroy_segments(segments)
+        raise
+    return specs, segments
+
+
+def attach_arrays(
+    specs: "Mapping[str, SharedArraySpec]",
+) -> tuple[dict[str, np.ndarray], list[shared_memory.SharedMemory]]:
+    """Map published segments into this process as read-only numpy views.
+
+    Returns the views and the attachment handles; the caller closes the
+    handles (:func:`close_attachments`) once the views are no longer used.
+    Never unlinks -- the publishing parent owns the segments.
+    """
+    views: dict[str, np.ndarray] = {}
+    handles: list[shared_memory.SharedMemory] = []
+    try:
+        for key, spec in specs.items():
+            handle = _attach_untracked(spec.name)
+            handles.append(handle)
+            view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=handle.buf)
+            view.flags.writeable = False
+            views[key] = view
+    except BaseException:
+        close_attachments(handles)
+        raise
+    return views, handles
+
+
+def close_attachments(handles: list[shared_memory.SharedMemory]) -> None:
+    """Unmap attachment handles (worker side); best effort."""
+    for handle in handles:
+        try:
+            handle.close()
+        except OSError:  # pragma: no cover - platform-specific close races
+            pass
+
+
+def destroy_segments(segments: list[shared_memory.SharedMemory]) -> None:
+    """Close and unlink published segments (parent side); best effort."""
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a published segment without resource-tracker registration.
+
+    Python < 3.13 registers every attach (not just creation) with the
+    resource tracker, which corrupts the parent's ownership bookkeeping:
+    under fork the worker shares the parent's tracker and an unregister
+    removes the parent's entry, under spawn the worker's own tracker unlinks
+    the segment when the worker exits.  Registration is suppressed for the
+    duration of the attach instead (the parent remains the sole owner);
+    Python >= 3.13 exposes the same semantics as ``track=False``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original

@@ -142,3 +142,29 @@ class TestDispatch:
             from_dict("not a dict")
         with pytest.raises(ValidationError):
             Estimate.from_dict([1, 2, 3])
+
+
+class TestRuntimeMetadata:
+    """Satellite: optional runtime metadata under repro.result/v1."""
+
+    def test_monte_carlo_estimate_serializes_runtime(self, gdp_session):
+        # No exact backend pin: the suite may run with a forced default
+        # (pytest --backend process), and the metadata must reflect it.
+        estimate = gdp_session.estimate(spec="monte-carlo?seed=1&n_runs=2")
+        payload = estimate.to_dict()
+        assert payload["runtime"]["backend"] in ("serial", "thread", "process")
+        assert payload["runtime"]["n_workers"] >= 1
+        assert payload["runtime"]["wall_time_s"] > 0
+        rebuilt = Estimate.from_dict(json.loads(json.dumps(payload, allow_nan=False)))
+        assert rebuilt.runtime == estimate.runtime
+
+    def test_closed_form_estimate_runtime_is_null(self, gdp_session):
+        payload = gdp_session.estimate(spec="naive").to_dict()
+        assert payload["runtime"] is None
+
+    def test_old_payload_without_runtime_round_trips(self, gdp_session):
+        payload = gdp_session.estimate(spec="naive").to_dict()
+        del payload["runtime"]  # simulate a payload written before the field
+        rebuilt = Estimate.from_dict(payload)
+        assert rebuilt.runtime is None
+        assert rebuilt.corrected == payload["corrected"]

@@ -290,3 +290,44 @@ class TestValidation:
     def test_ingest_returns_zero_for_empty_chunk(self):
         session = OpenWorldSession("x")
         assert session.ingest([]) == 0
+
+
+class TestParallelPassThrough:
+    """Satellite: estimate() forwards backend/workers into the spec."""
+
+    @pytest.fixture()
+    def gdp_session(self):
+        dataset = load_dataset("us-gdp")
+        return OpenWorldSession.from_sample(dataset.sample(), dataset.attribute)
+
+    def test_backend_passthrough_is_bit_identical(self, gdp_session):
+        spec = "monte-carlo?seed=1&n_runs=2&n_count_steps=4"
+        serial = gdp_session.estimate(spec=spec, backend="serial")
+        parallel = gdp_session.estimate(spec=spec, backend="process", workers=2)
+        _assert_estimates_identical(serial, parallel)
+        assert serial.runtime["backend"] == "serial"
+        assert parallel.runtime["backend"] == "process"
+        assert parallel.runtime["n_workers"] == 2
+
+    def test_passthrough_overrides_spec_parameter(self, gdp_session):
+        estimate = gdp_session.estimate(
+            spec="monte-carlo?seed=1&n_runs=2&backend=serial",
+            backend="thread",
+            workers=2,
+        )
+        assert estimate.runtime["backend"] == "thread"
+
+    def test_passthrough_ignored_by_estimators_without_backend(self, gdp_session):
+        estimate = gdp_session.estimate(spec="naive", backend="process", workers=2)
+        assert estimate.estimator == "naive"
+        assert estimate.runtime is None
+
+    def test_passthrough_rejected_for_built_instances(self, gdp_session):
+        from repro.core.naive import NaiveEstimator
+
+        with pytest.raises(ValidationError, match="already-built"):
+            gdp_session.estimate(spec=NaiveEstimator(), backend="process")
+
+    def test_unknown_backend_rejected_with_choices(self, gdp_session):
+        with pytest.raises(ValidationError, match="serial"):
+            gdp_session.estimate(spec="monte-carlo", backend="warp-drive")

@@ -277,3 +277,48 @@ class TestPluginRegistration:
                 summary="x",
                 params=(ParamSpec("a", int), ParamSpec("a", int)),
             )(lambda args, base, **kw: None)
+
+
+class TestBackendParams:
+    """Satellite: backend/workers are typed ParamSpecs on monte-carlo."""
+
+    def test_round_trip(self):
+        text = "monte-carlo?backend=process&workers=4"
+        spec = EstimatorSpec.parse(text)
+        assert spec.to_string() == text
+
+    def test_builds_into_config(self):
+        estimator = build_estimator("monte-carlo?backend=process&workers=4")
+        assert estimator.config.backend == "process"
+        assert estimator.config.n_workers == 4
+
+    def test_defaults_follow_config(self):
+        estimator = build_estimator("monte-carlo")
+        config = MonteCarloConfig()
+        assert estimator.config.backend == config.backend is None
+        assert estimator.config.n_workers == config.n_workers is None
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(ValidationError, match="'serial', 'thread', 'process'"):
+            EstimatorSpec.parse("monte-carlo?backend=warp-drive")
+        with pytest.raises(ValidationError, match="serial"):
+            MonteCarloConfig(backend="warp-drive")
+
+    def test_non_integer_workers_rejected(self):
+        with pytest.raises(ValidationError):
+            EstimatorSpec.parse("monte-carlo?workers=two")
+        with pytest.raises(ValidationError):
+            MonteCarloConfig(n_workers=0)
+
+    def test_described_in_registry(self):
+        params = {
+            p["name"]: p
+            for p in describe_estimators("monte-carlo")["monte-carlo"]["params"]
+        }
+        assert params["backend"]["choices"] == ["serial", "thread", "process"]
+        assert params["workers"]["type"] == "int"
+
+    def test_monte_carlo_bucket_accepts_backend(self):
+        estimator = build_estimator("monte-carlo-bucket?backend=thread&workers=2")
+        assert estimator.base.config.backend == "thread"
+        assert estimator.base.config.n_workers == 2

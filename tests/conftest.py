@@ -1,10 +1,50 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The suite can be re-run with every Monte-Carlo estimate sharded over a
+parallel backend (the CI process-backend smoke job)::
+
+    pytest tests/ --backend process --workers 2
+
+The options set the process-wide default backend of :mod:`repro.parallel`,
+which every ``MonteCarloConfig(backend=None)`` follows; because estimates
+are bit-identical across backends, the whole suite must pass unchanged.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.data.sample import ObservedSample
+from repro.parallel import set_default_backend, shutdown_backends
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="run every backend-less Monte-Carlo estimate on this backend",
+    )
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=None,
+        help="worker count for --backend",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    backend = config.getoption("--backend")
+    if backend is not None:
+        set_default_backend(backend, config.getoption("--workers"))
+
+
+def pytest_unconfigure(config: pytest.Config) -> None:
+    if config.getoption("--backend") is not None:
+        set_default_backend(None)
+        shutdown_backends()
 from repro.datasets.toy_example import toy_sample
 from repro.simulation.population import linear_value_population
 from repro.simulation.publicity import ExponentialPublicity, correlate_values_with_publicity

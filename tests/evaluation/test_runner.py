@@ -94,3 +94,52 @@ class TestProgressiveRunner:
         result = runner.run(synthetic_run, step=100)
         coverages = result.series["naive"].coverages
         assert all(0.0 <= c <= 1.0 for c in coverages)
+
+
+class TestRunAll:
+    """Satellite: one fan-out over (dataset x estimator x prefix) cells."""
+
+    def test_run_all_matches_run_per_source(self):
+        estimators = {"naive": NaiveEstimator(), "bucket": BucketEstimator()}
+        a = generate_toy_example(include_fifth=False)
+        b = generate_toy_example(include_fifth=True)
+        combined = ProgressiveRunner(estimators).run_all({"a": a, "b": b}, step=3)
+        for key, dataset in (("a", generate_toy_example(include_fifth=False)),
+                             ("b", generate_toy_example(include_fifth=True))):
+            solo = ProgressiveRunner(
+                {"naive": NaiveEstimator(), "bucket": BucketEstimator()}
+            ).run(dataset, step=3)
+            assert combined[key].sample_sizes == solo.sample_sizes
+            assert combined[key].observed == solo.observed
+            for name in solo.series:
+                assert combined[key].series[name].estimates == solo.series[name].estimates
+
+    def test_sequence_sources_keyed_by_name(self):
+        results = ProgressiveRunner({"naive": NaiveEstimator()}).run_all(
+            [generate_toy_example()], step=3
+        )
+        assert list(results) == [generate_toy_example().name]
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValidationError):
+            ProgressiveRunner({"naive": NaiveEstimator()}).run_all({})
+
+    def test_runtime_metadata_recorded(self):
+        result = ProgressiveRunner({"naive": NaiveEstimator()}, backend="serial").run(
+            generate_toy_example(), step=3
+        )
+        assert result.runtime["backend"] == "serial"
+        assert result.runtime["n_workers"] == 1
+        assert result.runtime["n_cells"] == len(result.sample_sizes)
+
+    def test_old_payload_without_runtime_round_trips(self):
+        result = ProgressiveRunner({"naive": NaiveEstimator()}).run(
+            generate_toy_example(), step=3
+        )
+        payload = result.to_dict()
+        del payload["runtime"]  # simulate a pre-runtime payload
+        from repro.evaluation.runner import ProgressiveResult
+
+        rebuilt = ProgressiveResult.from_dict(payload)
+        assert rebuilt.runtime is None
+        assert rebuilt.series["naive"].estimates == result.series["naive"].estimates
