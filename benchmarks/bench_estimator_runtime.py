@@ -21,11 +21,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
 from repro.api.specs import build_estimator
+from repro.core.bucket import BucketEstimator
+from repro.core.frequency import FrequencyEstimator
+from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
+from repro.core.naive import NaiveEstimator
 from repro.datasets import load_dataset
 
 #: Paper-scale Monte-Carlo settings (Algorithm 2/3 defaults).
@@ -150,6 +155,9 @@ def run_suite(quick: bool = False) -> dict:
         "mc_vectorized_speedup_vs_loop": round(speedup, 2),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # Machine-class marker for benchmarks/compare_bench.py: wall times
+        # are only gated against a baseline recorded on the same class.
+        "cpu_count": os.cpu_count(),
     }
 
 

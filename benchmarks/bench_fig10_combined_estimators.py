@@ -4,13 +4,14 @@ from __future__ import annotations
 
 from conftest import show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 from repro.evaluation.metrics import relative_error
 
 
 def test_fig10_combined_estimators(benchmark):
     result = benchmark.pedantic(
-        experiments.figure10_combined_estimators,
+        run_experiment,
+        args=("figure10",),
         kwargs={"seed": 42, "n_points": 5, "mc_runs": 2},
         rounds=1,
         iterations=1,

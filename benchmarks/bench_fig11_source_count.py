@@ -6,13 +6,14 @@ import math
 
 from conftest import show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 from repro.evaluation.metrics import relative_error
 
 
 def test_fig11_source_count(benchmark):
     result = benchmark.pedantic(
-        experiments.figure11_source_count,
+        run_experiment,
+        args=("figure11",),
         kwargs={"seed": 17, "repetitions": 4},
         rounds=1,
         iterations=1,

@@ -4,12 +4,13 @@ from __future__ import annotations
 
 from conftest import show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 
 
 def test_fig2_observed_gap(benchmark):
     result = benchmark.pedantic(
-        experiments.figure2_observed_gap,
+        run_experiment,
+        args=("figure2",),
         kwargs={"seed": 42, "n_points": 20},
         rounds=1,
         iterations=1,

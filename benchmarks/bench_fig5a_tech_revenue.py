@@ -4,13 +4,14 @@ from __future__ import annotations
 
 from conftest import light_estimators, show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 from repro.evaluation.metrics import relative_error
 
 
 def test_fig5a_tech_revenue(benchmark):
     result = benchmark.pedantic(
-        experiments.figure5a_tech_revenue,
+        run_experiment,
+        args=("figure5a",),
         kwargs={"seed": 7, "estimators": light_estimators(), "n_points": 8},
         rounds=1,
         iterations=1,

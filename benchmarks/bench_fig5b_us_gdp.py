@@ -4,13 +4,14 @@ from __future__ import annotations
 
 from conftest import light_estimators, show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 from repro.evaluation.metrics import relative_error
 
 
 def test_fig5b_us_gdp(benchmark):
     result = benchmark.pedantic(
-        experiments.figure5b_us_gdp,
+        run_experiment,
+        args=("figure5b",),
         kwargs={"seed": 11, "estimators": light_estimators(), "n_points": 8},
         rounds=1,
         iterations=1,

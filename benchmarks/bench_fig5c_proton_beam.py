@@ -4,12 +4,13 @@ from __future__ import annotations
 
 from conftest import light_estimators, show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 
 
 def test_fig5c_proton_beam(benchmark):
     result = benchmark.pedantic(
-        experiments.figure5c_proton_beam,
+        run_experiment,
+        args=("figure5c",),
         kwargs={"seed": 23, "estimators": light_estimators(), "n_points": 8},
         rounds=1,
         iterations=1,

@@ -4,13 +4,14 @@ from __future__ import annotations
 
 from conftest import chao_only_estimators, show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 from repro.evaluation.metrics import relative_error
 
 
 def test_fig6_synthetic_grid(benchmark):
     result = benchmark.pedantic(
-        experiments.figure6_synthetic_grid,
+        run_experiment,
+        args=("figure6",),
         kwargs={
             "repetitions": 3,
             "seed": 1,

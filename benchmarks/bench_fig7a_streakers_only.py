@@ -4,12 +4,13 @@ from __future__ import annotations
 
 from conftest import light_estimators, show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 
 
 def test_fig7a_streakers_only(benchmark):
     result = benchmark.pedantic(
-        experiments.figure7a_streakers_only,
+        run_experiment,
+        args=("figure7a",),
         kwargs={"seed": 3, "estimators": light_estimators(), "n_points": 8, "n_streakers": 3},
         rounds=1,
         iterations=1,

@@ -4,12 +4,13 @@ from __future__ import annotations
 
 from conftest import light_estimators, show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 
 
 def test_fig7b_streaker_injected(benchmark):
     result = benchmark.pedantic(
-        experiments.figure7b_streaker_injected,
+        run_experiment,
+        args=("figure7b",),
         kwargs={"seed": 3, "estimators": light_estimators(), "n_points": 8, "inject_at": 160},
         rounds=1,
         iterations=1,

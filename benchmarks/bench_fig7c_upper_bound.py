@@ -6,12 +6,13 @@ import math
 
 from conftest import show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 
 
 def test_fig7c_upper_bound(benchmark):
     result = benchmark.pedantic(
-        experiments.figure7c_upper_bound,
+        run_experiment,
+        args=("figure7c",),
         kwargs={"seed": 5, "n_points": 10},
         rounds=1,
         iterations=1,

@@ -4,12 +4,13 @@ from __future__ import annotations
 
 from conftest import show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 
 
 def test_fig7d_avg_query(benchmark):
     result = benchmark.pedantic(
-        experiments.figure7d_avg_query,
+        run_experiment,
+        args=("figure7d",),
         kwargs={"seed": 5, "n_points": 10},
         rounds=1,
         iterations=1,

@@ -4,12 +4,13 @@ from __future__ import annotations
 
 from conftest import show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 
 
 def test_fig7f_min_query(benchmark):
     result = benchmark.pedantic(
-        experiments.figure7f_min_query,
+        run_experiment,
+        args=("figure7f",),
         kwargs={"seed": 9, "n_points": 8, "repetitions": 4},
         rounds=1,
         iterations=1,

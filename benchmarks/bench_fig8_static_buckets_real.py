@@ -6,13 +6,14 @@ import math
 
 from conftest import show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 from repro.evaluation.metrics import relative_error
 
 
 def test_fig8_static_buckets_real(benchmark):
     result = benchmark.pedantic(
-        experiments.figure8_static_buckets_real,
+        run_experiment,
+        args=("figure8",),
         kwargs={"seed": 42, "n_points": 6},
         rounds=1,
         iterations=1,

@@ -6,13 +6,14 @@ import math
 
 from conftest import show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 from repro.evaluation.metrics import relative_error
 
 
 def test_fig9_static_buckets_synthetic(benchmark):
     result = benchmark.pedantic(
-        experiments.figure9_static_buckets_synthetic,
+        run_experiment,
+        args=("figure9",),
         kwargs={"seed": 13, "n_points": 6},
         rounds=1,
         iterations=1,

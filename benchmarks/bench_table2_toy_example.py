@@ -6,11 +6,11 @@ import pytest
 
 from conftest import show
 
-from repro.evaluation import experiments
+from repro.evaluation import run_experiment
 
 
 def test_table2_toy_example(benchmark):
-    result = benchmark(experiments.table2_toy_example)
+    result = benchmark(run_experiment, "table2")
     show(result)
     before, after = result.rows
     # These are exact values printed in the paper's Table 2.

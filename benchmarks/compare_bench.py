@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: diff a fresh bench JSON against a baseline.
+
+CI runs the quick-mode benchmarks (``bench_estimator_runtime.py --quick``,
+``bench_parallel_scaling.py --quick``) and then gates the wall-time cells
+against the committed ``BENCH_*_quick.json`` baselines::
+
+    python benchmarks/compare_bench.py bench-quick.json BENCH_estimator_runtime_quick.json
+
+Exit codes: 0 (no gated regression), 1 (a comparable cell regressed beyond
+the threshold), 2 (the two payloads are not comparable -- different
+benchmark, or different quick/paper-scale mode -- which indicates a
+mis-wired invocation, not a perf change).
+
+Comparability rules (the machine-class caveats recorded in the payloads):
+
+* the ``benchmark`` id and the quick/paper-scale ``mode`` must match, and
+  the Monte-Carlo settings must be identical -- otherwise nothing can be
+  compared at all;
+* wall times are only **enforced** when ``cpu_count`` matches the
+  baseline's.  GitHub runners and developer laptops are different machine
+  classes; against a baseline from elsewhere the diff is printed as
+  advisory and the gate stays green;
+* cells whose baseline wall time is below ``--min-seconds`` (default 5 ms)
+  are advisory too: micro-cells jitter far beyond any honest threshold.
+
+Cells present on only one side are reported informationally (renamed or
+new workloads are not regressions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+#: Default failure threshold: >25% wall-time regression in any gated cell.
+DEFAULT_THRESHOLD = 0.25
+
+#: Baseline cells faster than this are jitter-dominated; never gate them.
+DEFAULT_MIN_SECONDS = 0.005
+
+
+def timing_cells(payload: "dict[str, Any]") -> dict[str, float]:
+    """Extract every wall-time cell of a bench payload, keyed by path.
+
+    Understands the two committed layouts: ``timings_seconds`` mappings
+    (estimator runtime) and per-workload ``configs.*.seconds`` entries
+    (parallel scaling).  Unknown shapes simply contribute no cells.
+    """
+    cells: dict[str, float] = {}
+
+    def walk(node: Any, path: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                sub = f"{path}.{key}" if path else str(key)
+                if key == "timings_seconds" and isinstance(value, dict):
+                    for name, seconds in value.items():
+                        cells[f"{sub}.{name}"] = float(seconds)
+                elif key == "seconds" and isinstance(value, (int, float)):
+                    cells[sub] = float(value)
+                else:
+                    walk(value, sub)
+        elif isinstance(node, list):
+            for index, item in enumerate(node):
+                label = (
+                    item.get("workload", index) if isinstance(item, dict) else index
+                )
+                walk(item, f"{path}[{label}]")
+
+    walk(payload, "")
+    return cells
+
+
+def fingerprint(payload: "dict[str, Any]") -> dict[str, Any]:
+    """The settings two payloads must share for wall times to be comparable."""
+    scale = payload.get("scale", {})
+    return {
+        "benchmark": payload.get("benchmark"),
+        "mode": payload.get("mode") or scale.get("mode"),
+        "mc_settings": payload.get("mc_settings") or scale.get("mc_settings"),
+    }
+
+
+def machine_class(payload: "dict[str, Any]") -> "int | None":
+    """The recorded cpu_count (None for payloads predating the field)."""
+    count = payload.get("cpu_count")
+    return int(count) if count is not None else None
+
+
+def compare(
+    current: "dict[str, Any]",
+    baseline: "dict[str, Any]",
+    threshold: float,
+    min_seconds: float,
+) -> int:
+    """Print the cell-by-cell diff; return the process exit code."""
+    fp_current, fp_baseline = fingerprint(current), fingerprint(baseline)
+    if fp_current != fp_baseline:
+        print(
+            "not comparable: current "
+            f"{fp_current} vs baseline {fp_baseline}", file=sys.stderr
+        )
+        return 2
+
+    cpus_current, cpus_baseline = machine_class(current), machine_class(baseline)
+    enforce = cpus_current is not None and cpus_current == cpus_baseline
+    if not enforce:
+        print(
+            f"machine-class mismatch (cpu_count {cpus_current} vs baseline "
+            f"{cpus_baseline}): reporting only, the gate stays green"
+        )
+
+    cells_current = timing_cells(current)
+    cells_baseline = timing_cells(baseline)
+    regressions: list[str] = []
+    print(f"{'cell':60} {'baseline':>10} {'current':>10} {'delta':>8}  status")
+    for name in sorted(set(cells_current) | set(cells_baseline)):
+        if name not in cells_current:
+            print(f"{name:60} {cells_baseline[name]:10.4f} {'-':>10} {'-':>8}  dropped")
+            continue
+        if name not in cells_baseline:
+            print(f"{name:60} {'-':>10} {cells_current[name]:10.4f} {'-':>8}  new")
+            continue
+        base, now = cells_baseline[name], cells_current[name]
+        delta = (now - base) / base if base > 0 else 0.0
+        gated = enforce and base >= min_seconds
+        if delta > threshold and gated:
+            status = "REGRESSION"
+            regressions.append(name)
+        elif delta > threshold:
+            status = "slower (advisory)"
+        else:
+            status = "ok"
+        print(f"{name:60} {base:10.4f} {now:10.4f} {delta:+7.1%}  {status}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} cell(s) regressed more than "
+            f"{threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no gated cell regressed more than {threshold:.0%}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path, help="freshly produced bench JSON")
+    parser.add_argument("baseline", type=Path, help="committed BENCH_* baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated relative wall-time regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="baseline cells below this wall time are advisory (default 0.005)",
+    )
+    args = parser.parse_args(argv)
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    return compare(current, baseline, args.threshold, args.min_seconds)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

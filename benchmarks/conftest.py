@@ -1,41 +1,41 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates the rows/series of one figure or table of the
-paper (scaled-down parameters by default) and prints them, so running
+paper by driving the experiment registry
+(:func:`repro.evaluation.run_experiment`) with scaled-down parameters and
+prints them, so running
 
     pytest benchmarks/ --benchmark-only -s
 
 shows both the timing and the reproduced table.  EXPERIMENTS.md records the
 paper-vs-measured comparison produced from these outputs.
+
+Estimator sets are expressed as **estimator specs** (see
+:mod:`repro.api.specs`) so the benchmarks, the CLI's ``--estimators`` flag
+and the harness all describe workloads in the same language.
 """
 
 from __future__ import annotations
 
-from repro.core.bucket import BucketEstimator
-from repro.core.frequency import FrequencyEstimator
-from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
-from repro.core.naive import NaiveEstimator
 from repro.evaluation.reporting import format_result_table
 
 
 def light_estimators():
     """The paper's four estimators with benchmark-friendly MC settings."""
     return {
-        "naive": NaiveEstimator(),
-        "frequency": FrequencyEstimator(),
-        "bucket": BucketEstimator(),
-        "monte-carlo": MonteCarloEstimator(
-            config=MonteCarloConfig(n_runs=2, n_count_steps=6), seed=0
-        ),
+        "naive": "naive",
+        "frequency": "frequency",
+        "bucket": "bucket",
+        "monte-carlo": "monte-carlo?seed=0&n_runs=2&n_count_steps=6",
     }
 
 
 def chao_only_estimators():
     """The three non-simulation estimators (for heavier workloads)."""
     return {
-        "naive": NaiveEstimator(),
-        "frequency": FrequencyEstimator(),
-        "bucket": BucketEstimator(),
+        "naive": "naive",
+        "frequency": "frequency",
+        "bucket": "bucket",
     }
 
 

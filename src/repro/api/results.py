@@ -31,6 +31,7 @@ def _kind_registry() -> dict[str, Any]:
     # module-level import here would cycle during package initialisation.
     from repro.api.session import SessionSnapshot
     from repro.core.estimator import Estimate
+    from repro.evaluation.harness import ExperimentResult
     from repro.evaluation.runner import EstimateSeries, ProgressiveResult
     from repro.query.executor import QueryResult
 
@@ -40,6 +41,7 @@ def _kind_registry() -> dict[str, Any]:
         "estimate-series": EstimateSeries,
         "progressive-result": ProgressiveResult,
         "session-snapshot": SessionSnapshot,
+        "experiment-result": ExperimentResult,
     }
 
 

@@ -108,6 +108,8 @@ class ParamSpec:
         depends on other parts of the spec).
     choices:
         Optional closed set of accepted values.
+    minimum:
+        Optional lower bound for numeric parameters (inclusive).
     doc:
         One-line description shown by :func:`describe_estimators`.
     """
@@ -117,6 +119,7 @@ class ParamSpec:
     default: Any = None
     choices: tuple[Any, ...] | None = None
     doc: str = ""
+    minimum: "int | float | None" = None
 
     def coerce(self, raw: Any) -> Any:
         """Convert ``raw`` (a spec-string token or Python value) to :attr:`kind`."""
@@ -125,6 +128,10 @@ class ParamSpec:
             raise ValidationError(
                 f"parameter {self.name!r} must be one of "
                 f"{', '.join(map(repr, self.choices))}; got {raw!r}"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ValidationError(
+                f"parameter {self.name!r} must be >= {self.minimum}, got {raw!r}"
             )
         return value
 

@@ -6,12 +6,15 @@ Four subcommands cover the common workflows::
     python -m repro.cli query     mentions.csv --attribute gdp \
                                   --sql "SELECT SUM(gdp) FROM data WHERE gdp > 100"
     python -m repro.cli dataset   us-tech-employment --step 50
-    python -m repro.cli experiment fig4 --output fig4.csv
+    python -m repro.cli experiment figure6 --repetitions 50 --backend process
 
 ``estimate`` and ``query`` read a CSV of per-source mentions
 (``entity_id, source_id, <attribute>`` -- see :mod:`repro.data.io`);
 ``dataset`` replays one of the built-in crowd-data stand-ins; ``experiment``
-runs one of the paper's figure/table drivers.
+runs one of the registered figure/table experiments
+(:mod:`repro.evaluation.harness`) -- its repetition cells fan out over the
+``--backend``/``--workers`` execution backend with rows bit-identical to a
+serial run, and ``--describe`` prints the experiment's parameter spec.
 
 Estimators are given as **estimator specs** (see :mod:`repro.api.specs`):
 any registered name (``bucket``, ``monte-carlo``, ...) or a composite
@@ -33,32 +36,15 @@ from repro.api.specs import EstimatorSpec, available_estimators
 from repro.parallel.backends import BACKENDS
 from repro.data.integration import IntegrationPipeline
 from repro.data.io import read_sources_csv, write_estimates_csv
+from repro.evaluation.harness import (
+    describe_experiment,
+    list_experiments,
+    run_experiment,
+)
 from repro.datasets.registry import available_datasets, load_dataset
-from repro.evaluation import experiments
 from repro.evaluation.reporting import format_result_table, format_series
 from repro.evaluation.runner import ProgressiveRunner
-from repro.utils.exceptions import ReproError
-
-#: Experiment drivers reachable from the command line.
-EXPERIMENTS = {
-    "fig2": experiments.figure2_observed_gap,
-    "fig4": experiments.figure4_tech_employment,
-    "fig5a": experiments.figure5a_tech_revenue,
-    "fig5b": experiments.figure5b_us_gdp,
-    "fig5c": experiments.figure5c_proton_beam,
-    "fig6": experiments.figure6_synthetic_grid,
-    "fig7a": experiments.figure7a_streakers_only,
-    "fig7b": experiments.figure7b_streaker_injected,
-    "fig7c": experiments.figure7c_upper_bound,
-    "fig7d": experiments.figure7d_avg_query,
-    "fig7e": experiments.figure7e_max_query,
-    "fig7f": experiments.figure7f_min_query,
-    "fig8": experiments.figure8_static_buckets_real,
-    "fig9": experiments.figure9_static_buckets_synthetic,
-    "fig10": experiments.figure10_combined_estimators,
-    "fig11": experiments.figure11_source_count,
-    "table2": experiments.table2_toy_example,
-}
+from repro.utils.exceptions import ReproError, ValidationError
 
 
 def _estimator_spec(text: str) -> str:
@@ -142,11 +128,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format_option(dataset)
 
     experiment = sub.add_parser(
-        "experiment", help="run one of the paper's figure/table drivers"
+        "experiment", help="run one of the registered figure/table experiments"
     )
-    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
-    experiment.add_argument("--seed", type=int, default=None, help="override the default seed")
+    experiment.add_argument(
+        "name",
+        choices=list_experiments(include_aliases=True),
+        metavar="name",
+        help=f"experiment name: one of {', '.join(list_experiments())} "
+        "(short figN aliases are accepted)",
+    )
+    experiment.add_argument(
+        "--seed", type=int, default=None, help="override the experiment's default seed"
+    )
+    experiment.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="repetition count for the repeated experiments (paper scale: 50)",
+    )
+    experiment.add_argument(
+        "--n-points",
+        dest="n_points",
+        type=int,
+        default=None,
+        help="number of prefix points along a replay",
+    )
+    experiment.add_argument(
+        "--estimators",
+        nargs="+",
+        default=None,
+        type=_estimator_spec,
+        help=f"override the evaluated estimator set; each is an {spec_help}",
+    )
+    experiment.add_argument(
+        "--set",
+        dest="extra_params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="additional experiment parameter (repeatable); see --describe "
+        "for the declared parameters",
+    )
+    experiment.add_argument(
+        "--describe",
+        action="store_true",
+        help="print the experiment's summary and parameter spec as JSON and exit",
+    )
     experiment.add_argument("--output", help="optional CSV file for the rows")
+    _add_parallel_options(experiment)
+    _add_format_option(experiment)
 
     return parser
 
@@ -331,15 +361,37 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    driver = EXPERIMENTS[args.name]
-    kwargs = {}
-    if args.seed is not None and args.name != "table2":
-        kwargs["seed"] = args.seed
-    result = driver(**kwargs)
-    print(format_result_table(f"[{result.experiment}] {result.description}", result.rows))
+    if args.describe:
+        print(json.dumps(describe_experiment(args.name), indent=2))
+        return 0
+    params: dict[str, object] = {
+        "seed": args.seed,
+        "repetitions": args.repetitions,
+        "n_points": args.n_points,
+    }
+    for item in args.extra_params:
+        key, sep, value = item.partition("=")
+        key = key.strip().lower().replace("-", "_")
+        if not sep or not key or not value.strip():
+            raise ValidationError(
+                f"malformed --set parameter {item!r}; expected KEY=VALUE"
+            )
+        params[key] = value.strip()
+    result = run_experiment(
+        args.name,
+        backend=args.backend,
+        workers=args.workers,
+        estimators=args.estimators,
+        **{key: value for key, value in params.items() if value is not None},
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, allow_nan=False))
+    else:
+        print(format_result_table(f"[{result.experiment}] {result.description}", result.rows))
     if args.output:
         write_estimates_csv(args.output, result.rows)
-        print(f"\nwrote {args.output}")
+        if args.format != "json":
+            print(f"\nwrote {args.output}")
     return 0
 
 

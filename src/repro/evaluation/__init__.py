@@ -4,9 +4,13 @@ The paper's figures all share one structure: replay the observation stream,
 re-estimate after every k new answers, and plot the estimates against the
 observed (closed-world) answer and the ground truth.
 :class:`~repro.evaluation.runner.ProgressiveRunner` implements that replay
-for any set of estimators; :mod:`repro.evaluation.experiments` configures it
-for every figure and table of the paper; :mod:`repro.evaluation.reporting`
-renders the results as plain-text tables (no plotting dependency).
+for any set of estimators; :mod:`repro.evaluation.harness` provides the
+declarative experiment registry (:func:`run_experiment`,
+:func:`list_experiments`, :func:`describe_experiment`) whose cells fan out
+over the :mod:`repro.parallel` backends with bit-identical results;
+:mod:`repro.evaluation.experiments` registers every figure and table of
+the paper on it; :mod:`repro.evaluation.reporting` renders the results as
+plain-text tables (no plotting dependency).
 """
 
 from repro.evaluation.metrics import (
@@ -18,6 +22,16 @@ from repro.evaluation.metrics import (
 )
 from repro.evaluation.runner import EstimateSeries, ProgressiveResult, ProgressiveRunner
 from repro.evaluation.reporting import format_result_table, format_rows, format_series
+from repro.evaluation.harness import (
+    ExperimentDefinition,
+    ExperimentPlan,
+    ExperimentResult,
+    describe_experiment,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    run_experiment,
+)
 from repro.evaluation import experiments
 
 __all__ = [
@@ -32,5 +46,13 @@ __all__ = [
     "format_result_table",
     "format_rows",
     "format_series",
+    "ExperimentDefinition",
+    "ExperimentPlan",
+    "ExperimentResult",
+    "register_experiment",
+    "run_experiment",
+    "list_experiments",
+    "describe_experiment",
+    "get_experiment",
     "experiments",
 ]

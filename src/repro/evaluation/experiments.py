@@ -1,25 +1,44 @@
-"""Per-figure experiment drivers (Section 6 and the appendices).
+"""Per-figure experiment definitions (Section 6 and the appendices).
 
-Each function reproduces the workload and measurement of one figure or
-table of the paper and returns an :class:`ExperimentResult` whose ``rows``
-are the series/rows the paper plots.  The benchmark harness under
-``benchmarks/`` simply calls these drivers and prints their output; the
-integration tests assert the qualitative shapes (who wins, what
-over/under-estimates) documented in EXPERIMENTS.md.
+Every figure and table of the paper is registered as a declarative
+**experiment** on the harness of :mod:`repro.evaluation.harness`: a name,
+a typed parameter spec, and a plan that enumerates independent cells --
+one ``(scenario, repetition)`` pair per cell for the repeated experiments
+(Figures 6, 7e/f and 11), one full replay per cell for the single-stream
+figures.  The harness derives one :class:`numpy.random.SeedSequence` child
+per cell (keyed by cell index), fans the cells out over a
+:mod:`repro.parallel` execution backend, and reduces the ordered results
+into an :class:`~repro.evaluation.harness.ExperimentResult` -- so the rows
+are bit-identical across backends and worker counts, and the paper's
+``repetitions=50`` counts parallelize cleanly::
 
-The default parameters are scaled down (fewer repetitions, coarser prefix
-grids, lighter Monte-Carlo settings) so the whole suite runs on a laptop in
-minutes; every driver accepts parameters to run at paper scale.
+    from repro.evaluation import run_experiment
+
+    result = run_experiment("figure6", repetitions=50, backend="process")
+
+The legacy ``figureN_*`` functions remain as thin wrappers over
+:func:`~repro.evaluation.harness.run_experiment`; the benchmark harness
+under ``benchmarks/`` and the CLI's ``experiment`` subcommand drive the
+registry directly.  The default parameters are scaled down (fewer
+repetitions, coarser prefix grids, lighter Monte-Carlo settings) so the
+whole suite runs on a laptop in minutes.
+
+Seeding note: the repetition experiments derive per-cell streams from
+``SeedSequence`` children keyed by the global cell index.  This replaces
+the pre-harness ``spawn_rngs`` loops (and Figure 11's ``seed + w`` scheme,
+which made adjacent source-count cells share repetition streams), so their
+numeric outputs differ from earlier revisions by design -- see DESIGN.md
+("Experiment cells and per-cell seed derivation").
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from repro.api.specs import ParamSpec
 from repro.core.aggregates import estimate_avg, estimate_max, estimate_min
 from repro.core.bounds import sum_upper_bound
 from repro.core.bucket import (
@@ -32,42 +51,40 @@ from repro.core.estimator import SumEstimator
 from repro.core.frequency import FrequencyEstimator
 from repro.core.montecarlo import MonteCarloConfig, MonteCarloEstimator
 from repro.core.naive import NaiveEstimator
-from repro.data.sample import ObservedSample
-from repro.datasets.base import CrowdDataset
-from repro.datasets.proton_beam import generate_proton_beam
+from repro.datasets.registry import load_dataset
 from repro.datasets.toy_example import toy_sample, TOY_GROUND_TRUTH
-from repro.datasets.us_gdp import generate_us_gdp
-from repro.datasets.us_tech_employment import generate_us_tech_employment
-from repro.datasets.us_tech_revenue import generate_us_tech_revenue
+from repro.evaluation.harness import (
+    ExperimentPlan,
+    ExperimentResult,
+    register_experiment,
+    run_experiment,
+)
 from repro.evaluation.runner import ProgressiveResult, ProgressiveRunner
 from repro.simulation.scenarios import SyntheticScenario, get_scenario
 from repro.simulation.streaker import inject_streaker_run, successive_streakers_run
-from repro.utils.rng import spawn_rngs
+from repro.utils.exceptions import ValidationError
 
-
-@dataclass
-class ExperimentResult:
-    """Output of one experiment driver.
-
-    Attributes
-    ----------
-    experiment:
-        The experiment id (``"fig4"``, ``"table2"``, ...).
-    description:
-        One-line description of what was measured.
-    rows:
-        The table the paper's figure corresponds to (one dict per row).
-    parameters:
-        The workload parameters used.
-    progressive:
-        The underlying progressive replay result(s), when applicable.
-    """
-
-    experiment: str
-    description: str
-    rows: list[dict[str, Any]] = field(default_factory=list)
-    parameters: dict[str, Any] = field(default_factory=dict)
-    progressive: dict[str, ProgressiveResult] = field(default_factory=dict)
+__all__ = [
+    "ExperimentResult",
+    "default_estimators",
+    "figure2_observed_gap",
+    "figure4_tech_employment",
+    "figure5a_tech_revenue",
+    "figure5b_us_gdp",
+    "figure5c_proton_beam",
+    "figure6_synthetic_grid",
+    "figure7a_streakers_only",
+    "figure7b_streaker_injected",
+    "figure7c_upper_bound",
+    "figure7d_avg_query",
+    "figure7e_max_query",
+    "figure7f_min_query",
+    "figure8_static_buckets_real",
+    "figure9_static_buckets_synthetic",
+    "figure10_combined_estimators",
+    "figure11_source_count",
+    "table2_toy_example",
+]
 
 
 def default_estimators(
@@ -96,27 +113,91 @@ def _progressive_rows(result: ProgressiveResult) -> list[dict[str, Any]]:
     return rows
 
 
-def _replay_dataset(
-    dataset: CrowdDataset,
-    experiment: str,
-    description: str,
-    estimators: dict[str, SumEstimator] | None = None,
-    n_points: int = 10,
-) -> ExperimentResult:
-    runner = ProgressiveRunner(estimators or default_estimators())
-    step = max(1, dataset.total_observations // n_points)
+_SEED_DOC = "base seed; per-cell streams are SeedSequence children of it"
+_N_POINTS_DOC = "number of prefix points along the replay"
+
+
+def _n_points_param(default: int) -> ParamSpec:
+    return ParamSpec("n_points", int, default=default, doc=_N_POINTS_DOC, minimum=1)
+
+
+def _repetitions_param(default: int, doc: str) -> ParamSpec:
+    return ParamSpec("repetitions", int, default=default, doc=doc, minimum=1)
+
+
+# ---------------------------------------------------------------------- #
+# Shared cell functions (module-level so the process backend can pickle
+# them by reference; each depends only on its cell, seed, and shared state)
+# ---------------------------------------------------------------------- #
+
+
+def _dataset_replay_cell(cell, seed, shared):
+    """One full progressive replay of a crowd-dataset stand-in."""
+    dataset = load_dataset(cell["dataset"], **cell["kwargs"])
+    runner = ProgressiveRunner(shared["estimators"])
+    step = max(1, dataset.total_observations // cell["n_points"])
     result = runner.run(dataset, step=step)
-    return ExperimentResult(
-        experiment=experiment,
-        description=description,
-        rows=_progressive_rows(result),
-        parameters={
-            "dataset": dataset.name,
-            "n_answers": dataset.total_observations,
-            "ground_truth": dataset.ground_truth,
+    return {
+        "name": dataset.name,
+        "n_answers": dataset.total_observations,
+        "ground_truth": dataset.ground_truth,
+        "result": result,
+    }
+
+
+def _replay_reduce(experiment_id: str, description: str):
+    """Reduction shared by every single-replay dataset experiment."""
+
+    def reduce(results):
+        replay = results[0]
+        return ExperimentResult(
+            experiment=experiment_id,
+            description=description,
+            rows=_progressive_rows(replay["result"]),
+            parameters={
+                "dataset": replay["name"],
+                "n_answers": replay["n_answers"],
+                "ground_truth": replay["ground_truth"],
+            },
+            progressive={replay["name"]: replay["result"]},
+        )
+
+    return reduce
+
+
+def _scenario_final_cell(cell, seed, shared):
+    """One repetition of one synthetic scenario: final estimates only.
+
+    The cell's RNG comes exclusively from its harness-derived
+    ``SeedSequence`` child, so the repetition stream is a function of the
+    experiment seed and the cell index alone.
+    """
+    scenario_name, _repetition = cell
+    scenario = get_scenario(scenario_name)
+    rng = np.random.default_rng(seed)
+    run = scenario.run(seed=rng)
+    sample = run.sample()
+    return {
+        "observed": sample.sum(scenario.attribute),
+        "truth": run.population.true_sum(scenario.attribute),
+        "finals": {
+            key: estimator.estimate(sample, scenario.attribute).corrected
+            for key, estimator in shared["estimators"].items()
         },
-        progressive={dataset.name: result},
-    )
+    }
+
+
+def _mean_final_row(results: "list[dict[str, Any]]") -> dict[str, Any]:
+    """Average the observed/truth/per-estimator finals of repetition cells."""
+    row: dict[str, Any] = {
+        "ground_truth": float(np.mean([cell["truth"] for cell in results])),
+        "observed": float(np.mean([cell["observed"] for cell in results])),
+    }
+    for key in results[0]["finals"]:
+        values = [cell["finals"][key] for cell in results]
+        finite = [v for v in values if math.isfinite(v)]
+        row[key] = float(np.mean(finite)) if finite else float("inf")
+    return row
 
 
 # ---------------------------------------------------------------------- #
@@ -124,9 +205,9 @@ def _replay_dataset(
 # ---------------------------------------------------------------------- #
 
 
-def figure2_observed_gap(seed: int = 42, n_points: int = 20) -> ExperimentResult:
-    """Figure 2: observed SUM(employees) vs ground truth over time."""
-    dataset = generate_us_tech_employment(seed=seed)
+def _figure2_cell(cell, seed, shared):
+    dataset = load_dataset("us-tech-employment", seed=cell["seed"])
+    n_points = cell["n_points"]
     sizes = [
         max(1, round(dataset.total_observations * (i + 1) / n_points))
         for i in range(n_points)
@@ -142,139 +223,174 @@ def figure2_observed_gap(seed: int = 42, n_points: int = 20) -> ExperimentResult
                 "gap_fraction": (dataset.ground_truth - observed) / dataset.ground_truth,
             }
         )
-    return ExperimentResult(
-        experiment="fig2",
-        description="Observed SUM(employees) approaches but does not reach the ground truth",
-        rows=rows,
-        parameters={"dataset": dataset.name, "seed": seed},
-    )
+    return {"name": dataset.name, "rows": rows}
+
+
+@register_experiment(
+    "figure2",
+    summary="observed SUM(employees) vs ground truth over the answer stream",
+    params=(
+        ParamSpec("seed", int, default=42, doc=_SEED_DOC),
+        _n_points_param(20),
+    ),
+    aliases=("fig2",),
+)
+def _plan_figure2(params, estimators):
+    cell = {"seed": params["seed"], "n_points": params["n_points"]}
+
+    def reduce(results):
+        return ExperimentResult(
+            experiment="fig2",
+            description="Observed SUM(employees) approaches but does not reach the ground truth",
+            rows=results[0]["rows"],
+            parameters={"dataset": results[0]["name"], "seed": params["seed"]},
+        )
+
+    return ExperimentPlan(cells=[cell], cell_fn=_figure2_cell, reduce_fn=reduce)
 
 
 # ---------------------------------------------------------------------- #
-# Figures 4 and 5: real-data (stand-in) SUM experiments
+# Figures 4, 5, 8 and 10: progressive replays of the crowd-data stand-ins
 # ---------------------------------------------------------------------- #
 
 
-def figure4_tech_employment(
-    seed: int = 42,
-    estimators: dict[str, SumEstimator] | None = None,
-    n_points: int = 10,
-) -> ExperimentResult:
-    """Figure 4: SUM(employees) estimates over the crowd-answer stream."""
-    dataset = generate_us_tech_employment(seed=seed)
-    return _replay_dataset(
-        dataset,
-        "fig4",
-        "US tech-sector employment: estimator comparison over time",
-        estimators,
-        n_points,
+def _register_dataset_replay(
+    name: str,
+    alias: str,
+    experiment_id: str,
+    description: str,
+    dataset: str,
+    default_seed: int,
+    default_n_points: int,
+    default_estimators_factory,
+    dataset_kwargs: "dict[str, Any] | None" = None,
+) -> None:
+    """Register a single-replay experiment over one dataset stand-in."""
+
+    @register_experiment(
+        name,
+        summary=description,
+        params=(
+            ParamSpec("seed", int, default=default_seed, doc="dataset generator seed"),
+            _n_points_param(default_n_points),
+        ),
+        aliases=(alias,),
+        default_estimators=default_estimators_factory,
     )
+    def _plan(params, estimators):
+        cell = {
+            "dataset": dataset,
+            "kwargs": {"seed": params["seed"], **(dataset_kwargs or {})},
+            "n_points": params["n_points"],
+        }
+        return ExperimentPlan(
+            cells=[cell],
+            cell_fn=_dataset_replay_cell,
+            reduce_fn=_replay_reduce(experiment_id, description),
+            shared={"estimators": estimators},
+        )
 
 
-def figure5a_tech_revenue(
-    seed: int = 7,
-    estimators: dict[str, SumEstimator] | None = None,
-    n_points: int = 10,
-) -> ExperimentResult:
-    """Figure 5(a): SUM(revenue) estimates over the crowd-answer stream."""
-    dataset = generate_us_tech_revenue(seed=seed)
-    return _replay_dataset(
-        dataset,
-        "fig5a",
-        "US tech-sector revenue: estimator comparison over time",
-        estimators,
-        n_points,
-    )
-
-
-def figure5b_us_gdp(
-    seed: int = 11,
-    estimators: dict[str, SumEstimator] | None = None,
-    n_points: int = 10,
-) -> ExperimentResult:
-    """Figure 5(b): SUM(gdp) with a streaker worker at the beginning."""
-    dataset = generate_us_gdp(seed=seed)
-    return _replay_dataset(
-        dataset,
-        "fig5b",
-        "GDP per US state: streaker-affected estimator comparison",
-        estimators,
-        n_points,
-    )
-
-
-def figure5c_proton_beam(
-    seed: int = 23,
-    estimators: dict[str, SumEstimator] | None = None,
-    n_points: int = 10,
-) -> ExperimentResult:
-    """Figure 5(c): SUM(participants) with no known ground truth."""
-    dataset = generate_proton_beam(seed=seed)
-    return _replay_dataset(
-        dataset,
-        "fig5c",
-        "Proton beam studies: estimator comparison without a known truth",
-        estimators,
-        n_points,
-    )
+_register_dataset_replay(
+    "figure4", "fig4", "fig4",
+    "US tech-sector employment: estimator comparison over time",
+    "us-tech-employment", default_seed=42, default_n_points=10,
+    default_estimators_factory=default_estimators,
+)
+_register_dataset_replay(
+    "figure5a", "fig5a", "fig5a",
+    "US tech-sector revenue: estimator comparison over time",
+    "us-tech-revenue", default_seed=7, default_n_points=10,
+    default_estimators_factory=default_estimators,
+)
+_register_dataset_replay(
+    "figure5b", "fig5b", "fig5b",
+    "GDP per US state: streaker-affected estimator comparison",
+    "us-gdp", default_seed=11, default_n_points=10,
+    default_estimators_factory=default_estimators,
+)
+_register_dataset_replay(
+    "figure5c", "fig5c", "fig5c",
+    "Proton beam studies: estimator comparison without a known truth",
+    "proton-beam", default_seed=23, default_n_points=10,
+    default_estimators_factory=default_estimators,
+)
 
 
 # ---------------------------------------------------------------------- #
 # Figure 6: the 3x3 synthetic grid
 # ---------------------------------------------------------------------- #
 
+#: The scenario rows of Figure 6, in presentation order.
+FIGURE6_SCENARIOS = (
+    "ideal-w100", "ideal-w10", "ideal-w5",
+    "realistic-w100", "realistic-w10", "realistic-w5",
+    "rare-events-w100", "rare-events-w10", "rare-events-w5",
+)
 
-def figure6_synthetic_grid(
-    repetitions: int = 5,
-    seed: int = 1,
-    estimators: dict[str, SumEstimator] | None = None,
-    n_points: int = 8,
-    scenario_names: list[str] | None = None,
-) -> ExperimentResult:
-    """Figure 6: estimator quality across publicity skew, correlation and #sources.
 
-    The paper repeats every configuration 50 times; ``repetitions`` scales
-    that down by default (pass 50 for paper scale).
-    """
-    names = scenario_names or [
-        "ideal-w100", "ideal-w10", "ideal-w5",
-        "realistic-w100", "realistic-w10", "realistic-w5",
-        "rare-events-w100", "rare-events-w10", "rare-events-w5",
-    ]
-    estimators = estimators or default_estimators()
-    rows: list[dict[str, Any]] = []
+@register_experiment(
+    "figure6",
+    summary="estimator quality across publicity skew, correlation and #sources "
+    "(repetition cells averaged per scenario)",
+    params=(
+        _repetitions_param(5, "independent runs per scenario (paper: 50)"),
+        ParamSpec("seed", int, default=1, doc=_SEED_DOC),
+        ParamSpec("n_points", int, default=8, doc="recorded in parameters for provenance", minimum=1),
+        ParamSpec(
+            "scenarios",
+            str,
+            default=None,
+            doc="comma-separated scenario names (default: the full 3x3 grid)",
+        ),
+    ),
+    aliases=("fig6",),
+    default_estimators=default_estimators,
+)
+def _plan_figure6(params, estimators):
+    if params["scenarios"]:
+        names = [name.strip() for name in params["scenarios"].split(",") if name.strip()]
+        if not names:
+            raise ValidationError("scenarios must name at least one scenario")
+    else:
+        names = list(FIGURE6_SCENARIOS)
     for name in names:
-        scenario = get_scenario(name)
-        rngs = spawn_rngs(seed, repetitions)
-        finals: dict[str, list[float]] = {key: [] for key in estimators}
-        observed_finals: list[float] = []
-        truth_values: list[float] = []
-        for rng in rngs:
-            run = scenario.run(seed=rng)
-            sample = run.sample()
-            observed_finals.append(sample.sum(scenario.attribute))
-            truth_values.append(run.population.true_sum(scenario.attribute))
-            for key, estimator in estimators.items():
-                estimate = estimator.estimate(sample, scenario.attribute)
-                finals[key].append(estimate.corrected)
-        truth = float(np.mean(truth_values))
-        row: dict[str, Any] = {
-            "scenario": name,
-            "n_sources": scenario.n_sources,
-            "publicity_skew": scenario.publicity_skew,
-            "correlation": scenario.correlation,
-            "ground_truth": truth,
-            "observed": float(np.mean(observed_finals)),
-        }
-        for key, values in finals.items():
-            finite = [v for v in values if math.isfinite(v)]
-            row[key] = float(np.mean(finite)) if finite else float("inf")
-        rows.append(row)
-    return ExperimentResult(
-        experiment="fig6",
-        description="Synthetic grid: average final estimates per scenario",
-        rows=rows,
-        parameters={"repetitions": repetitions, "seed": seed, "n_points": n_points},
+        get_scenario(name)  # surface unknown names before any work runs
+    repetitions = params["repetitions"]
+    cells = [(name, repetition) for name in names for repetition in range(repetitions)]
+
+    def reduce(results):
+        rows = []
+        for index, name in enumerate(names):
+            scenario = get_scenario(name)
+            chunk = results[index * repetitions : (index + 1) * repetitions]
+            row: dict[str, Any] = {
+                "scenario": name,
+                "n_sources": scenario.n_sources,
+                "publicity_skew": scenario.publicity_skew,
+                "correlation": scenario.correlation,
+            }
+            averaged = _mean_final_row(chunk)
+            row["ground_truth"] = averaged.pop("ground_truth")
+            row["observed"] = averaged.pop("observed")
+            row.update(averaged)
+            rows.append(row)
+        return ExperimentResult(
+            experiment="fig6",
+            description="Synthetic grid: average final estimates per scenario",
+            rows=rows,
+            parameters={
+                "repetitions": repetitions,
+                "seed": params["seed"],
+                "n_points": params["n_points"],
+            },
+        )
+
+    return ExperimentPlan(
+        cells=cells,
+        cell_fn=_scenario_final_cell,
+        reduce_fn=reduce,
+        shared={"estimators": estimators},
     )
 
 
@@ -283,37 +399,56 @@ def figure6_synthetic_grid(
 # ---------------------------------------------------------------------- #
 
 
-def figure7a_streakers_only(
-    seed: int = 3,
-    estimators: dict[str, SumEstimator] | None = None,
-    n_points: int = 8,
-    n_streakers: int = 3,
-) -> ExperimentResult:
-    """Figure 7(a): every source successively contributes the whole population."""
+def _figure7a_cell(cell, seed, shared):
     scenario = get_scenario("aggregate-queries")
-    population = scenario.build_population(seed=seed)
+    population = scenario.build_population(seed=cell["seed"])
     run = successive_streakers_run(
-        population, scenario.attribute, n_streakers=n_streakers, seed=seed
+        population,
+        scenario.attribute,
+        n_streakers=cell["n_streakers"],
+        seed=cell["seed"],
     )
-    runner = ProgressiveRunner(estimators or default_estimators())
-    step = max(1, run.total_observations // n_points)
-    result = runner.run(run, step=step)
-    return ExperimentResult(
-        experiment="fig7a",
-        description="Successive streakers: only Monte-Carlo stays near the observed sum",
-        rows=_progressive_rows(result),
-        parameters={"n_streakers": n_streakers, "seed": seed},
-        progressive={"streakers-only": result},
+    runner = ProgressiveRunner(shared["estimators"])
+    step = max(1, run.total_observations // cell["n_points"])
+    return runner.run(run, step=step)
+
+
+@register_experiment(
+    "figure7a",
+    summary="successive streakers: only Monte-Carlo stays near the observed sum",
+    params=(
+        ParamSpec("seed", int, default=3, doc=_SEED_DOC),
+        _n_points_param(8),
+        ParamSpec("n_streakers", int, default=3, doc="number of whole-population sources", minimum=1),
+    ),
+    aliases=("fig7a",),
+    default_estimators=default_estimators,
+)
+def _plan_figure7a(params, estimators):
+    cell = {
+        "seed": params["seed"],
+        "n_points": params["n_points"],
+        "n_streakers": params["n_streakers"],
+    }
+
+    def reduce(results):
+        return ExperimentResult(
+            experiment="fig7a",
+            description="Successive streakers: only Monte-Carlo stays near the observed sum",
+            rows=_progressive_rows(results[0]),
+            parameters={"n_streakers": params["n_streakers"], "seed": params["seed"]},
+            progressive={"streakers-only": results[0]},
+        )
+
+    return ExperimentPlan(
+        cells=[cell],
+        cell_fn=_figure7a_cell,
+        reduce_fn=reduce,
+        shared={"estimators": estimators},
     )
 
 
-def figure7b_streaker_injected(
-    seed: int = 3,
-    estimators: dict[str, SumEstimator] | None = None,
-    n_points: int = 8,
-    inject_at: int = 160,
-) -> ExperimentResult:
-    """Figure 7(b): one streaker dumps the whole population at n = 160."""
+def _figure7b_cell(cell, seed, shared):
     scenario = SyntheticScenario(
         name="streaker-inject",
         n_sources=20,
@@ -321,25 +456,53 @@ def figure7b_streaker_injected(
         publicity_skew=1.0,
         correlation=1.0,
     )
-    population = scenario.build_population(seed=seed)
+    population = scenario.build_population(seed=cell["seed"])
     run = inject_streaker_run(
         population,
         scenario.attribute,
         n_normal_sources=scenario.n_sources,
         normal_source_size=scenario.source_size,
-        inject_at=inject_at,
+        inject_at=cell["inject_at"],
         publicity=scenario.publicity_model(),
-        seed=seed,
+        seed=cell["seed"],
     )
-    runner = ProgressiveRunner(estimators or default_estimators())
-    step = max(1, run.total_observations // n_points)
-    result = runner.run(run, step=step)
-    return ExperimentResult(
-        experiment="fig7b",
-        description="Streaker injected mid-stream: Chao92-based estimators overshoot",
-        rows=_progressive_rows(result),
-        parameters={"inject_at": inject_at, "seed": seed},
-        progressive={"streaker-injected": result},
+    runner = ProgressiveRunner(shared["estimators"])
+    step = max(1, run.total_observations // cell["n_points"])
+    return runner.run(run, step=step)
+
+
+@register_experiment(
+    "figure7b",
+    summary="streaker injected mid-stream: Chao92-based estimators overshoot",
+    params=(
+        ParamSpec("seed", int, default=3, doc=_SEED_DOC),
+        _n_points_param(8),
+        ParamSpec("inject_at", int, default=160, doc="stream position of the streaker dump", minimum=1),
+    ),
+    aliases=("fig7b",),
+    default_estimators=default_estimators,
+)
+def _plan_figure7b(params, estimators):
+    cell = {
+        "seed": params["seed"],
+        "n_points": params["n_points"],
+        "inject_at": params["inject_at"],
+    }
+
+    def reduce(results):
+        return ExperimentResult(
+            experiment="fig7b",
+            description="Streaker injected mid-stream: Chao92-based estimators overshoot",
+            rows=_progressive_rows(results[0]),
+            parameters={"inject_at": params["inject_at"], "seed": params["seed"]},
+            progressive={"streaker-injected": results[0]},
+        )
+
+    return ExperimentPlan(
+        cells=[cell],
+        cell_fn=_figure7b_cell,
+        reduce_fn=reduce,
+        shared={"estimators": estimators},
     )
 
 
@@ -348,26 +511,18 @@ def figure7b_streaker_injected(
 # ---------------------------------------------------------------------- #
 
 
-def _aggregate_scenario_samples(
-    seed: int, n_points: int
-) -> tuple[SyntheticScenario, list[tuple[int, ObservedSample]], float]:
+def _figure7c_cell(cell, seed, shared):
     scenario = get_scenario("aggregate-queries")
-    run = scenario.run(seed=seed)
+    run = scenario.run(seed=cell["seed"])
     truth_sum = run.population.true_sum(scenario.attribute)
-    sizes = run.prefix_sizes(max(1, run.total_observations // n_points))
-    samples = [(size, run.sample_at(size)) for size in sizes]
-    return scenario, samples, truth_sum
-
-
-def figure7c_upper_bound(
-    seed: int = 5, n_points: int = 10, epsilon: float = 0.01, z: float = 3.0
-) -> ExperimentResult:
-    """Figure 7(f): the SUM upper bound is loose but tightens with more data."""
-    scenario, samples, truth_sum = _aggregate_scenario_samples(seed, n_points)
+    sizes = run.prefix_sizes(max(1, run.total_observations // cell["n_points"]))
     bucket = BucketEstimator()
     rows = []
-    for size, sample in samples:
-        bound = sum_upper_bound(sample, scenario.attribute, epsilon=epsilon, z=z)
+    for size in sizes:
+        sample = run.sample_at(size)
+        bound = sum_upper_bound(
+            sample, scenario.attribute, epsilon=cell["epsilon"], z=cell["z"]
+        )
         estimate = bucket.estimate(sample, scenario.attribute)
         rows.append(
             {
@@ -379,21 +534,47 @@ def figure7c_upper_bound(
                 "ground_truth": truth_sum,
             }
         )
-    return ExperimentResult(
-        experiment="fig7c",
-        description="SUM estimation upper bound over time",
-        rows=rows,
-        parameters={"epsilon": epsilon, "z": z, "seed": seed},
-    )
+    return rows
 
 
-def figure7d_avg_query(seed: int = 5, n_points: int = 10) -> ExperimentResult:
-    """Figure 7(c in the text, d in the layout): bucket-corrected AVG query."""
-    scenario, samples, _ = _aggregate_scenario_samples(seed, n_points)
+@register_experiment(
+    "figure7c",
+    summary="SUM estimation upper bound over time",
+    params=(
+        ParamSpec("seed", int, default=5, doc=_SEED_DOC),
+        _n_points_param(10),
+        ParamSpec("epsilon", float, default=0.01, doc="missing-mass tail probability"),
+        ParamSpec("z", float, default=3.0, doc="concentration multiplier of the bound"),
+    ),
+    aliases=("fig7c",),
+)
+def _plan_figure7c(params, estimators):
+    cell = {key: params[key] for key in ("seed", "n_points", "epsilon", "z")}
+
+    def reduce(results):
+        return ExperimentResult(
+            experiment="fig7c",
+            description="SUM estimation upper bound over time",
+            rows=results[0],
+            parameters={
+                "epsilon": params["epsilon"],
+                "z": params["z"],
+                "seed": params["seed"],
+            },
+        )
+
+    return ExperimentPlan(cells=[cell], cell_fn=_figure7c_cell, reduce_fn=reduce)
+
+
+def _figure7d_cell(cell, seed, shared):
+    scenario = get_scenario("aggregate-queries")
     attribute = scenario.attribute
-    rows = []
+    run = scenario.run(seed=cell["seed"])
+    sizes = run.prefix_sizes(max(1, run.total_observations // cell["n_points"]))
     bucket = BucketEstimator()
-    for size, sample in samples:
+    rows = []
+    for size in sizes:
+        sample = run.sample_at(size)
         estimate = estimate_avg(sample, attribute, bucket_estimator=bucket)
         rows.append(
             {
@@ -402,93 +583,130 @@ def figure7d_avg_query(seed: int = 5, n_points: int = 10) -> ExperimentResult:
                 "bucket_avg": estimate.corrected,
             }
         )
-    # Attach the ground-truth average (identical for all rows).
-    run_population = get_scenario("aggregate-queries").build_population(seed=seed)
-    population_avg = run_population.true_avg(attribute)
+    population_avg = scenario.build_population(seed=cell["seed"]).true_avg(attribute)
     for row in rows:
         row["ground_truth_avg"] = population_avg
-    return ExperimentResult(
-        experiment="fig7d",
-        description="AVG query: bucket weighting corrects the publicity bias",
-        rows=rows,
-        parameters={"seed": seed},
-    )
+    return rows
 
 
-def _extreme_experiment(
-    which: str, seed: int, n_points: int, repetitions: int
-) -> ExperimentResult:
+@register_experiment(
+    "figure7d",
+    summary="AVG query: bucket weighting corrects the publicity bias",
+    params=(
+        ParamSpec("seed", int, default=5, doc=_SEED_DOC),
+        _n_points_param(10),
+    ),
+    aliases=("fig7d",),
+)
+def _plan_figure7d(params, estimators):
+    cell = {"seed": params["seed"], "n_points": params["n_points"]}
+
+    def reduce(results):
+        return ExperimentResult(
+            experiment="fig7d",
+            description="AVG query: bucket weighting corrects the publicity bias",
+            rows=results[0],
+            parameters={"seed": params["seed"]},
+        )
+
+    return ExperimentPlan(cells=[cell], cell_fn=_figure7d_cell, reduce_fn=reduce)
+
+
+def _extreme_cell(cell, seed, shared):
+    """One repetition of the MIN/MAX trust experiment (Figure 7e/f)."""
+    which, n_points = cell["which"], cell["n_points"]
     scenario = get_scenario("aggregate-queries")
     attribute = scenario.attribute
-    rngs = spawn_rngs(seed, repetitions)
-    # For every repetition and prefix, record whether the true extreme has
-    # been observed and whether the estimator decides to report it.
-    accumulator: dict[int, dict[str, float]] = {}
-    for rng in rngs:
-        run = scenario.run(seed=rng)
-        truth = (
-            run.population.true_min(attribute)
+    rng = np.random.default_rng(seed)
+    run = scenario.run(seed=rng)
+    truth = (
+        run.population.true_min(attribute)
+        if which == "min"
+        else run.population.true_max(attribute)
+    )
+    sizes = run.prefix_sizes(max(1, run.total_observations // n_points))
+    entries = []
+    for size in sizes:
+        sample = run.sample_at(size)
+        estimate = (
+            estimate_min(sample, attribute)
             if which == "min"
-            else run.population.true_max(attribute)
+            else estimate_max(sample, attribute)
         )
-        sizes = run.prefix_sizes(max(1, run.total_observations // n_points))
-        for size in sizes:
-            sample = run.sample_at(size)
-            estimate = (
-                estimate_min(sample, attribute)
-                if which == "min"
-                else estimate_max(sample, attribute)
-            )
-            cell = accumulator.setdefault(
-                size,
-                {
-                    "observed_extreme_matches_truth": 0.0,
-                    "reported": 0.0,
-                    "reported_value_total": 0.0,
-                    "repetitions": 0.0,
-                },
-            )
-            cell["repetitions"] += 1
-            if estimate.observed == truth:
-                cell["observed_extreme_matches_truth"] += 1
-            if estimate.trusted:
-                cell["reported"] += 1
-                cell["reported_value_total"] += estimate.observed
-    rows = []
-    for size in sorted(accumulator):
-        cell = accumulator[size]
-        reps = cell["repetitions"]
-        reported = cell["reported"]
-        rows.append(
-            {
-                "n_answers": size,
-                "true_extreme_observed_rate": cell["observed_extreme_matches_truth"] / reps,
-                "report_rate": reported / reps,
-                "avg_reported_value": (
-                    cell["reported_value_total"] / reported if reported else float("nan")
-                ),
-            }
+        entries.append(
+            (size, estimate.observed == truth, estimate.trusted, estimate.observed)
         )
-    return ExperimentResult(
-        experiment="fig7e" if which == "max" else "fig7f",
-        description=f"{which.upper()} query: report the observed extreme only when trusted",
-        rows=rows,
-        parameters={"seed": seed, "repetitions": repetitions},
+    return entries
+
+
+def _register_extreme(name: str, alias: str, which: str, experiment_id: str) -> None:
+    description = (
+        f"{which.upper()} query: report the observed extreme only when trusted"
     )
 
+    @register_experiment(
+        name,
+        summary=description,
+        params=(
+            ParamSpec("seed", int, default=9, doc=_SEED_DOC),
+            _n_points_param(8),
+            _repetitions_param(5, "independent runs to average (paper: 50)"),
+        ),
+        aliases=(alias,),
+    )
+    def _plan(params, estimators):
+        repetitions = params["repetitions"]
+        cell = {"which": which, "n_points": params["n_points"]}
+        cells = [dict(cell, repetition=index) for index in range(repetitions)]
 
-def figure7e_max_query(
-    seed: int = 9, n_points: int = 8, repetitions: int = 5
-) -> ExperimentResult:
-    """Figure 7(e): MAX query trust-based reporting."""
-    return _extreme_experiment("max", seed, n_points, repetitions)
+        def reduce(results):
+            accumulator: dict[int, dict[str, float]] = {}
+            for entries in results:
+                for size, matches_truth, trusted, observed in entries:
+                    slot = accumulator.setdefault(
+                        size,
+                        {
+                            "observed_extreme_matches_truth": 0.0,
+                            "reported": 0.0,
+                            "reported_value_total": 0.0,
+                            "repetitions": 0.0,
+                        },
+                    )
+                    slot["repetitions"] += 1
+                    if matches_truth:
+                        slot["observed_extreme_matches_truth"] += 1
+                    if trusted:
+                        slot["reported"] += 1
+                        slot["reported_value_total"] += observed
+            rows = []
+            for size in sorted(accumulator):
+                slot = accumulator[size]
+                reps = slot["repetitions"]
+                reported = slot["reported"]
+                rows.append(
+                    {
+                        "n_answers": size,
+                        "true_extreme_observed_rate": slot["observed_extreme_matches_truth"] / reps,
+                        "report_rate": reported / reps,
+                        "avg_reported_value": (
+                            slot["reported_value_total"] / reported
+                            if reported
+                            else float("nan")
+                        ),
+                    }
+                )
+            return ExperimentResult(
+                experiment=experiment_id,
+                description=description,
+                rows=rows,
+                parameters={"seed": params["seed"], "repetitions": repetitions},
+            )
+
+        return ExperimentPlan(cells=cells, cell_fn=_extreme_cell, reduce_fn=reduce)
 
 
-def figure7f_min_query(
-    seed: int = 9, n_points: int = 8, repetitions: int = 5
-) -> ExperimentResult:
-    """Figure 7(f): MIN query trust-based reporting."""
-    return _extreme_experiment("min", seed, n_points, repetitions)
+_register_extreme("figure7e", "fig7e", "max", "fig7e")
+_register_extreme("figure7f", "fig7f", "min", "fig7f")
 
 
 # ---------------------------------------------------------------------- #
@@ -507,35 +725,49 @@ def _static_bucket_estimators() -> dict[str, SumEstimator]:
     }
 
 
-def figure8_static_buckets_real(
-    seed: int = 42, n_points: int = 8
-) -> ExperimentResult:
-    """Figure 8: static vs dynamic buckets on the tech-employment data."""
-    dataset = generate_us_tech_employment(seed=seed)
-    return _replay_dataset(
-        dataset,
-        "fig8",
-        "Static vs dynamic buckets on US tech employment (skewed, correlated)",
-        _static_bucket_estimators(),
-        n_points,
-    )
+_register_dataset_replay(
+    "figure8", "fig8", "fig8",
+    "Static vs dynamic buckets on US tech employment (skewed, correlated)",
+    "us-tech-employment", default_seed=42, default_n_points=8,
+    default_estimators_factory=_static_bucket_estimators,
+)
 
 
-def figure9_static_buckets_synthetic(
-    seed: int = 13, n_points: int = 8
-) -> ExperimentResult:
-    """Figure 9: static vs dynamic buckets under uniform publicity."""
+def _figure9_cell(cell, seed, shared):
     scenario = get_scenario("static-bucket-uniform")
-    run = scenario.run(seed=seed)
-    runner = ProgressiveRunner(_static_bucket_estimators())
-    step = max(1, run.total_observations // n_points)
-    result = runner.run(run, step=step)
-    return ExperimentResult(
-        experiment="fig9",
-        description="Static vs dynamic buckets under uniform publicity",
-        rows=_progressive_rows(result),
-        parameters={"seed": seed},
-        progressive={"static-bucket-uniform": result},
+    run = scenario.run(seed=cell["seed"])
+    runner = ProgressiveRunner(shared["estimators"])
+    step = max(1, run.total_observations // cell["n_points"])
+    return runner.run(run, step=step)
+
+
+@register_experiment(
+    "figure9",
+    summary="static vs dynamic buckets under uniform publicity",
+    params=(
+        ParamSpec("seed", int, default=13, doc=_SEED_DOC),
+        _n_points_param(8),
+    ),
+    aliases=("fig9",),
+    default_estimators=_static_bucket_estimators,
+)
+def _plan_figure9(params, estimators):
+    cell = {"seed": params["seed"], "n_points": params["n_points"]}
+
+    def reduce(results):
+        return ExperimentResult(
+            experiment="fig9",
+            description="Static vs dynamic buckets under uniform publicity",
+            rows=_progressive_rows(results[0]),
+            parameters={"seed": params["seed"]},
+            progressive={"static-bucket-uniform": results[0]},
+        )
+
+    return ExperimentPlan(
+        cells=[cell],
+        cell_fn=_figure9_cell,
+        reduce_fn=reduce,
+        shared={"estimators": estimators},
     )
 
 
@@ -544,12 +776,19 @@ def figure9_static_buckets_synthetic(
 # ---------------------------------------------------------------------- #
 
 
-def figure10_combined_estimators(
-    seed: int = 42, n_points: int = 6, mc_runs: int = 2
-) -> ExperimentResult:
-    """Figure 10: bucket+frequency and Monte-Carlo+bucket combinations."""
-    dataset = generate_us_tech_employment(seed=seed, n_answers=300)
-    estimators: dict[str, SumEstimator] = {
+@register_experiment(
+    "figure10",
+    summary="bucket+frequency and Monte-Carlo+bucket combinations",
+    params=(
+        ParamSpec("seed", int, default=42, doc="dataset generator seed"),
+        _n_points_param(6),
+        ParamSpec("mc_runs", int, default=2, doc="Monte-Carlo repetitions per grid cell", minimum=1),
+    ),
+    aliases=("fig10",),
+)
+def _plan_figure10(params, estimators):
+    mc_runs = params["mc_runs"]
+    built: dict[str, SumEstimator] = {
         "bucket": BucketEstimator(strategy=DynamicBucketing()),
         "bucket+frequency": BucketEstimator(
             strategy=DynamicBucketing(), base=FrequencyEstimator()
@@ -563,12 +802,16 @@ def figure10_combined_estimators(
             search_base=NaiveEstimator(),
         ),
     }
-    return _replay_dataset(
-        dataset,
-        "fig10",
-        "Combined estimators on US tech employment",
-        estimators,
-        n_points,
+    cell = {
+        "dataset": "us-tech-employment",
+        "kwargs": {"seed": params["seed"], "n_answers": 300},
+        "n_points": params["n_points"],
+    }
+    return ExperimentPlan(
+        cells=[cell],
+        cell_fn=_dataset_replay_cell,
+        reduce_fn=_replay_reduce("fig10", "Combined estimators on US tech employment"),
+        shared={"estimators": built},
     )
 
 
@@ -576,46 +819,60 @@ def figure10_combined_estimators(
 # Appendix E: number of sources (Figure 11)
 # ---------------------------------------------------------------------- #
 
+#: The source counts swept by Figure 11.
+FIGURE11_SOURCE_COUNTS = (2, 3, 4, 5)
 
-def figure11_source_count(
-    seed: int = 17,
-    repetitions: int = 5,
-    estimators: dict[str, SumEstimator] | None = None,
-) -> ExperimentResult:
-    """Figure 11: bucket estimation quality vs the number of sources (w=2..5)."""
-    estimators = estimators or {
+
+def _figure11_default_estimators() -> dict[str, SumEstimator]:
+    return {
         "bucket": BucketEstimator(strategy=DynamicBucketing()),
         "monte-carlo": MonteCarloEstimator(config=MonteCarloConfig(n_runs=2), seed=0),
     }
-    rows = []
-    for w in (2, 3, 4, 5):
-        scenario = get_scenario(f"sources-w{w}")
-        rngs = spawn_rngs(seed + w, repetitions)
-        finals: dict[str, list[float]] = {key: [] for key in estimators}
-        truths = []
-        observed = []
-        for rng in rngs:
-            run = scenario.run(seed=rng)
-            sample = run.sample()
-            truths.append(run.population.true_sum(scenario.attribute))
-            observed.append(sample.sum(scenario.attribute))
-            for key, estimator in estimators.items():
-                estimate = estimator.estimate(sample, scenario.attribute)
-                finals[key].append(estimate.corrected)
-        row: dict[str, Any] = {
-            "n_sources": w,
-            "ground_truth": float(np.mean(truths)),
-            "observed": float(np.mean(observed)),
-        }
-        for key, values in finals.items():
-            finite = [v for v in values if math.isfinite(v)]
-            row[key] = float(np.mean(finite)) if finite else float("inf")
-        rows.append(row)
-    return ExperimentResult(
-        experiment="fig11",
-        description="More independent sources -> better bucket estimates",
-        rows=rows,
-        parameters={"repetitions": repetitions, "seed": seed},
+
+
+@register_experiment(
+    "figure11",
+    summary="bucket estimation quality vs the number of sources (w=2..5)",
+    params=(
+        ParamSpec("seed", int, default=17, doc=_SEED_DOC),
+        _repetitions_param(5, "independent runs per source count (paper: 50)"),
+    ),
+    aliases=("fig11",),
+    default_estimators=_figure11_default_estimators,
+)
+def _plan_figure11(params, estimators):
+    repetitions = params["repetitions"]
+    # Cells are (scenario, repetition) pairs; the harness keys each cell's
+    # SeedSequence child by its index here, so every (w, repetition) pair
+    # draws an independent stream.  (The pre-harness driver seeded the w
+    # sweep with ``seed + w``, which made adjacent source counts share
+    # repetition streams -- e.g. seed 18's children served both as w=2's
+    # runs and as part of w=3's; fixed by construction now.)
+    cells = [
+        (f"sources-w{w}", repetition)
+        for w in FIGURE11_SOURCE_COUNTS
+        for repetition in range(repetitions)
+    ]
+
+    def reduce(results):
+        rows = []
+        for index, w in enumerate(FIGURE11_SOURCE_COUNTS):
+            chunk = results[index * repetitions : (index + 1) * repetitions]
+            row: dict[str, Any] = {"n_sources": w}
+            row.update(_mean_final_row(chunk))
+            rows.append(row)
+        return ExperimentResult(
+            experiment="fig11",
+            description="More independent sources -> better bucket estimates",
+            rows=rows,
+            parameters={"repetitions": repetitions, "seed": params["seed"]},
+        )
+
+    return ExperimentPlan(
+        cells=cells,
+        cell_fn=_scenario_final_cell,
+        reduce_fn=reduce,
+        shared={"estimators": estimators},
     )
 
 
@@ -624,8 +881,7 @@ def figure11_source_count(
 # ---------------------------------------------------------------------- #
 
 
-def table2_toy_example() -> ExperimentResult:
-    """Table 2: exact estimator values on the five-company toy example."""
+def _table2_cell(cell, seed, shared):
     rows = []
     for label, include_fifth in (("4 sources", False), ("5 sources", True)):
         sample = toy_sample(include_fifth=include_fifth)
@@ -642,9 +898,193 @@ def table2_toy_example() -> ExperimentResult:
                 "ground_truth": TOY_GROUND_TRUTH,
             }
         )
-    return ExperimentResult(
-        experiment="table2",
-        description="Appendix F toy example: exact estimator outputs",
-        rows=rows,
-        parameters={},
+    return rows
+
+
+@register_experiment(
+    "table2",
+    summary="Appendix F toy example: exact estimator outputs",
+)
+def _plan_table2(params, estimators):
+    def reduce(results):
+        return ExperimentResult(
+            experiment="table2",
+            description="Appendix F toy example: exact estimator outputs",
+            rows=results[0],
+            parameters={},
+        )
+
+    return ExperimentPlan(cells=[{}], cell_fn=_table2_cell, reduce_fn=reduce)
+
+
+# ---------------------------------------------------------------------- #
+# Legacy driver functions (thin wrappers over the harness)
+# ---------------------------------------------------------------------- #
+
+
+def figure2_observed_gap(seed: int | None = None, n_points: int | None = None) -> ExperimentResult:
+    """Figure 2: observed SUM(employees) vs ground truth over time."""
+    return run_experiment("figure2", seed=seed, n_points=n_points)
+
+
+def figure4_tech_employment(
+    seed: int | None = None,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int | None = None,
+) -> ExperimentResult:
+    """Figure 4: SUM(employees) estimates over the crowd-answer stream."""
+    return run_experiment("figure4", seed=seed, n_points=n_points, estimators=estimators)
+
+
+def figure5a_tech_revenue(
+    seed: int | None = None,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int | None = None,
+) -> ExperimentResult:
+    """Figure 5(a): SUM(revenue) estimates over the crowd-answer stream."""
+    return run_experiment("figure5a", seed=seed, n_points=n_points, estimators=estimators)
+
+
+def figure5b_us_gdp(
+    seed: int | None = None,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int | None = None,
+) -> ExperimentResult:
+    """Figure 5(b): SUM(gdp) with a streaker worker at the beginning."""
+    return run_experiment("figure5b", seed=seed, n_points=n_points, estimators=estimators)
+
+
+def figure5c_proton_beam(
+    seed: int | None = None,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int | None = None,
+) -> ExperimentResult:
+    """Figure 5(c): SUM(participants) with no known ground truth."""
+    return run_experiment("figure5c", seed=seed, n_points=n_points, estimators=estimators)
+
+
+def figure6_synthetic_grid(
+    repetitions: int | None = None,
+    seed: int | None = None,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int | None = None,
+    scenario_names: list[str] | None = None,
+) -> ExperimentResult:
+    """Figure 6: estimator quality across publicity skew, correlation and #sources.
+
+    The paper repeats every configuration 50 times; ``repetitions`` scales
+    that down by default (pass 50 for paper scale -- and a ``backend=`` to
+    :func:`~repro.evaluation.harness.run_experiment` to parallelize it).
+    """
+    return run_experiment(
+        "figure6",
+        repetitions=repetitions,
+        seed=seed,
+        n_points=n_points,
+        scenarios=",".join(scenario_names) if scenario_names else None,
+        estimators=estimators,
     )
+
+
+def figure7a_streakers_only(
+    seed: int | None = None,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int | None = None,
+    n_streakers: int | None = None,
+) -> ExperimentResult:
+    """Figure 7(a): every source successively contributes the whole population."""
+    return run_experiment(
+        "figure7a",
+        seed=seed,
+        n_points=n_points,
+        n_streakers=n_streakers,
+        estimators=estimators,
+    )
+
+
+def figure7b_streaker_injected(
+    seed: int | None = None,
+    estimators: dict[str, SumEstimator] | None = None,
+    n_points: int | None = None,
+    inject_at: int | None = None,
+) -> ExperimentResult:
+    """Figure 7(b): one streaker dumps the whole population at n = 160."""
+    return run_experiment(
+        "figure7b",
+        seed=seed,
+        n_points=n_points,
+        inject_at=inject_at,
+        estimators=estimators,
+    )
+
+
+def figure7c_upper_bound(
+    seed: int | None = None,
+    n_points: int | None = None,
+    epsilon: float | None = None,
+    z: float | None = None,
+) -> ExperimentResult:
+    """Figure 7(f): the SUM upper bound is loose but tightens with more data."""
+    return run_experiment("figure7c", seed=seed, n_points=n_points, epsilon=epsilon, z=z)
+
+
+def figure7d_avg_query(
+    seed: int | None = None, n_points: int | None = None
+) -> ExperimentResult:
+    """Figure 7(c in the text, d in the layout): bucket-corrected AVG query."""
+    return run_experiment("figure7d", seed=seed, n_points=n_points)
+
+
+def figure7e_max_query(
+    seed: int | None = None,
+    n_points: int | None = None,
+    repetitions: int | None = None,
+) -> ExperimentResult:
+    """Figure 7(e): MAX query trust-based reporting."""
+    return run_experiment("figure7e", seed=seed, n_points=n_points, repetitions=repetitions)
+
+
+def figure7f_min_query(
+    seed: int | None = None,
+    n_points: int | None = None,
+    repetitions: int | None = None,
+) -> ExperimentResult:
+    """Figure 7(f): MIN query trust-based reporting."""
+    return run_experiment("figure7f", seed=seed, n_points=n_points, repetitions=repetitions)
+
+
+def figure8_static_buckets_real(
+    seed: int | None = None, n_points: int | None = None
+) -> ExperimentResult:
+    """Figure 8: static vs dynamic buckets on the tech-employment data."""
+    return run_experiment("figure8", seed=seed, n_points=n_points)
+
+
+def figure9_static_buckets_synthetic(
+    seed: int | None = None, n_points: int | None = None
+) -> ExperimentResult:
+    """Figure 9: static vs dynamic buckets under uniform publicity."""
+    return run_experiment("figure9", seed=seed, n_points=n_points)
+
+
+def figure10_combined_estimators(
+    seed: int | None = None, n_points: int | None = None, mc_runs: int | None = None
+) -> ExperimentResult:
+    """Figure 10: bucket+frequency and Monte-Carlo+bucket combinations."""
+    return run_experiment("figure10", seed=seed, n_points=n_points, mc_runs=mc_runs)
+
+
+def figure11_source_count(
+    seed: int | None = None,
+    repetitions: int | None = None,
+    estimators: dict[str, SumEstimator] | None = None,
+) -> ExperimentResult:
+    """Figure 11: bucket estimation quality vs the number of sources (w=2..5)."""
+    return run_experiment(
+        "figure11", seed=seed, repetitions=repetitions, estimators=estimators
+    )
+
+
+def table2_toy_example() -> ExperimentResult:
+    """Table 2: exact estimator values on the five-company toy example."""
+    return run_experiment("table2")

@@ -108,6 +108,7 @@ class TestDispatch:
         assert result_kinds() == [
             "estimate",
             "estimate-series",
+            "experiment-result",
             "progressive-result",
             "query-result",
             "session-snapshot",

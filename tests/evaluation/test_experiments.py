@@ -143,6 +143,30 @@ class TestAppendixExperiments:
         if 2 in errors and 5 in errors:
             assert errors[5] <= errors[2] + 0.25
 
+    def test_figure11_per_cell_seed_derivation_pinned(self):
+        """Pin the post-harness figure-11 streams (intentional change).
+
+        The pre-harness driver seeded each source-count sweep with
+        ``seed + w``, so adjacent source counts shared repetition streams
+        (w=2's children under seed 19 were also w=3's under its own base).
+        The harness derives every (w, repetition) cell from a SeedSequence
+        child keyed by the global cell index instead; these values pin the
+        new, properly independent streams.
+        """
+        result = experiments.figure11_source_count(
+            seed=17, repetitions=2, estimators={"bucket": BucketEstimator()}
+        )
+        observed = {row["n_sources"]: row["observed"] for row in result.rows}
+        bucket = {row["n_sources"]: row["bucket"] for row in result.rows}
+        assert observed == pytest.approx(
+            {2: 44105.0, 3: 48045.0, 4: 47820.0, 5: 48865.0}
+        )
+        assert bucket == pytest.approx(
+            {2: 56351.128, 3: 56624.8696, 4: 51433.1435, 5: 50962.2978}, abs=1e-3
+        )
+        for row in result.rows:
+            assert row["ground_truth"] == pytest.approx(50500.0)
+
     def test_table2_matches_paper(self):
         result = experiments.table2_toy_example()
         before, after = result.rows

@@ -7,7 +7,8 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import build_parser, main
+from repro.evaluation.harness import list_experiments
 
 
 @pytest.fixture
@@ -68,11 +69,17 @@ class TestParser:
 
     def test_experiment_choices_cover_all_figures(self):
         expected = {
+            "figure2", "figure4", "figure5a", "figure5b", "figure5c", "figure6",
+            "figure7a", "figure7b", "figure7c", "figure7d", "figure7e", "figure7f",
+            "figure8", "figure9", "figure10", "figure11", "table2",
+        }
+        assert set(list_experiments()) == expected
+        # The historical short names stay valid as aliases.
+        aliases = set(list_experiments(include_aliases=True)) - expected
+        assert aliases == {
             "fig2", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b",
             "fig7c", "fig7d", "fig7e", "fig7f", "fig8", "fig9", "fig10", "fig11",
-            "table2",
         }
-        assert set(EXPERIMENTS) == expected
 
 
 class TestEstimateCommand:
@@ -249,3 +256,53 @@ class TestExperimentCommand:
         rows = list(csv.DictReader(output.open()))
         assert len(rows) == 2
         assert float(rows[0]["bucket"]) == pytest.approx(14500.0, abs=1.0)
+
+    def test_experiment_flags_and_json_format(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "figure6",
+                "--repetitions",
+                "2",
+                "--estimators",
+                "naive",
+                "bucket",
+                "--set",
+                "scenarios=ideal-w10",
+                "--backend",
+                "serial",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "experiment-result"
+        assert payload["experiment"] == "fig6"
+        assert payload["parameters"]["repetitions"] == 2
+        assert [row["scenario"] for row in payload["rows"]] == ["ideal-w10"]
+        assert {"naive", "bucket"} <= set(payload["rows"][0])
+
+    def test_experiment_alias_accepted(self, capsys):
+        code = main(["experiment", "fig6", "--repetitions", "1",
+                     "--estimators", "naive", "--set", "scenarios=ideal-w10"])
+        assert code == 0
+        assert "ideal-w10" in capsys.readouterr().out
+
+    def test_describe_prints_parameter_spec(self, capsys):
+        code = main(["experiment", "figure11", "--describe"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure11"]["accepts_estimators"] is True
+        names = [param["name"] for param in payload["figure11"]["params"]]
+        assert names == ["seed", "repetitions"]
+
+    def test_unknown_parameter_is_reported(self, capsys):
+        code = main(["experiment", "table2", "--seed", "3"])
+        assert code == 2
+        assert "unknown parameter" in capsys.readouterr().err
+
+    def test_malformed_set_is_reported(self, capsys):
+        code = main(["experiment", "figure6", "--set", "oops"])
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
