@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Serving throughput benchmark: cold vs warm-cache requests per second.
+
+A closed-loop load generator against a live :mod:`repro.serving` HTTP
+server (in-process, ephemeral port, so the numbers include the full
+stdlib HTTP stack):
+
+* ``estimate-cold``: every request follows an ingest, so the state
+  version has moved and the answer cache *must* miss -- each request
+  pays one full estimator run.
+* ``estimate-warm``: repeated identical requests at a fixed state
+  version -- after the first, every request is a cache hit, i.e. an LRU
+  lookup plus JSON I/O.
+* ``query-warm``: the same discipline for an open-world SQL query.
+* ``mixed``: a 9:1 read:ingest loop, the serving regime the cache
+  discipline is designed for.
+
+The warm/cold ratio is the benchmark's headline number: the acceptance
+bar (enforced here with ``--min-warm-ratio``, default 10) is that a
+warm-cache estimate is at least 10x the cold throughput.
+
+Run standalone to emit ``BENCH_serving_throughput.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py [--quick]
+
+``--quick`` shrinks request counts and Monte-Carlo settings for CI;
+``benchmarks/compare_bench.py`` gates the ``seconds`` cells against the
+committed ``BENCH_serving_throughput_quick.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.serving.http import make_server
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_serving_throughput.json"
+)
+
+#: The estimator the benchmark serves.  Monte-Carlo with enough work that
+#: a cold request visibly costs something; quick mode shrinks the grid.
+PAPER_SPEC = "monte-carlo?seed=1&n_runs=10&n_count_steps=20"
+QUICK_SPEC = "monte-carlo?seed=1&n_runs=5&n_count_steps=10"
+
+#: Closed-loop request counts per workload.
+PAPER_REQUESTS = {"cold": 40, "warm": 2000, "query": 1000, "mixed": 400}
+QUICK_REQUESTS = {"cold": 8, "warm": 300, "query": 200, "mixed": 80}
+
+
+def observation_bodies(n_entities: int, n_sources: int) -> list[dict]:
+    """A deterministic synthetic mention stream (no RNG needed)."""
+    bodies = []
+    for source in range(n_sources):
+        for entity in range(n_entities):
+            # Skewed publicity: entity frequencies step down from
+            # n_sources mentions to a long tail of singletons.
+            if source < n_sources - (entity % n_sources):
+                bodies.append(
+                    {
+                        "entity_id": f"e{entity}",
+                        "source_id": f"s{source}",
+                        "attributes": {"value": float(10 + (entity * 7) % 90)},
+                    }
+                )
+    return bodies
+
+
+class Client:
+    """Minimal keep-alive-free JSON client for the closed loop."""
+
+    def __init__(self, base: str) -> None:
+        self.base = base
+
+    def request(self, method: str, path: str, body: "dict | None" = None) -> bytes:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.read()
+
+
+def timed_loop(fn, count: int) -> float:
+    """Run ``fn(i)`` ``count`` times; return the wall time."""
+    start = time.perf_counter()
+    for index in range(count):
+        fn(index)
+    return time.perf_counter() - start
+
+
+def run_benchmark(quick: bool) -> dict:
+    spec = QUICK_SPEC if quick else PAPER_SPEC
+    requests = QUICK_REQUESTS if quick else PAPER_REQUESTS
+    server = make_server()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = Client(f"http://{host}:{port}")
+    workloads = []
+    try:
+        client.request(
+            "POST",
+            "/sessions",
+            {"name": "bench", "attribute": "value", "estimator": spec},
+        )
+        seed = observation_bodies(240, 16)
+        client.request("POST", "/sessions/bench/ingest", {"observations": seed})
+        # Drip observations reserved for the cold loop's version bumps.
+        drip = observation_bodies(10, 2)
+
+        def cold(index: int) -> None:
+            client.request(
+                "POST",
+                "/sessions/bench/ingest",
+                {"observations": [drip[index % len(drip)]]},
+            )
+            client.request("GET", "/sessions/bench/estimate")
+
+        cold_seconds = timed_loop(cold, requests["cold"])
+        cold_rps = requests["cold"] / cold_seconds
+        workloads.append(
+            {
+                "workload": "estimate-cold",
+                "requests": requests["cold"],
+                "seconds": round(cold_seconds, 6),
+                "req_per_s": round(cold_rps, 2),
+            }
+        )
+
+        warm_seconds = timed_loop(
+            lambda i: client.request("GET", "/sessions/bench/estimate"),
+            requests["warm"],
+        )
+        warm_rps = requests["warm"] / warm_seconds
+        workloads.append(
+            {
+                "workload": "estimate-warm",
+                "requests": requests["warm"],
+                "seconds": round(warm_seconds, 6),
+                "req_per_s": round(warm_rps, 2),
+            }
+        )
+
+        query_body = {"sql": "SELECT AVG(value) FROM data WHERE value > 20"}
+        query_seconds = timed_loop(
+            lambda i: client.request("POST", "/sessions/bench/query", query_body),
+            requests["query"],
+        )
+        workloads.append(
+            {
+                "workload": "query-warm",
+                "requests": requests["query"],
+                "seconds": round(query_seconds, 6),
+                "req_per_s": round(requests["query"] / query_seconds, 2),
+            }
+        )
+
+        def mixed(index: int) -> None:
+            if index % 10 == 9:
+                client.request(
+                    "POST",
+                    "/sessions/bench/ingest",
+                    {"observations": [drip[index % len(drip)]]},
+                )
+            elif index % 2:
+                client.request("GET", "/sessions/bench/estimate")
+            else:
+                client.request("POST", "/sessions/bench/query", query_body)
+
+        mixed_seconds = timed_loop(mixed, requests["mixed"])
+        workloads.append(
+            {
+                "workload": "mixed-9r1w",
+                "requests": requests["mixed"],
+                "seconds": round(mixed_seconds, 6),
+                "req_per_s": round(requests["mixed"] / mixed_seconds, 2),
+            }
+        )
+
+        stats = json.loads(client.request("GET", "/stats"))
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+
+    return {
+        "benchmark": "serving_throughput",
+        "mode": "quick" if quick else "paper-scale",
+        "mc_settings": spec,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "warm_over_cold": round(warm_rps / cold_rps, 2),
+        "workloads": workloads,
+        "cache": stats["answer_cache"],
+        "coalescer": stats["coalescer"],
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument(
+        "--min-warm-ratio",
+        type=float,
+        default=10.0,
+        help=(
+            "fail unless warm-cache estimate throughput is at least this "
+            "multiple of cold (0 disables the check)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.quick)
+    output = args.output or DEFAULT_OUTPUT
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {output}")
+    if args.min_warm_ratio and payload["warm_over_cold"] < args.min_warm_ratio:
+        print(
+            f"FAIL: warm/cold throughput ratio {payload['warm_over_cold']} "
+            f"is below the {args.min_warm_ratio}x acceptance bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Serving smoke driver: HTTP answers vs the in-process facade, via cmp.
+
+Drives a real ``repro.cli serve`` subprocess through the full lifecycle
+-- create, ingest, estimate, query, snapshot -- with plain ``urllib``,
+writing every HTTP response body to ``<outdir>/http_<step>.json`` and
+the byte output of the equivalent in-process
+:class:`~repro.api.session.OpenWorldSession` call to
+``<outdir>/local_<step>.json``.  The CI serving-smoke job then asserts
+``cmp http_<step>.json local_<step>.json`` for every step -- the
+"byte-identical to the facade" acceptance criterion, checked end to end
+through a real socket.
+
+It also exercises the kill-and-restart contract: after the second
+ingest the server is stopped with SIGTERM (graceful shutdown snapshots
+to ``--state-dir``), restarted on the same state dir, and the stream
+continues -- the final answers must be byte-identical to an
+uninterrupted in-process run of the whole stream.
+
+The script self-verifies too (exit 1 on any byte difference), so it
+doubles as a local pre-push check::
+
+    PYTHONPATH=src python scripts/serving_smoke.py --outdir /tmp/smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.api.session import OpenWorldSession
+from repro.data.records import Observation
+from repro.serving.http import dumps_result
+
+ESTIMATOR = "bucket/frequency"
+ATTRIBUTE = "value"
+
+#: Three deterministic stream chunks (entity, source, value).
+CHUNKS = [
+    [("alpha", "s1", 120.0), ("beta", "s1", 80.0), ("alpha", "s2", 120.0)],
+    [("gamma", "s2", 45.0), ("beta", "s3", 80.0), ("delta", "s3", 200.0)],
+    [("alpha", "s4", 120.0), ("epsilon", "s4", 60.0), ("gamma", "s5", 45.0)],
+]
+
+SQL = "SELECT SUM(value) FROM data WHERE value > 50"
+
+
+def to_bodies(chunk):
+    return [
+        {"entity_id": e, "source_id": s, "attributes": {ATTRIBUTE: v}}
+        for e, s, v in chunk
+    ]
+
+
+def to_observations(chunk):
+    return [Observation(e, {ATTRIBUTE: v}, s) for e, s, v in chunk]
+
+
+class ServerProcess:
+    """A ``repro.cli serve`` subprocess plus its READY-line address."""
+
+    def __init__(self, state_dir: Path) -> None:
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--state-dir", str(state_dir)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        deadline = time.time() + 30
+        self.base = None
+        while time.time() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                break
+            print(f"  server: {line.rstrip()}")
+            if line.startswith("READY "):
+                self.base = line.split(None, 1)[1].strip()
+                return
+        raise RuntimeError("server did not print READY within 30s")
+
+    def request(self, method: str, path: str, body=None) -> bytes:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.read()
+
+    def stop(self) -> None:
+        """Graceful SIGTERM shutdown; waits for the state snapshot."""
+        self.process.send_signal(signal.SIGTERM)
+        remaining = self.process.communicate(timeout=30)[0]
+        for line in remaining.splitlines():
+            print(f"  server: {line}")
+        if self.process.returncode != 0:
+            raise RuntimeError(f"server exited with {self.process.returncode}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", type=Path, required=True)
+    args = parser.parse_args()
+    outdir = args.outdir
+    outdir.mkdir(parents=True, exist_ok=True)
+    state_dir = outdir / "state"
+    pairs: list[str] = []
+
+    def record(step: str, http_bytes: bytes, local_bytes: bytes) -> None:
+        (outdir / f"http_{step}.json").write_bytes(http_bytes)
+        (outdir / f"local_{step}.json").write_bytes(local_bytes)
+        pairs.append(step)
+
+    # In-process reference session, fed the identical stream.
+    local = OpenWorldSession(ATTRIBUTE, estimator=ESTIMATOR)
+
+    print("== phase 1: serve, ingest two chunks, answer queries")
+    server = ServerProcess(state_dir)
+    server.request(
+        "POST",
+        "/sessions",
+        {"name": "smoke", "attribute": ATTRIBUTE, "estimator": ESTIMATOR},
+    )
+    for index, chunk in enumerate(CHUNKS[:2]):
+        server.request(
+            "POST", "/sessions/smoke/ingest", {"observations": to_bodies(chunk)}
+        )
+        local.ingest(to_observations(chunk))
+        record(
+            f"estimate_{index}",
+            server.request("GET", "/sessions/smoke/estimate"),
+            dumps_result(local.estimate().to_dict()),
+        )
+    record(
+        "query",
+        server.request("POST", "/sessions/smoke/query", {"sql": SQL}),
+        dumps_result(local.query(SQL).to_dict()),
+    )
+    record(
+        "snapshot_mid",
+        server.request("GET", "/sessions/smoke/snapshot"),
+        dumps_result(local.snapshot().to_dict()),
+    )
+
+    print("== phase 2: SIGTERM (snapshots state), restart, resume the stream")
+    server.stop()
+    server = ServerProcess(state_dir)
+    server.request(
+        "POST", "/sessions/smoke/ingest", {"observations": to_bodies(CHUNKS[2])}
+    )
+    local.ingest(to_observations(CHUNKS[2]))
+    record(
+        "estimate_resumed",
+        server.request("GET", "/sessions/smoke/estimate"),
+        dumps_result(local.estimate().to_dict()),
+    )
+    record(
+        "query_resumed",
+        server.request("POST", "/sessions/smoke/query", {"sql": SQL}),
+        dumps_result(local.query(SQL).to_dict()),
+    )
+    record(
+        "snapshot_final",
+        server.request("GET", "/sessions/smoke/snapshot"),
+        dumps_result(local.snapshot().to_dict()),
+    )
+    server.stop()
+
+    print("== verify: every HTTP body byte-identical to the facade")
+    failures = 0
+    for step in pairs:
+        http_bytes = (outdir / f"http_{step}.json").read_bytes()
+        local_bytes = (outdir / f"local_{step}.json").read_bytes()
+        status = "ok" if http_bytes == local_bytes else "MISMATCH"
+        failures += status != "ok"
+        print(f"  {step:20} {status}")
+    print(f"pairs written to {outdir} ({len(pairs)} steps)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

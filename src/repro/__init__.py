@@ -48,6 +48,10 @@ Package layout
   and the progressive replays, with bit-identical results everywhere.
 * :mod:`repro.query` -- a small aggregate-query engine with closed-world and
   open-world (estimator-corrected) execution.
+* :mod:`repro.serving` -- the concurrent query-serving layer
+  (``python -m repro.cli serve``): named sessions behind reader/writer
+  locks, version-keyed estimate caching, request coalescing, and an HTTP
+  JSON API whose responses are byte-identical to the in-process facade.
 * :mod:`repro.simulation` -- the multi-source sampling simulator used by the
   synthetic experiments.
 * :mod:`repro.datasets` -- synthetic stand-ins for the paper's crowdsourced
@@ -111,7 +115,7 @@ from repro.utils.exceptions import (
     ValidationError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # api

@@ -20,10 +20,25 @@ rely on.
 :meth:`snapshot` / :meth:`restore` serialize the session state through the
 shared result-schema envelope, enabling replay, migration between workers,
 and crash recovery.
+
+Concurrency contract (relied on by :mod:`repro.serving`):
+
+* every ingest that commits observations bumps the monotonic
+  :attr:`state_version` **atomically** with the invalidation of the sample
+  and database caches (one internal lock covers both), so a reader that
+  observes version ``v`` and then reads a cache never sees state from a
+  later version filed under ``v``;
+* concurrent *readers* (``estimate``/``query``/``sample``/``snapshot``) are
+  safe against each other -- cache rebuilds are idempotent and
+  last-writer-wins;
+* a reader concurrent with an *ingest* is not defined here: writers need
+  exclusion against readers, which :class:`repro.serving.registry.
+  ServedSession` provides with a reader/writer lock around this class.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
@@ -38,9 +53,15 @@ from repro.data.sample import ObservedSample
 from repro.query.database import Database
 from repro.query.executor import ClosedWorldExecutor, OpenWorldExecutor, QueryResult
 from repro.utils.exceptions import InsufficientDataError, ValidationError
+from repro.utils.lru import LRUCache
 from repro.utils.serialization import envelope, unwrap
 
-__all__ = ["OpenWorldSession", "SessionSnapshot"]
+__all__ = ["OpenWorldSession", "SessionSnapshot", "DEFAULT_ESTIMATOR_CACHE_SIZE"]
+
+#: Bound of the per-session built-estimator cache.  Specs are user input
+#: (CLI flags, HTTP query parameters), so the cache must not grow with the
+#: number of distinct specs a long-lived server has ever seen.
+DEFAULT_ESTIMATOR_CACHE_SIZE = 32
 
 
 def _parallel_overrides(
@@ -81,6 +102,11 @@ class SessionSnapshot:
         source id so a restored session can continue their streams.
     n_ingested:
         Number of observations ingested so far.
+    state_version:
+        The session's :attr:`OpenWorldSession.state_version` at snapshot
+        time.  Restoring preserves it, so a server restarted from snapshots
+        resumes with the version numbers its clients (and any
+        version-keyed caches) already hold.
     """
 
     attribute: str
@@ -92,6 +118,7 @@ class SessionSnapshot:
     seed_source_sizes: tuple[int, ...]
     source_sizes: dict[str, int]
     n_ingested: int
+    state_version: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """Strict-JSON representation under the shared result envelope."""
@@ -107,15 +134,23 @@ class SessionSnapshot:
                 "seed_source_sizes": list(self.seed_source_sizes),
                 "source_sizes": self.source_sizes,
                 "n_ingested": self.n_ingested,
+                "state_version": self.state_version,
             },
         )
 
     @classmethod
     def from_dict(cls, payload: "dict[str, Any]") -> "SessionSnapshot":
-        """Rebuild a snapshot serialized with :meth:`to_dict`."""
+        """Rebuild a snapshot serialized with :meth:`to_dict`.
+
+        Payloads written before the ``state_version`` field existed still
+        round-trip: the version defaults to 0 (a fresh counter, exactly what
+        those sessions reported at the time).
+        """
         body = unwrap(payload, "session-snapshot")
         body["seed_source_sizes"] = tuple(body["seed_source_sizes"])
         body["counts"] = {k: int(v) for k, v in body["counts"].items()}
+        body.setdefault("state_version", 0)
+        body["state_version"] = int(body["state_version"])
         return cls(**body)
 
 
@@ -169,10 +204,14 @@ class OpenWorldSession:
         self._state = IntegrationState()
         self._seed_source_sizes: tuple[int, ...] = ()
         self._n_ingested = 0
-        # Caches, invalidated on ingest.
+        # Caches, invalidated on ingest.  The mutation lock makes the
+        # invalidation atomic with the state_version bump (see the module
+        # docstring's concurrency contract).
         self._sample_cache: ObservedSample | None = None
         self._database_cache: Database | None = None
-        self._estimator_cache: dict[str, SumEstimator] = {}
+        self._estimator_cache = LRUCache(DEFAULT_ESTIMATOR_CACHE_SIZE)
+        self._state_version = 0
+        self._mutation_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -240,6 +279,21 @@ class OpenWorldSession:
         return self._n_ingested
 
     @property
+    def state_version(self) -> int:
+        """Monotonic counter bumped by every ingest that commits observations.
+
+        Two reads of the session surface (``sample``/``estimate``/``query``
+        results, snapshots) taken at the same version are guaranteed to
+        describe identical state -- the invariant the serving layer's
+        version-keyed :class:`~repro.serving.cache.EstimateCache` builds on.
+        """
+        return self._state_version
+
+    def estimator_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the bounded built-estimator cache."""
+        return self._estimator_cache.stats()
+
+    @property
     def source_sizes(self) -> tuple[int, ...]:
         """Per-source contribution sizes (seeded sizes first)."""
         return self._seed_source_sizes + tuple(self._state.per_source.values())
@@ -293,9 +347,14 @@ class OpenWorldSession:
         for obs in chunk:
             self._state.integrate(obs, attribute)
         if chunk:
-            self._n_ingested += len(chunk)
-            self._sample_cache = None
-            self._database_cache = None
+            # Atomic with respect to readers: nobody can observe the new
+            # state_version while a stale sample/database cache is still
+            # installed (or vice versa).
+            with self._mutation_lock:
+                self._n_ingested += len(chunk)
+                self._sample_cache = None
+                self._database_cache = None
+                self._state_version += 1
         return len(chunk)
 
     # ------------------------------------------------------------------ #
@@ -408,10 +467,11 @@ class OpenWorldSession:
             parsed = parsed.with_params(
                 **{key: value for key, value in overrides.items() if key in supported}
             )
-        key = parsed.to_string()
-        if key not in self._estimator_cache:
-            self._estimator_cache[key] = parsed.build()
-        return self._estimator_cache[key]
+        # Bounded LRU: a long-lived server accepting arbitrary specs must
+        # not grow this cache without bound.  Building the same spec twice
+        # yields equivalent estimators, so the benign get_or_create race is
+        # harmless.
+        return self._estimator_cache.get_or_create(parsed.to_string(), parsed.build)
 
     # ------------------------------------------------------------------ #
     # Snapshot / restore
@@ -434,6 +494,7 @@ class OpenWorldSession:
             seed_source_sizes=self._seed_source_sizes,
             source_sizes=dict(self._state.per_source),
             n_ingested=self._n_ingested,
+            state_version=self._state_version,
         )
 
     @classmethod
@@ -463,6 +524,7 @@ class OpenWorldSession:
         state.frequencies = dict(Counter(state.counts.values()))
         session._seed_source_sizes = tuple(snapshot.seed_source_sizes)
         session._n_ingested = int(snapshot.n_ingested)
+        session._state_version = int(snapshot.state_version)
         return session
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,12 +1,13 @@
 """Command-line interface for the unknown-unknowns estimators.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     python -m repro.cli estimate  mentions.csv --attribute employees
     python -m repro.cli query     mentions.csv --attribute gdp \
                                   --sql "SELECT SUM(gdp) FROM data WHERE gdp > 100"
     python -m repro.cli dataset   us-tech-employment --step 50
     python -m repro.cli experiment figure6 --repetitions 50 --backend process
+    python -m repro.cli serve     --port 8080 --state-dir ./state
 
 ``estimate`` and ``query`` read a CSV of per-source mentions
 (``entity_id, source_id, <attribute>`` -- see :mod:`repro.data.io`);
@@ -15,6 +16,10 @@ runs one of the registered figure/table experiments
 (:mod:`repro.evaluation.harness`) -- its repetition cells fan out over the
 ``--backend``/``--workers`` execution backend with rows bit-identical to a
 serial run, and ``--describe`` prints the experiment's parameter spec.
+``serve`` runs the concurrent HTTP JSON API (:mod:`repro.serving`): named
+sessions behind reader/writer locks, version-keyed estimate caching,
+request coalescing, and graceful SIGINT/SIGTERM shutdown that snapshots
+every session to ``--state-dir`` and restores them on restart.
 
 Estimators are given as **estimator specs** (see :mod:`repro.api.specs`):
 any registered name (``bucket``, ``monte-carlo``, ...) or a composite
@@ -177,6 +182,31 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--output", help="optional CSV file for the rows")
     _add_parallel_options(experiment)
     _add_format_option(experiment)
+
+    serve = sub.add_parser(
+        "serve", help="serve sessions over the concurrent HTTP JSON API"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port; 0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "directory for session persistence: sessions are restored from "
+            "it on startup and snapshotted back on graceful shutdown"
+        ),
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="LRU bound of the version-keyed answer cache (default: 1024 entries)",
+    )
+    _add_parallel_options(serve)
 
     return parser
 
@@ -395,6 +425,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: the serving stack is only needed by this subcommand,
+    # and the other subcommands must keep working even if an embedding
+    # strips the http.server module.
+    from repro.serving.http import run_server
+
+    return run_server(
+        args.host,
+        args.port,
+        backend=args.backend,
+        workers=args.workers,
+        cache_entries=args.cache_size,
+        state_dir=args.state_dir,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -404,6 +450,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "query": _cmd_query,
         "dataset": _cmd_dataset,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,185 @@
+"""Request coalescing: identical in-flight work computes once.
+
+Under concurrent load the same expensive question arrives many times
+before the first answer is ready -- every client of a popular dashboard
+asks for the same estimate at the same state version.  The cache alone
+does not help there: all of them miss, and without coordination each
+miss would run its own estimator ("cache stampede").  The
+:class:`CoalescingBatcher` closes that gap:
+
+* requests are identified by the same key the cache uses
+  (:func:`repro.serving.cache.request_key`) -- session, state version,
+  kind, spec, detail;
+* the **first** arrival for a key becomes its *leader* and runs the
+  computation; later arrivals for the same key become *followers* and
+  block on the leader's result (or exception) instead of recomputing;
+* **independent** keys submitted together (a multi-spec estimate
+  request) fan out through a :mod:`repro.parallel` execution backend.
+
+Coalescing is sound for exactly the reason version-keyed caching is:
+the key pins the state version, so two requests with equal keys are
+asking for a computation whose inputs are provably identical, and the
+library's estimators are deterministic functions of those inputs.
+
+The fan-out backend defaults to ``serial``; the HTTP server configures
+``thread``.  The ``process`` backend is rejected here: computations
+close over live session objects (locks, caches) that must not be
+pickled into workers -- the heavy inner Monte-Carlo grid shards over
+processes through the estimator spec instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Hashable, Mapping, Sequence
+from typing import Any
+
+from repro.parallel.backends import ExecutionBackend, resolve_backend
+from repro.utils.exceptions import ValidationError
+
+__all__ = ["CoalescingBatcher"]
+
+
+class _Computation:
+    """One in-flight computation: a latch plus its outcome."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: "BaseException | None" = None
+
+    def finish(self, result: Any = None, error: "BaseException | None" = None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+    def wait(self) -> Any:
+        self.done.wait()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+def _run_captured(task: "tuple[Callable[[], Any], _Computation]", shared: Mapping[str, Any]) -> None:
+    """Backend task wrapper: route any outcome into the computation latch.
+
+    Exceptions must never propagate through ``backend.map`` -- that would
+    cancel sibling tasks and leave their followers blocked forever.  Every
+    latch is always released exactly once.
+    """
+    fn, computation = task
+    try:
+        computation.finish(result=fn())
+    except BaseException as exc:  # noqa: BLE001 - latch must always release
+        computation.finish(error=exc)
+
+
+class CoalescingBatcher:
+    """Folds duplicate in-flight requests; fans independent ones out.
+
+    Parameters
+    ----------
+    backend:
+        :mod:`repro.parallel` backend name (or instance) used to fan out
+        the independent computations of one :meth:`execute_many` batch.
+        ``serial`` and ``thread`` only (see module docstring).
+    workers:
+        Worker count for the backend (default: the backend's own default).
+    """
+
+    def __init__(
+        self,
+        backend: "str | ExecutionBackend | None" = "serial",
+        workers: "int | None" = None,
+    ) -> None:
+        name = backend.name if isinstance(backend, ExecutionBackend) else backend
+        if name == "process":
+            raise ValidationError(
+                "the coalescing batcher cannot fan out over the 'process' "
+                "backend: computations hold live session state that must "
+                "not be pickled; use 'thread' (and shard the Monte-Carlo "
+                "grid over processes via the estimator spec instead)"
+            )
+        self._backend = backend
+        self._workers = workers
+        self._lock = threading.Lock()
+        self._in_flight: dict[Hashable, _Computation] = {}
+        self._computed = 0
+        self._coalesced = 0
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, key: Hashable, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` for ``key``, or wait for an identical in-flight run."""
+        return self.execute_many([(key, fn)])[0]
+
+    def execute_many(
+        self, pairs: "Sequence[tuple[Hashable, Callable[[], Any]]]"
+    ) -> list[Any]:
+        """Run a batch of keyed computations; results in request order.
+
+        Within the batch (and against already in-flight requests from
+        other threads) duplicate keys compute once; the distinct
+        computations this thread leads are fanned out through the
+        configured execution backend.  Any computation's exception is
+        re-raised to every requester that folded into it.
+        """
+        if not pairs:
+            return []
+        led: list[tuple[Callable[[], Any], _Computation]] = []
+        computations: list[_Computation] = []
+        with self._lock:
+            for key, fn in pairs:
+                computation = self._in_flight.get(key)
+                if computation is None:
+                    computation = _Computation()
+                    self._in_flight[key] = computation
+                    led.append((fn, computation))
+                    self._computed += 1
+                else:
+                    self._coalesced += 1
+                computations.append(computation)
+        try:
+            if len(led) == 1:
+                # The common single-request path stays in the calling
+                # thread: no backend round-trip on every cache miss.
+                _run_captured(led[0], {})
+            elif led:
+                backend = resolve_backend(self._backend, self._workers)
+                backend.map(_run_captured, led)
+        finally:
+            # Leaders leave the in-flight table only after their latch is
+            # released (or the fan-out itself died -- release the latches
+            # so no follower blocks forever).
+            with self._lock:
+                for fn, computation in led:
+                    if not computation.done.is_set():  # fan-out crashed
+                        computation.finish(
+                            error=RuntimeError("coalesced computation never ran")
+                        )
+                for key, computation in list(self._in_flight.items()):
+                    if computation.done.is_set():
+                        del self._in_flight[key]
+        return [computation.wait() for computation in computations]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def in_flight(self) -> int:
+        """Number of currently running (not yet published) computations."""
+        with self._lock:
+            return len(self._in_flight)
+
+    def stats(self) -> dict[str, int]:
+        """Counters for ``/stats``: led computations vs folded followers."""
+        with self._lock:
+            return {
+                "computed": self._computed,
+                "coalesced": self._coalesced,
+                "in_flight": len(self._in_flight),
+            }

@@ -1,0 +1,90 @@
+"""Version-keyed estimate/query caching with exact invalidation.
+
+The cache discipline follows the materialized-answer idea: a served
+answer may be reused *only* while the state it was computed from is
+provably unchanged.  Instead of invalidating entries when a session
+ingests (which would need a reverse index from sessions to keys, and a
+race-free ordering between invalidation and in-flight computations), the
+key itself carries the session's monotonic ``state_version``::
+
+    (session name, state_version, kind, spec, request detail)
+
+An ingest bumps the version, so every key minted before it simply stops
+being *looked up* -- stale entries become unreachable the moment the
+state changes (exact invalidation, no TTLs, no false hits) and age out
+of the LRU bound as fresh traffic displaces them.  The proof obligation
+this rests on is stated in ``DESIGN.md``: a (version, payload) pair is
+only inserted when both were read under one shared-lock acquisition,
+and the version bump is atomic with the session's internal cache
+invalidation.
+
+Payloads are cached in their serialized ``repro.result/v1`` dict form:
+that is what the HTTP layer serves, and it makes the cache-hit contract
+literal -- a hit returns byte-identical JSON to the miss that populated
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.utils.lru import LRUCache
+
+__all__ = ["EstimateCache", "DEFAULT_CACHE_ENTRIES", "request_key"]
+
+#: Default capacity of a serving process's answer cache.  Entries are
+#: serialized result dicts (a few hundred bytes to a few KB each).
+DEFAULT_CACHE_ENTRIES = 1024
+
+
+def request_key(
+    session: str,
+    state_version: int,
+    kind: str,
+    spec: "str | None",
+    detail: "str | None" = None,
+) -> tuple[str, int, str, str, str]:
+    """The canonical cache/coalescing key of one serveable computation.
+
+    ``session`` is the *epoch-qualified* session identity
+    (``name#epoch``, see :class:`~repro.serving.registry.ServedSession`):
+    a deleted-and-recreated name restarts its version counter, so the
+    bare name would collide across instance generations.
+    ``kind`` distinguishes the computation family ("estimate" vs "query"),
+    ``spec`` is the canonical estimator spec string (``""`` when the
+    session's built-in default estimator instance is used), and ``detail``
+    carries the request-specific remainder -- the aggregated attribute for
+    estimates, the SQL text (plus the closed-world flag) for queries.
+    """
+    return (session, int(state_version), kind, spec or "", detail or "")
+
+
+class EstimateCache:
+    """LRU-bounded cache of serialized answers, keyed by state version.
+
+    A thin domain wrapper over :class:`~repro.utils.lru.LRUCache`: the
+    value added here is the key discipline (see module docstring) and the
+    shared statistics surface for ``/stats``.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        self._cache = LRUCache(max_entries)
+
+    def get(self, key: "tuple[str, int, str, str, str]") -> "dict[str, Any] | None":
+        """The cached payload for ``key``, or ``None`` (payloads are dicts)."""
+        return self._cache.get(key)
+
+    def put(self, key: "tuple[str, int, str, str, str]", payload: "dict[str, Any]") -> None:
+        """Cache ``payload`` under ``key``."""
+        self._cache.put(key, payload)
+
+    def clear(self) -> None:
+        """Drop every cached answer (statistics are kept)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters (the ``/stats`` ``answer_cache`` block)."""
+        return self._cache.stats()

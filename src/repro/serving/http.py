@@ -1,0 +1,420 @@
+"""The HTTP JSON API: a thin, envelope-faithful skin over the registry.
+
+Stdlib only (:class:`http.server.ThreadingHTTPServer` -- one thread per
+connection, which is exactly the concurrency model the
+:class:`~repro.serving.registry.ServedSession` locks and the
+:class:`~repro.serving.batcher.CoalescingBatcher` are built for).
+
+Routes::
+
+    GET    /healthz                      liveness + session count
+    GET    /stats                        caches, coalescer, per-session stats
+    GET    /sessions                     list session descriptions
+    POST   /sessions                     create {"name", "attribute", ...}
+    DELETE /sessions/<name>              forget a session
+    POST   /sessions/<name>/ingest       {"observations": [{...}, ...]}
+    GET    /sessions/<name>/estimate     ?spec=...&attribute=... (spec repeatable)
+    POST   /sessions/<name>/query        {"sql", "spec"?, "closed_world"?}
+    GET    /sessions/<name>/snapshot     the session-snapshot envelope
+
+Estimate, query and snapshot responses are the ``repro.result/v1``
+payloads of the equivalent :class:`~repro.api.session.OpenWorldSession`
+calls, serialized by :func:`dumps_result` -- the same function any
+in-process comparison should use, so "byte-identical to the facade" is
+checkable with ``cmp`` (the CI serving-smoke job does exactly that).
+
+:func:`run_server` is the CLI's entry point: it restores sessions from
+``--state-dir``, serves until SIGINT/SIGTERM, then snapshots every
+session back to the state dir before exiting.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.data.records import Observation
+from repro.serving.registry import (
+    DuplicateSessionError,
+    SessionRegistry,
+    UnknownSessionError,
+)
+from repro.utils.exceptions import InsufficientDataError, ReproError, ValidationError
+
+__all__ = ["ReproServer", "dumps_result", "make_server", "run_server"]
+
+#: Request bodies beyond this are refused (64 MiB of observations is far
+#: outside one ingest chunk; it protects the server, not a workload).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def dumps_result(payload: Any) -> bytes:
+    """The serving wire format of a result payload (newline-terminated).
+
+    One function, used by the handler *and* by anything comparing served
+    bytes against in-process results, so byte-identity is a property of
+    the payload alone.
+    """
+    return (json.dumps(payload, indent=2, allow_nan=False) + "\n").encode("utf-8")
+
+
+def observations_from_json(items: Any) -> list[Observation]:
+    """Decode the ``observations`` array of an ingest body."""
+    if not isinstance(items, list):
+        raise ValidationError(
+            "ingest expects {'observations': [...]}, got "
+            f"{type(items).__name__} for the array"
+        )
+    observations = []
+    for index, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise ValidationError(
+                f"observation #{index} must be an object, got {type(item).__name__}"
+            )
+        unknown = set(item) - {"entity_id", "source_id", "attributes", "sequence"}
+        if unknown:
+            raise ValidationError(
+                f"observation #{index} has unknown fields: {', '.join(sorted(unknown))}"
+            )
+        try:
+            observations.append(
+                Observation(
+                    entity_id=item.get("entity_id", ""),
+                    attributes=item.get("attributes", {}),
+                    source_id=item.get("source_id", "unknown"),
+                    sequence=int(item.get("sequence", -1)),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"observation #{index} is malformed: {exc}") from exc
+    return observations
+
+
+class ReproServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` carrying the registry as app state."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], registry: SessionRegistry) -> None:
+        super().__init__(address, _Handler)
+        self.registry = registry
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serving/1"
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default: one log line per request at this layer would
+    # dominate the serving benchmark's hot loop.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------ #
+    # HTTP verbs
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            split = urlsplit(self.path)
+            parts = [p for p in split.path.split("/") if p]
+            query = parse_qs(split.query, keep_blank_values=False)
+            handler = self._route(method, parts)
+            if handler is None:
+                raise _RouteError(404, f"no route {method} {split.path}")
+            handler(parts, query)
+        except _RouteError as exc:
+            self._send_error(exc.status, str(exc))
+        except (UnknownSessionError, InsufficientDataError) as exc:
+            self._send_error(404, str(exc))
+        except DuplicateSessionError as exc:
+            self._send_error(409, str(exc))
+        except ReproError as exc:
+            self._send_error(400, str(exc))
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_error(500, f"internal error: {type(exc).__name__}: {exc}")
+
+    def _route(self, method: str, parts: list[str]):
+        registry_routes = {
+            ("GET", ("healthz",)): self._get_healthz,
+            ("GET", ("stats",)): self._get_stats,
+            ("GET", ("sessions",)): self._get_sessions,
+            ("POST", ("sessions",)): self._post_sessions,
+        }
+        key = (method, tuple(parts))
+        if key in registry_routes:
+            return registry_routes[key]
+        if len(parts) == 2 and parts[0] == "sessions" and method == "DELETE":
+            return self._delete_session
+        if len(parts) == 3 and parts[0] == "sessions":
+            action = (method, parts[2])
+            session_routes = {
+                ("POST", "ingest"): self._post_ingest,
+                ("GET", "estimate"): self._get_estimate,
+                ("POST", "query"): self._post_query,
+                ("GET", "snapshot"): self._get_snapshot,
+            }
+            return session_routes.get(action)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Registry routes
+    # ------------------------------------------------------------------ #
+
+    def _get_healthz(self, parts, query) -> None:
+        self._send_json(
+            200, {"status": "ok", "sessions": len(self.server.registry)}
+        )
+
+    def _get_stats(self, parts, query) -> None:
+        self._send_json(200, self.server.registry.stats())
+
+    def _get_sessions(self, parts, query) -> None:
+        registry = self.server.registry
+        self._send_json(
+            200, {"sessions": [served.info() for served in registry.sessions()]}
+        )
+
+    def _post_sessions(self, parts, query) -> None:
+        body = self._read_json_body()
+        unknown = set(body) - {
+            "name",
+            "attribute",
+            "table_name",
+            "estimator",
+            "count_method",
+        }
+        if unknown:
+            raise ValidationError(
+                f"unknown session fields: {', '.join(sorted(unknown))}"
+            )
+        if "name" not in body or "attribute" not in body:
+            raise ValidationError("creating a session requires 'name' and 'attribute'")
+        served = self.server.registry.create(
+            body["name"],
+            body["attribute"],
+            table_name=body.get("table_name", "data"),
+            estimator=body.get("estimator", "bucket"),
+            count_method=body.get("count_method", "chao92"),
+        )
+        self._send_json(201, served.info())
+
+    def _delete_session(self, parts, query) -> None:
+        self.server.registry.remove(parts[1])
+        self._send_json(200, {"deleted": parts[1]})
+
+    # ------------------------------------------------------------------ #
+    # Session routes
+    # ------------------------------------------------------------------ #
+
+    def _post_ingest(self, parts, query) -> None:
+        served = self.server.registry.get(parts[1])
+        body = self._read_json_body()
+        if set(body) != {"observations"}:
+            raise ValidationError(
+                "ingest expects exactly {'observations': [...]}; got fields "
+                f"{', '.join(sorted(body)) or '(none)'}"
+            )
+        observations = observations_from_json(body["observations"])
+        self._send_json(200, served.ingest(observations))
+
+    def _get_estimate(self, parts, query) -> None:
+        served = self.server.registry.get(parts[1])
+        self._validated_query(query, {"spec", "attribute"})
+        specs: "list[str | None]" = list(query.get("spec", [])) or [None]
+        attribute = self._single(query, "attribute")
+        payloads = served.estimate_payloads(specs, attribute)
+        if len(payloads) == 1:
+            self._send_bytes(200, dumps_result(payloads[0]))
+        else:
+            self._send_bytes(200, dumps_result(payloads))
+
+    def _post_query(self, parts, query) -> None:
+        served = self.server.registry.get(parts[1])
+        body = self._read_json_body()
+        unknown = set(body) - {"sql", "spec", "closed_world"}
+        if unknown:
+            raise ValidationError(f"unknown query fields: {', '.join(sorted(unknown))}")
+        closed_world = body.get("closed_world", False)
+        if not isinstance(closed_world, bool):
+            raise ValidationError("'closed_world' must be a JSON boolean")
+        payload = served.query_payload(
+            body.get("sql", ""), spec=body.get("spec"), closed_world=closed_world
+        )
+        self._send_bytes(200, dumps_result(payload))
+
+    def _get_snapshot(self, parts, query) -> None:
+        served = self.server.registry.get(parts[1])
+        self._send_bytes(200, dumps_result(served.snapshot_payload()))
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def _read_json_body(self) -> dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ValidationError(
+                "Content-Length header is not an integer"
+            ) from None
+        if length <= 0:
+            raise ValidationError("request requires a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise _RouteError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ValidationError("request body must be a JSON object")
+        return body
+
+    @staticmethod
+    def _validated_query(query: dict[str, list[str]], allowed: set[str]) -> None:
+        unknown = set(query) - allowed
+        if unknown:
+            raise ValidationError(
+                f"unknown query parameters: {', '.join(sorted(unknown))}"
+            )
+
+    @staticmethod
+    def _single(query: dict[str, list[str]], key: str) -> "str | None":
+        values = query.get(key, [])
+        if len(values) > 1:
+            raise ValidationError(f"query parameter {key!r} given more than once")
+        return values[0] if values else None
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        self._send_bytes(status, dumps_result(payload))
+
+    def _send_error(self, status: int, message: str) -> None:
+        # An error can fire before the request body was read (unrouted
+        # POST, oversized body, malformed headers), which would leave the
+        # body bytes sitting on the keep-alive connection to be parsed as
+        # the next request line.  Close the connection instead of trying
+        # to drain an arbitrary (possibly lying) Content-Length.
+        self.close_connection = True
+        try:
+            self._send_bytes(status, dumps_result({"error": message}))
+        except BrokenPipeError:  # pragma: no cover - client already gone
+            pass
+
+    def _send_bytes(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class _RouteError(Exception):
+    """An HTTP-status-carrying error outside the ReproError taxonomy."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+# ---------------------------------------------------------------------- #
+# Server lifecycle
+# ---------------------------------------------------------------------- #
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    registry: "SessionRegistry | None" = None,
+    backend: "str | None" = None,
+    workers: "int | None" = None,
+    cache_entries: "int | None" = None,
+    state_dir: "str | None" = None,
+) -> ReproServer:
+    """Build a bound (not yet serving) server; restores ``state_dir``.
+
+    ``port=0`` binds an ephemeral port (tests and the benchmark use
+    this); the bound address is ``server.server_address``.
+    """
+    if registry is None:
+        kwargs: dict[str, Any] = {"backend": backend, "workers": workers}
+        if cache_entries is not None:
+            kwargs["cache_entries"] = cache_entries
+        registry = SessionRegistry(**kwargs)
+    server = ReproServer((host, port), registry)
+    if state_dir:
+        restored = registry.load_state(state_dir)
+        if restored:
+            print(f"restored {len(restored)} session(s): {', '.join(restored)}")
+    return server
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    backend: "str | None" = None,
+    workers: "int | None" = None,
+    cache_entries: "int | None" = None,
+    state_dir: "str | None" = None,
+) -> int:
+    """Serve until SIGINT/SIGTERM, then snapshot sessions to the state dir.
+
+    The serve loop runs on a daemon thread while the main thread waits on
+    the shutdown latch -- signal handlers run on the main thread, and
+    ``HTTPServer.shutdown`` must not be called from the thread running
+    ``serve_forever``.  Prints one ``READY http://host:port`` line once
+    accepting, so wrappers (the CI smoke job, the benchmark) can wait for
+    it instead of polling.
+    """
+    server = make_server(
+        host,
+        port,
+        backend=backend,
+        workers=workers,
+        cache_entries=cache_entries,
+        state_dir=state_dir,
+    )
+    stop = threading.Event()
+    previous_handlers = {}
+
+    def request_shutdown(signum: int, frame: Any) -> None:
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous_handlers[signum] = signal.signal(signum, request_shutdown)
+    serve_thread = threading.Thread(
+        target=server.serve_forever, name="repro-serving", daemon=True
+    )
+    serve_thread.start()
+    bound_host, bound_port = server.server_address[:2]
+    print(f"READY http://{bound_host}:{bound_port}", flush=True)
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        server.shutdown()
+        serve_thread.join()
+        server.server_close()
+        if state_dir:
+            target = server.registry.save_state(state_dir)
+            print(f"saved {len(server.registry)} session(s) to {target}", flush=True)
+    return 0

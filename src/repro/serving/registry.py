@@ -1,0 +1,470 @@
+"""Served sessions and the thread-safe registry that multiplexes them.
+
+:class:`ServedSession` is the concurrency boundary around one
+:class:`~repro.api.session.OpenWorldSession`: a writer-preferring
+reader/writer lock (ingests exclusive, estimates/queries/snapshots
+shared), with every read answer flowing through the server-wide
+version-keyed :class:`~repro.serving.cache.EstimateCache` and
+:class:`~repro.serving.batcher.CoalescingBatcher`.
+
+:class:`SessionRegistry` manages the named sessions of one serving
+process -- creation, lookup, deletion, aggregate statistics -- and the
+state-dir persistence used by graceful shutdown: :meth:`save_state`
+writes every session's snapshot envelope into one atomically-replaced
+JSON file, :meth:`load_state` restores them, preserving each session's
+``state_version`` so restarted servers resume cache-consistent and
+mid-stream ingests continue bit-identically.
+
+Served payloads are the ``repro.result/v1`` dicts of the underlying
+session calls, with one deliberate exception: the ``runtime`` execution
+metadata of an :class:`~repro.core.estimator.Estimate` is nulled.  A
+cache hit must be byte-identical to the miss that populated it, and
+wall times are the one nondeterministic field of an otherwise
+deterministic payload (the experiment harness strips them from its JSON
+for the same reason).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.api.session import OpenWorldSession
+from repro.data.records import Observation
+from repro.serving.batcher import CoalescingBatcher
+from repro.serving.cache import DEFAULT_CACHE_ENTRIES, EstimateCache, request_key
+from repro.serving.locks import RWLock
+from repro.utils.exceptions import ValidationError
+
+__all__ = [
+    "DuplicateSessionError",
+    "UnknownSessionError",
+    "ServedSession",
+    "SessionRegistry",
+    "STATE_SCHEMA",
+    "STATE_FILENAME",
+]
+
+#: Envelope identifier of the registry's persisted state file.
+STATE_SCHEMA = "repro.serving/v1"
+
+#: File the registry writes under ``--state-dir``.
+STATE_FILENAME = "sessions.json"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class DuplicateSessionError(ValidationError):
+    """A session with the requested name already exists (HTTP 409)."""
+
+
+class UnknownSessionError(ValidationError):
+    """No session with the requested name exists (HTTP 404)."""
+
+
+def _served_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Normalize a result payload for serving (null the runtime block)."""
+    if "runtime" in payload:
+        payload = dict(payload)
+        payload["runtime"] = None
+    return payload
+
+
+class ServedSession:
+    """One named session behind a reader/writer lock and the answer cache.
+
+    Parameters
+    ----------
+    name:
+        Registry name.
+    session:
+        The wrapped :class:`OpenWorldSession`.
+    cache / batcher:
+        The server-wide answer cache and coalescer (shared across
+        sessions; keys carry the epoch-qualified session name).
+    epoch:
+        Registry-assigned unique instance number, baked into the cache
+        keys so a recreated name never reaches a predecessor's entries.
+    backend / workers:
+        Optional :mod:`repro.parallel` overrides passed through to
+        ``estimate`` so the Monte-Carlo grid of spec-configured sessions
+        shards across the server's configured backend.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        session: OpenWorldSession,
+        *,
+        cache: EstimateCache,
+        batcher: CoalescingBatcher,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
+        epoch: int = 0,
+    ) -> None:
+        self.name = name
+        self._session = session
+        self._cache = cache
+        self._batcher = batcher
+        self._backend = backend
+        self._workers = workers
+        self._lock = RWLock()
+        # Cache/coalescing keys carry the registry-assigned epoch, not the
+        # bare name: deleting a session and recreating the name must never
+        # let the new instance hit the old instance's entries (their
+        # state_version counters both start at 0).
+        self._cache_name = f"{name}#{epoch}"
+        self._stats_lock = threading.Lock()
+        self._ingest_requests = 0
+        self._read_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, observations: "list[Observation] | Observation") -> dict[str, Any]:
+        """Exclusive ingest; returns the post-ingest version and counts.
+
+        Old cache entries need no explicit purge: they are keyed by the
+        superseded version, unreachable from now on, and will age out of
+        the LRU bound.
+        """
+        with self._lock.write_locked():
+            ingested = self._session.ingest(observations)
+            with self._stats_lock:
+                self._ingest_requests += 1
+            return {
+                "session": self.name,
+                "ingested": ingested,
+                "state_version": self._session.state_version,
+                "n": self._session.n,
+                "c": self._session.c,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Cached, coalesced reads
+    # ------------------------------------------------------------------ #
+
+    def estimate_payload(
+        self, spec: "str | None" = None, attribute: "str | None" = None
+    ) -> dict[str, Any]:
+        """The served ``estimate`` envelope (cache -> coalescer -> session)."""
+        return self.estimate_payloads([spec], attribute)[0]
+
+    def estimate_payloads(
+        self, specs: "list[str | None]", attribute: "str | None" = None
+    ) -> list[dict[str, Any]]:
+        """Several estimator specs against one state, fanned out as a batch.
+
+        Distinct specs run through the batcher's execution backend;
+        duplicate specs (within the batch or already in flight from other
+        requests) compute once.
+        """
+        detail = attribute or self._session.attribute
+        pairs = []
+        results: list[Any] = [None] * len(specs)
+        for index, spec in enumerate(specs):
+            spec_key = self._canonical_spec(spec)
+            key = request_key(
+                self._cache_name, self._session.state_version, "estimate", spec_key, detail
+            )
+            cached = self._cache.get(key)
+            with self._stats_lock:
+                self._read_requests += 1
+            if cached is not None:
+                results[index] = cached
+            else:
+                pairs.append(
+                    (index, key, self._estimate_computation(spec, spec_key, attribute, detail))
+                )
+        if pairs:
+            computed = self._batcher.execute_many([(key, fn) for _, key, fn in pairs])
+            for (index, _, _), payload in zip(pairs, computed):
+                results[index] = payload
+        return results
+
+    def _estimate_computation(self, spec, spec_key, attribute, detail):
+        # backend/workers overrides only apply to spec-configured
+        # estimators; a session built around an estimator *instance*
+        # (in-process embedding only) rejects them.
+        spec_configured = spec is not None or self._session.default_spec is not None
+
+        def compute() -> dict[str, Any]:
+            with self._lock.read_locked():
+                # Version and estimate are read under one shared-lock
+                # acquisition: ingests hold the write side, so this
+                # (version, payload) pair is consistent by construction --
+                # the invariant that makes version-keyed caching exact.
+                version = self._session.state_version
+                estimate = self._session.estimate(
+                    attribute,
+                    spec,
+                    backend=self._backend if spec_configured else None,
+                    workers=self._workers if spec_configured else None,
+                )
+            payload = _served_payload(estimate.to_dict())
+            self._cache.put(
+                request_key(self._cache_name, version, "estimate", spec_key, detail),
+                payload,
+            )
+            return payload
+
+        return compute
+
+    def query_payload(
+        self, sql: str, spec: "str | None" = None, closed_world: bool = False
+    ) -> dict[str, Any]:
+        """The served ``query`` envelope, cached and coalesced like estimates."""
+        if not isinstance(sql, str) or not sql.strip():
+            raise ValidationError("query requires a non-empty 'sql' string")
+        spec_key = self._canonical_spec(spec)
+        detail = f"{'closed' if closed_world else 'open'}:{sql}"
+        key = request_key(
+            self._cache_name, self._session.state_version, "query", spec_key, detail
+        )
+        with self._stats_lock:
+            self._read_requests += 1
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        def compute() -> dict[str, Any]:
+            with self._lock.read_locked():
+                version = self._session.state_version
+                answer = self._session.query(sql, spec=spec, closed_world=closed_world)
+            payload = _served_payload(answer.to_dict())
+            self._cache.put(
+                request_key(self._cache_name, version, "query", spec_key, detail),
+                payload,
+            )
+            return payload
+
+        return self._batcher.execute(key, compute)
+
+    def snapshot_payload(self) -> dict[str, Any]:
+        """The session's snapshot envelope (shared lock, never cached)."""
+        with self._lock.read_locked():
+            return self._session.snapshot().to_dict()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def info(self) -> dict[str, Any]:
+        """JSON-safe description for session listings and ``/stats``."""
+        with self._lock.read_locked():
+            session = self._session
+            spec = session.default_spec
+            return {
+                "session": self.name,
+                "attribute": session.attribute,
+                "table_name": session.table_name,
+                "estimator": spec.to_string() if spec is not None else None,
+                "n": session.n,
+                "c": session.c,
+                "n_ingested": session.n_ingested,
+                "sources": len(session.source_sizes),
+                "state_version": session.state_version,
+            }
+
+    def stats(self) -> dict[str, Any]:
+        """:meth:`info` plus request counters and the estimator-cache block."""
+        out = self.info()
+        with self._stats_lock:
+            out["ingest_requests"] = self._ingest_requests
+            out["read_requests"] = self._read_requests
+        out["estimator_cache"] = self._session.estimator_cache_stats()
+        return out
+
+    def _canonical_spec(self, spec: "str | None") -> str:
+        """The spec component of cache keys ("" = the session default)."""
+        from repro.api.specs import EstimatorSpec
+
+        if spec is not None:
+            return EstimatorSpec.of(spec).to_string()
+        default = self._session.default_spec
+        return default.to_string() if default is not None else ""
+
+
+class SessionRegistry:
+    """Thread-safe named :class:`ServedSession` store of one serving process.
+
+    Parameters
+    ----------
+    backend / workers:
+        :mod:`repro.parallel` overrides handed to every served estimate
+        (``process`` here shards the Monte-Carlo grid; the batcher's
+        request fan-out stays on threads).
+    cache_entries:
+        LRU bound of the shared answer cache.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+    ) -> None:
+        self._backend = backend
+        self._workers = workers
+        self.cache = EstimateCache(cache_entries)
+        self.batcher = CoalescingBatcher(
+            "thread" if backend == "process" else (backend or "serial"), workers
+        )
+        self._lock = threading.Lock()
+        self._sessions: dict[str, ServedSession] = {}
+        self._epochs = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+
+    def create(
+        self,
+        name: str,
+        attribute: str,
+        *,
+        table_name: str = "data",
+        estimator: str = "bucket",
+        count_method: str = "chao92",
+    ) -> ServedSession:
+        """Create and register a fresh named session (409 on duplicates)."""
+        self._validated_name(name)
+        session = OpenWorldSession(
+            attribute,
+            table_name=table_name,
+            estimator=estimator,
+            count_method=count_method,
+        )
+        return self._register(name, session)
+
+    def adopt(self, name: str, session: OpenWorldSession) -> ServedSession:
+        """Register an existing session object under ``name``."""
+        self._validated_name(name)
+        return self._register(name, session)
+
+    def _register(self, name: str, session: OpenWorldSession) -> ServedSession:
+        served = ServedSession(
+            name,
+            session,
+            cache=self.cache,
+            batcher=self.batcher,
+            backend=self._backend,
+            workers=self._workers,
+            epoch=next(self._epochs),
+        )
+        with self._lock:
+            if name in self._sessions:
+                raise DuplicateSessionError(f"session {name!r} already exists")
+            self._sessions[name] = served
+        return served
+
+    def get(self, name: str) -> ServedSession:
+        """The served session called ``name`` (404 when absent)."""
+        with self._lock:
+            served = self._sessions.get(name)
+        if served is None:
+            raise UnknownSessionError(
+                f"unknown session {name!r}; "
+                f"{len(self._sessions)} session(s) registered"
+            )
+        return served
+
+    def remove(self, name: str) -> None:
+        """Forget the session called ``name`` (404 when absent).
+
+        Its cache entries become unreachable and age out of the LRU bound
+        like superseded versions do: keys carry the instance's unique
+        epoch, so even a recreated session with the same name can never
+        hit them.
+        """
+        with self._lock:
+            if name not in self._sessions:
+                raise UnknownSessionError(f"unknown session {name!r}")
+            del self._sessions[name]
+
+    def names(self) -> list[str]:
+        """Registered session names, sorted."""
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def sessions(self) -> list[ServedSession]:
+        """Stable-ordered served sessions (for listings and persistence)."""
+        with self._lock:
+            return [self._sessions[name] for name in sorted(self._sessions)]
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict[str, Any]:
+        """The ``/stats`` payload: caches, coalescer, per-session blocks."""
+        return {
+            "schema": STATE_SCHEMA,
+            "sessions": [served.stats() for served in self.sessions()],
+            "answer_cache": self.cache.stats(),
+            "coalescer": self.batcher.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # State-dir persistence
+    # ------------------------------------------------------------------ #
+
+    def save_state(self, state_dir: "str | os.PathLike[str]") -> Path:
+        """Write every session's snapshot to ``state_dir`` atomically.
+
+        The file is written next to its final location and moved into
+        place with :func:`os.replace`, so a crash mid-write leaves the
+        previous state intact, never a torn file.
+        """
+        directory = Path(state_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": STATE_SCHEMA,
+            "sessions": {
+                served.name: served.snapshot_payload() for served in self.sessions()
+            },
+        }
+        target = directory / STATE_FILENAME
+        scratch = directory / (STATE_FILENAME + ".tmp")
+        scratch.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+        os.replace(scratch, target)
+        return target
+
+    def load_state(self, state_dir: "str | os.PathLike[str]") -> list[str]:
+        """Restore every session persisted by :meth:`save_state`.
+
+        Missing state files are not an error (first boot of a fresh
+        ``--state-dir``); malformed ones are.  Returns the restored names.
+        """
+        target = Path(state_dir) / STATE_FILENAME
+        if not target.exists():
+            return []
+        payload = json.loads(target.read_text())
+        if not isinstance(payload, dict) or payload.get("schema") != STATE_SCHEMA:
+            raise ValidationError(
+                f"{target} is not a {STATE_SCHEMA!r} state file"
+            )
+        restored = []
+        for name, snapshot in sorted(payload.get("sessions", {}).items()):
+            self.adopt(name, OpenWorldSession.restore(snapshot))
+            restored.append(name)
+        return restored
+
+    @staticmethod
+    def _validated_name(name: str) -> None:
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ValidationError(
+                f"invalid session name {name!r}; names are 1-64 characters "
+                "of [A-Za-z0-9._-] and start with a letter or digit"
+            )

@@ -1,0 +1,121 @@
+"""A small thread-safe LRU cache with hit/miss/eviction accounting.
+
+Two layers of the library need exactly this shape and must agree on its
+semantics:
+
+* :class:`~repro.api.session.OpenWorldSession` bounds its per-session
+  built-estimator cache (estimator specs are user input, so an unbounded
+  ``{spec: estimator}`` dict is a slow memory leak under a server that
+  accepts arbitrary specs);
+* :mod:`repro.serving.cache` keys materialized estimate/query payloads by
+  ``(session, state_version, spec, ...)`` and relies on LRU eviction to
+  age out entries from superseded state versions.
+
+Both surface the same counters through the serving ``/stats`` endpoint, so
+the statistics vocabulary (``hits``/``misses``/``evictions``/``size``/
+``max_entries``) lives here, next to the implementation that produces it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Any, Hashable
+
+from repro.utils.exceptions import ValidationError
+
+__all__ = ["LRUCache"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction and statistics.
+
+    All operations take an internal lock, so one instance can be shared by
+    the serving layer's request threads.  ``get`` refreshes recency;
+    ``put`` inserts or refreshes and evicts the least recently used entry
+    once ``max_entries`` is exceeded.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity bound (>= 1).  Eviction only ever removes one entry per
+        ``put``, so the cache can never overshoot the bound.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for ``key`` (refreshing recency), else ``default``."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``; evict the oldest entry beyond capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Any) -> Any:
+        """The cached value for ``key``, creating it via ``factory()`` on miss.
+
+        The factory runs *outside* the lock (it may be expensive -- building
+        a Monte-Carlo estimator, say), so two racing callers can both build;
+        the second ``put`` wins and the values must therefore be
+        interchangeable.  That is the estimator-cache contract: building a
+        spec twice yields equivalent estimators.
+        """
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict[str, int]:
+        """Counters in the shared ``/stats`` vocabulary (JSON-safe)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LRUCache(max_entries={self.max_entries}, size={len(self)})"

@@ -331,3 +331,83 @@ class TestParallelPassThrough:
     def test_unknown_backend_rejected_with_choices(self, gdp_session):
         with pytest.raises(ValidationError, match="serial"):
             gdp_session.estimate(spec="monte-carlo", backend="warp-drive")
+
+
+class TestStateVersion:
+    """The monotonic version counter behind the serving layer's caching."""
+
+    def observations(self):
+        return [
+            Observation("a", {"value": 1.0}, "s1"),
+            Observation("b", {"value": 2.0}, "s1"),
+        ]
+
+    def test_fresh_session_starts_at_zero(self):
+        assert OpenWorldSession("value").state_version == 0
+
+    def test_every_committing_ingest_bumps_once(self):
+        session = OpenWorldSession("value")
+        session.ingest(self.observations())
+        assert session.state_version == 1
+        session.ingest(Observation("c", {"value": 3.0}, "s2"))
+        assert session.state_version == 2
+
+    def test_empty_chunk_does_not_bump(self):
+        session = OpenWorldSession("value")
+        session.ingest(self.observations())
+        session.ingest([])
+        assert session.state_version == 1
+
+    def test_failed_ingest_does_not_bump(self):
+        session = OpenWorldSession("value")
+        session.ingest(self.observations())
+        with pytest.raises(ValidationError):
+            session.ingest([Observation("d", {}, "s3")])  # no 'value'
+        assert session.state_version == 1
+
+    def test_snapshot_carries_and_restore_preserves_version(self):
+        session = OpenWorldSession("value")
+        session.ingest(self.observations())
+        session.ingest(Observation("c", {"value": 3.0}, "s2"))
+        snapshot = session.snapshot()
+        assert snapshot.state_version == 2
+        restored = OpenWorldSession.restore(snapshot)
+        assert restored.state_version == 2
+        restored.ingest(Observation("d", {"value": 4.0}, "s2"))
+        assert restored.state_version == 3
+
+    def test_old_snapshot_payloads_without_version_round_trip(self):
+        session = OpenWorldSession("value")
+        session.ingest(self.observations())
+        payload = session.snapshot().to_dict()
+        del payload["state_version"]  # a pre-serving payload
+        snapshot = SessionSnapshot.from_dict(payload)
+        assert snapshot.state_version == 0
+        restored = OpenWorldSession.restore(snapshot)
+        assert restored.n == session.n
+        assert restored.state_version == 0
+
+
+class TestEstimatorCacheBound:
+    """The built-estimator cache is LRU-bounded with shared counters."""
+
+    def test_cache_reuses_built_estimators(self):
+        session = OpenWorldSession("value")
+        session.ingest([Observation("a", {"value": 1.0}, "s1")])
+        session.estimate(spec="naive")
+        session.estimate(spec="naive")
+        stats = session.estimator_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_cache_is_bounded(self):
+        from repro.api.session import DEFAULT_ESTIMATOR_CACHE_SIZE
+
+        session = OpenWorldSession("value")
+        session.ingest([Observation("a", {"value": 1.0}, "s1")])
+        for seed in range(DEFAULT_ESTIMATOR_CACHE_SIZE + 5):
+            session.estimate(
+                spec=f"monte-carlo?seed={seed}&n_runs=1&n_count_steps=2"
+            )
+        stats = session.estimator_cache_stats()
+        assert stats["size"] <= DEFAULT_ESTIMATOR_CACHE_SIZE
+        assert stats["evictions"] == 5

@@ -1,0 +1,61 @@
+"""Shared helpers for the serving tests (imported, not a conftest)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.estimator import Estimate, SumEstimator
+from repro.data.records import Observation
+
+
+def make_observations(rows, attribute="value"):
+    """Observations from (entity_id, source_id, value) triples."""
+    return [
+        Observation(entity, {attribute: float(value)}, source)
+        for entity, source, value in rows
+    ]
+
+
+SIX_ROWS = [
+    ("a", "s1", 10.0),
+    ("b", "s1", 20.0),
+    ("a", "s2", 10.0),
+    ("c", "s2", 30.0),
+    ("b", "s3", 20.0),
+    ("d", "s3", 40.0),
+]
+
+
+class CountingEstimator(SumEstimator):
+    """A deterministic estimator that counts (and can block) its calls.
+
+    ``gate`` lets the coalescing test hold the first computation open
+    while duplicate requests pile up behind it.
+    """
+
+    name = "counting"
+
+    def __init__(self, gate: "threading.Event | None" = None) -> None:
+        self.calls = 0
+        self.started = threading.Event()
+        self._gate = gate
+        self._lock = threading.Lock()
+
+    def estimate(self, sample, attribute):
+        with self._lock:
+            self.calls += 1
+        self.started.set()
+        if self._gate is not None:
+            assert self._gate.wait(timeout=10)
+        observed = sample.sum(attribute)
+        return Estimate(
+            observed=observed,
+            delta=float(sample.c),
+            corrected=observed + float(sample.c),
+            count_estimate=float(sample.c),
+            missing_count=0.0,
+            value_estimate=0.0,
+            coverage=1.0,
+            cv_squared=0.0,
+            estimator=self.name,
+        )

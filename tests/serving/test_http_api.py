@@ -1,0 +1,303 @@
+"""End-to-end tests of the HTTP JSON API against a live server."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from serving_helpers import SIX_ROWS, make_observations
+from repro.api.session import OpenWorldSession
+from repro.data.records import Observation
+from repro.serving.http import dumps_result, make_server
+
+
+@pytest.fixture
+def server():
+    server = make_server()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(timeout=5)
+    server.server_close()
+
+
+def call(server, method, path, body=None):
+    """One HTTP round-trip; returns (status, raw bytes)."""
+    host, port = server.server_address[:2]
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data is not None else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def observation_bodies(rows, attribute="value"):
+    return [
+        {"entity_id": entity, "source_id": source, "attributes": {attribute: value}}
+        for entity, source, value in rows
+    ]
+
+
+def create_and_fill(server, name="s", estimator="bucket/frequency"):
+    status, _ = call(
+        server,
+        "POST",
+        "/sessions",
+        {"name": name, "attribute": "value", "estimator": estimator},
+    )
+    assert status == 201
+    status, body = call(
+        server,
+        "POST",
+        f"/sessions/{name}/ingest",
+        {"observations": observation_bodies(SIX_ROWS)},
+    )
+    assert status == 200
+    return json.loads(body)
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, body = call(server, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok", "sessions": 0}
+
+    def test_session_lifecycle_over_http(self, server):
+        info = create_and_fill(server)
+        assert info["state_version"] == 1 and info["n"] == 6 and info["c"] == 4
+        status, body = call(server, "GET", "/sessions")
+        listing = json.loads(body)["sessions"]
+        assert [s["session"] for s in listing] == ["s"]
+        status, _ = call(server, "DELETE", "/sessions/s")
+        assert status == 200
+        assert json.loads(call(server, "GET", "/healthz")[1])["sessions"] == 0
+
+    def test_estimate_query_snapshot_envelopes(self, server):
+        create_and_fill(server)
+        for path, method, body in [
+            ("/sessions/s/estimate", "GET", None),
+            ("/sessions/s/query", "POST", {"sql": "SELECT SUM(value) FROM data"}),
+            ("/sessions/s/snapshot", "GET", None),
+        ]:
+            status, raw = call(server, method, path, body)
+            assert status == 200
+            payload = json.loads(raw)
+            assert payload["schema"] == "repro.result/v1"
+        assert json.loads(call(server, "GET", "/sessions/s/snapshot")[1])[
+            "state_version"
+        ] == 1
+
+    def test_stats_block(self, server):
+        create_and_fill(server)
+        call(server, "GET", "/sessions/s/estimate")
+        call(server, "GET", "/sessions/s/estimate")
+        stats = json.loads(call(server, "GET", "/stats")[1])
+        assert stats["answer_cache"]["hits"] == 1
+        assert stats["answer_cache"]["misses"] == 1
+        assert stats["sessions"][0]["estimator_cache"]["max_entries"] > 0
+
+    def test_multi_spec_estimate_returns_array(self, server):
+        create_and_fill(server)
+        status, raw = call(
+            server, "GET", "/sessions/s/estimate?spec=naive&spec=bucket/frequency"
+        )
+        assert status == 200
+        payloads = json.loads(raw)
+        assert isinstance(payloads, list) and len(payloads) == 2
+        assert [p["kind"] for p in payloads] == ["estimate", "estimate"]
+        assert payloads[0]["estimator"] != payloads[1]["estimator"]
+
+
+class TestByteIdentity:
+    """HTTP answers must equal the in-process facade byte for byte."""
+
+    def in_process_session(self):
+        session = OpenWorldSession("value", estimator="bucket/frequency")
+        session.ingest(make_observations(SIX_ROWS))
+        return session
+
+    def test_estimate_bytes(self, server):
+        create_and_fill(server)
+        _, raw = call(server, "GET", "/sessions/s/estimate")
+        assert raw == dumps_result(self.in_process_session().estimate().to_dict())
+
+    def test_estimate_with_spec_bytes(self, server):
+        create_and_fill(server)
+        _, raw = call(server, "GET", "/sessions/s/estimate?spec=naive")
+        assert raw == dumps_result(
+            self.in_process_session().estimate(spec="naive").to_dict()
+        )
+
+    def test_query_bytes(self, server):
+        create_and_fill(server)
+        sql = "SELECT AVG(value) FROM data WHERE value > 15"
+        _, raw = call(server, "POST", "/sessions/s/query", {"sql": sql})
+        assert raw == dumps_result(self.in_process_session().query(sql).to_dict())
+
+    def test_snapshot_bytes(self, server):
+        create_and_fill(server)
+        _, raw = call(server, "GET", "/sessions/s/snapshot")
+        assert raw == dumps_result(self.in_process_session().snapshot().to_dict())
+
+    def test_cache_hit_bytes_equal_miss_bytes(self, server):
+        create_and_fill(server)
+        _, cold = call(server, "GET", "/sessions/s/estimate")
+        _, warm = call(server, "GET", "/sessions/s/estimate")
+        assert cold == warm
+
+
+class TestErrors:
+    def test_unknown_route_is_404(self, server):
+        assert call(server, "GET", "/nope")[0] == 404
+        assert call(server, "POST", "/sessions/s/nope")[0] == 404
+
+    def test_unknown_session_is_404(self, server):
+        status, body = call(server, "GET", "/sessions/ghost/estimate")
+        assert status == 404
+        assert "ghost" in json.loads(body)["error"]
+
+    def test_duplicate_session_is_409(self, server):
+        create_and_fill(server)
+        status, _ = call(
+            server, "POST", "/sessions", {"name": "s", "attribute": "value"}
+        )
+        assert status == 409
+
+    def test_validation_errors_are_400(self, server):
+        create_and_fill(server)
+        cases = [
+            ("POST", "/sessions", {"attribute": "value"}),  # missing name
+            ("POST", "/sessions", {"name": "t", "attribute": "value", "x": 1}),
+            ("POST", "/sessions/s/ingest", {"rows": []}),  # wrong field
+            ("POST", "/sessions/s/ingest", {"observations": [{"bogus": 1}]}),
+            ("POST", "/sessions/s/query", {"sql": ""}),
+            ("POST", "/sessions/s/query", {"sql": "SELECT SUM(value) FROM data", "closed_world": "yes"}),
+            ("GET", "/sessions/s/estimate?spec=not-an-estimator", None),
+            ("GET", "/sessions/s/estimate?bogus=1", None),
+        ]
+        for method, path, body in cases:
+            status, raw = call(server, method, path, body)
+            assert status == 400, (method, path, raw)
+            assert "error" in json.loads(raw)
+
+    def test_malformed_json_body_is_400(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/sessions",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_estimate_of_empty_session_is_404(self, server):
+        call(server, "POST", "/sessions", {"name": "empty", "attribute": "value"})
+        status, _ = call(server, "GET", "/sessions/empty/estimate")
+        assert status == 404  # InsufficientDataError: nothing ingested yet
+
+    def test_failed_request_leaves_server_serving(self, server):
+        create_and_fill(server)
+        call(server, "GET", "/sessions/s/estimate?spec=not-an-estimator")
+        assert call(server, "GET", "/healthz")[0] == 200
+        assert call(server, "GET", "/sessions/s/estimate")[0] == 200
+
+
+class TestIngestValidation:
+    def test_bad_observation_does_not_change_state(self, server):
+        create_and_fill(server)
+        before = json.loads(call(server, "GET", "/sessions/s/snapshot")[1])
+        status, _ = call(
+            server,
+            "POST",
+            "/sessions/s/ingest",
+            {
+                "observations": observation_bodies([("x", "s9", 1.0)])
+                + [{"entity_id": "y", "source_id": "s9", "attributes": {}}]
+            },
+        )
+        assert status == 400  # entity y carries no 'value' attribute
+        after = json.loads(call(server, "GET", "/sessions/s/snapshot")[1])
+        assert after == before  # atomic chunk: nothing was committed
+
+    def test_sequence_field_round_trips(self):
+        from repro.serving.http import observations_from_json
+
+        (obs,) = observations_from_json(
+            [
+                {
+                    "entity_id": "a",
+                    "source_id": "s",
+                    "attributes": {"value": 1.0},
+                    "sequence": 7,
+                }
+            ]
+        )
+        assert obs == Observation("a", {"value": 1.0}, "s", 7)
+
+
+class TestKeepAliveSafety:
+    """Error responses must not leave request-body bytes on the connection."""
+
+    def raw_exchange(self, server, payload: bytes) -> bytes:
+        import socket
+
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(payload)
+            sock.settimeout(10)
+            chunks = []
+            try:
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            except TimeoutError:  # pragma: no cover - server kept it open
+                pass
+        return b"".join(chunks)
+
+    def test_unrouted_post_with_body_closes_the_connection(self, server):
+        body = b'{"observations": []}'
+        raw = (
+            b"POST /nope HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+            + b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        response = self.raw_exchange(server, raw)
+        # The 404 must close the connection (body bytes were never read),
+        # so the pipelined GET is not parsed -- and in particular the
+        # unread body must never be misread as a request line.
+        assert response.startswith(b"HTTP/1.1 404")
+        assert b"Connection: close" in response
+        assert b"Bad request" not in response
+
+    def test_malformed_content_length_is_400_not_500(self, server):
+        raw = (
+            b"POST /sessions HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: abc\r\n\r\n"
+        )
+        response = self.raw_exchange(server, raw)
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_successful_responses_keep_the_connection_alive(self, server):
+        raw = (
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        response = self.raw_exchange(server, raw)
+        # Both pipelined requests answered on one connection.
+        assert response.count(b"HTTP/1.1 200") == 2

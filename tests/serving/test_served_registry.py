@@ -1,0 +1,239 @@
+"""Tests for ServedSession / SessionRegistry: caching, coalescing, state."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from serving_helpers import SIX_ROWS, CountingEstimator, make_observations
+from repro.api.session import OpenWorldSession
+from repro.serving.registry import (
+    DuplicateSessionError,
+    SessionRegistry,
+    UnknownSessionError,
+)
+from repro.utils.exceptions import ValidationError
+
+
+def registry_with_session(**kwargs):
+    registry = SessionRegistry(**kwargs)
+    served = registry.create("s", "value", estimator="bucket/frequency")
+    served.ingest(make_observations(SIX_ROWS))
+    return registry, served
+
+
+class TestLifecycle:
+    def test_create_get_remove(self):
+        registry = SessionRegistry()
+        registry.create("one", "value")
+        assert registry.names() == ["one"]
+        assert registry.get("one").info()["attribute"] == "value"
+        registry.remove("one")
+        assert len(registry) == 0
+
+    def test_duplicate_name_is_conflict(self):
+        registry = SessionRegistry()
+        registry.create("one", "value")
+        with pytest.raises(DuplicateSessionError):
+            registry.create("one", "value")
+
+    def test_unknown_session(self):
+        with pytest.raises(UnknownSessionError):
+            SessionRegistry().get("ghost")
+        with pytest.raises(UnknownSessionError):
+            SessionRegistry().remove("ghost")
+
+    @pytest.mark.parametrize("name", ["", ".hidden", "a/b", "x" * 65, "sp ace"])
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(ValidationError, match="session name"):
+            SessionRegistry().create(name, "value")
+
+
+class TestVersionKeyedCache:
+    def test_hit_on_unchanged_version(self):
+        registry, served = registry_with_session()
+        first = served.estimate_payload()
+        second = served.estimate_payload()
+        assert first == second
+        stats = registry.cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_miss_after_ingest(self):
+        registry, served = registry_with_session()
+        before = served.estimate_payload()
+        served.ingest(make_observations([("e", "s4", 50.0)]))
+        after = served.estimate_payload()
+        assert after != before  # new entity changes the estimate
+        stats = registry.cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_query_cache_distinguishes_sql_and_mode(self):
+        registry, served = registry_with_session()
+        open_answer = served.query_payload("SELECT SUM(value) FROM data")
+        closed_answer = served.query_payload(
+            "SELECT SUM(value) FROM data", closed_world=True
+        )
+        assert open_answer["corrected"] != closed_answer["corrected"]
+        assert registry.cache.stats()["misses"] == 2
+        # Same (sql, mode) again: a hit, byte-identical payload.
+        assert (
+            served.query_payload("SELECT SUM(value) FROM data", closed_world=True)
+            == closed_answer
+        )
+        assert registry.cache.stats()["hits"] == 1
+
+    def test_distinct_specs_are_distinct_entries(self):
+        registry, served = registry_with_session()
+        naive = served.estimate_payload("naive")
+        bucket = served.estimate_payload("bucket/frequency")
+        assert naive["estimator"] != bucket["estimator"]
+        assert registry.cache.stats()["misses"] == 2
+
+    def test_default_spec_and_explicit_equivalent_share_an_entry(self):
+        registry, served = registry_with_session()
+        served.estimate_payload()  # default = bucket/frequency
+        served.estimate_payload("bucket/frequency")
+        stats = registry.cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_runtime_metadata_is_nulled_in_served_payloads(self):
+        registry, served = registry_with_session()
+        payload = served.estimate_payload("monte-carlo?n_runs=2&n_count_steps=2")
+        assert payload["runtime"] is None
+        # and the cached copy is byte-identical to the recomputed one
+        again = served.estimate_payload("monte-carlo?n_runs=2&n_count_steps=2")
+        assert json.dumps(payload) == json.dumps(again)
+
+
+class TestCoalescing:
+    def test_duplicate_in_flight_estimates_fold_into_one_call(self):
+        registry = SessionRegistry()
+        gate = threading.Event()
+        estimator = CountingEstimator(gate)
+        session = OpenWorldSession("value", estimator=estimator)
+        session.ingest(make_observations(SIX_ROWS))
+        served = registry.adopt("s", session)
+
+        payloads: list[dict] = []
+
+        def request() -> None:
+            payloads.append(served.estimate_payload())
+
+        leader = threading.Thread(target=request)
+        leader.start()
+        assert estimator.started.wait(timeout=5)
+        followers = [threading.Thread(target=request) for _ in range(3)]
+        for t in followers:
+            t.start()
+        threading.Event().wait(0.05)  # let followers reach the batcher
+        gate.set()
+        leader.join(timeout=5)
+        for t in followers:
+            t.join(timeout=5)
+
+        assert estimator.calls == 1
+        assert len(payloads) == 4
+        assert all(p == payloads[0] for p in payloads)
+        assert registry.batcher.stats()["coalesced"] >= 1
+
+
+class TestStats:
+    def test_stats_surface_all_blocks(self):
+        registry, served = registry_with_session()
+        served.estimate_payload()
+        served.estimate_payload()
+        stats = registry.stats()
+        assert set(stats) == {"schema", "sessions", "answer_cache", "coalescer"}
+        (block,) = stats["sessions"]
+        assert block["session"] == "s"
+        assert block["state_version"] == 1
+        assert block["ingest_requests"] == 1
+        assert block["read_requests"] == 2
+        # The bounded estimator cache of the session is surfaced here (the
+        # satellite contract): one build, one reuse.
+        assert block["estimator_cache"]["max_entries"] > 0
+        assert block["estimator_cache"]["misses"] >= 1
+        assert stats["answer_cache"]["hits"] == 1
+        assert stats["coalescer"]["computed"] == 1
+
+
+class TestStatePersistence:
+    def test_save_and_load_round_trip(self, tmp_path):
+        registry, served = registry_with_session()
+        expected_estimate = served.estimate_payload()
+        expected_snapshot = served.snapshot_payload()
+        registry.save_state(tmp_path)
+
+        restored = SessionRegistry()
+        assert restored.load_state(tmp_path) == ["s"]
+        again = restored.get("s")
+        assert again.snapshot_payload() == expected_snapshot
+        assert again.estimate_payload() == expected_estimate
+        assert again.info()["state_version"] == 1
+
+    def test_restart_mid_stream_is_bit_identical(self, tmp_path):
+        """Kill-and-restart resumes exactly where the stream stood."""
+        chunks = [make_observations(SIX_ROWS[i : i + 2]) for i in range(0, 6, 2)]
+
+        # Uninterrupted reference run.
+        reference = SessionRegistry().create("s", "value", estimator="bucket/frequency")
+        for chunk in chunks:
+            reference.ingest(chunk)
+
+        # Interrupted run: persist after the first chunk, restart, resume.
+        first = SessionRegistry()
+        first.create("s", "value", estimator="bucket/frequency").ingest(chunks[0])
+        first.save_state(tmp_path)
+        second = SessionRegistry()
+        second.load_state(tmp_path)
+        resumed = second.get("s")
+        for chunk in chunks[1:]:
+            resumed.ingest(chunk)
+
+        assert resumed.snapshot_payload() == reference.snapshot_payload()
+        assert resumed.estimate_payload() == reference.estimate_payload()
+        assert (
+            resumed.query_payload("SELECT AVG(value) FROM data")
+            == reference.query_payload("SELECT AVG(value) FROM data")
+        )
+
+    def test_load_missing_state_dir_is_empty(self, tmp_path):
+        assert SessionRegistry().load_state(tmp_path / "none") == []
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        from repro.serving.registry import STATE_FILENAME
+
+        (tmp_path / STATE_FILENAME).write_text('{"schema": "other/v9"}')
+        with pytest.raises(ValidationError, match="state file"):
+            SessionRegistry().load_state(tmp_path)
+
+    def test_save_is_atomic_replace(self, tmp_path):
+        registry, _ = registry_with_session()
+        target = registry.save_state(tmp_path)
+        registry.get("s").ingest(make_observations([("z", "s9", 5.0)]))
+        registry.save_state(tmp_path)
+        payload = json.loads(target.read_text())
+        assert payload["sessions"]["s"]["state_version"] == 2
+        assert not (tmp_path / (target.name + ".tmp")).exists()
+
+
+class TestSessionRecreation:
+    """Delete + recreate of a name must never serve the old instance's cache."""
+
+    def test_recreated_name_does_not_hit_stale_entries(self):
+        registry = SessionRegistry()
+        first = registry.create("s", "value", estimator="naive")
+        first.ingest(make_observations([("a", "s1", 100.0)]))
+        stale = first.estimate_payload()
+        registry.remove("s")
+
+        second = registry.create("s", "value", estimator="naive")
+        second.ingest(make_observations([("b", "s1", 999.0)]))
+        fresh = second.estimate_payload()
+        # Both instances are at state_version 1, yet the answers differ:
+        # the epoch-qualified cache key separates the generations.
+        assert second.info()["state_version"] == 1
+        assert fresh != stale
+        assert fresh["observed"] == 999.0

