@@ -23,7 +23,10 @@ Run with::
 from __future__ import annotations
 
 import json
+import random
 import threading
+import time
+import urllib.error
 import urllib.request
 
 from repro.serving.http import make_server
@@ -41,20 +44,53 @@ MENTIONS = [
 ]
 
 
+#: Deterministic jitter source and a ledger of transparently retried 503s.
+_rng = random.Random(0)
+_rng_lock = threading.Lock()
+RETRIES = {"count": 0}
+
+MAX_ATTEMPTS = 8
+
+
+def _backoff_delay(attempt: int, retry_after: float) -> float:
+    """Honour the server's Retry-After floor, plus jittered exponential growth.
+
+    The jitter desynchronises a fleet of clients that were all shed at the
+    same instant, so they do not stampede back in lockstep.
+    """
+    exponential = min(0.05 * (2 ** attempt), 2.0)
+    with _rng_lock:
+        return retry_after + _rng.uniform(0, exponential)
+
+
 def request(base: str, method: str, path: str, body=None) -> dict | list:
     data = json.dumps(body).encode() if body is not None else None
-    req = urllib.request.Request(
-        base + path,
-        data=data,
-        method=method,
-        headers={"Content-Type": "application/json"} if data else {},
-    )
-    with urllib.request.urlopen(req, timeout=30) as response:
-        return json.loads(response.read())
+    for attempt in range(MAX_ATTEMPTS):
+        req = urllib.request.Request(
+            base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            # 503 = shed by the admission gate (or a recovering/breaker
+            # state): back off as instructed and try again.
+            if error.code != 503 or attempt == MAX_ATTEMPTS - 1:
+                raise
+            retry_after = float(error.headers.get("Retry-After") or 0.0)
+            RETRIES["count"] += 1
+            time.sleep(_backoff_delay(attempt, retry_after))
+    raise AssertionError("unreachable")
 
 
 def main() -> None:
-    server = make_server()
+    # A deliberately small admission bound: with six clients hammering at
+    # once, some requests are shed with 503 + Retry-After and the backoff
+    # in request() absorbs them transparently.
+    server = make_server(max_inflight=2)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     host, port = server.server_address[:2]
@@ -108,6 +144,10 @@ def main() -> None:
           f"({cache['size']}/{cache['max_entries']} entries)")
     print(f"   coalescer: {coalescer['computed']} computed, "
           f"{coalescer['coalesced']} folded into in-flight duplicates")
+    admission = stats["admission"]
+    print(f"   admission: {admission['admitted']} admitted, "
+          f"{admission['shed']} shed (max_inflight={admission['max_inflight']}); "
+          f"{RETRIES['count']} shed responses retried with jittered backoff")
     session_block = stats["sessions"][0]
     print(f"   estimator cache: {session_block['estimator_cache']}")
 

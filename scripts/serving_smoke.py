@@ -17,8 +17,21 @@ to ``--state-dir``), restarted on the same state dir, and the stream
 continues -- the final answers must be byte-identical to an
 uninterrupted in-process run of the whole stream.
 
-The script self-verifies too (exit 1 on any byte difference), so it
-doubles as a local pre-push check::
+With ``--faults SPEC`` the driver turns into a chaos client: the spec is
+exported as ``REPRO_FAULTS`` so the server SIGKILLs itself at the armed
+fault point mid-stream.  The driver shrugs, restarts the server on the
+same state dir, *reconciles* -- resends every chunk past the recovered
+``state_version``, the write-ahead log's exactly-once retry protocol --
+and then requires the same byte identity as the graceful run::
+
+    PYTHONPATH=src python scripts/serving_smoke.py --outdir /tmp/chaos \\
+        --faults 'wal.after_append:crash@2'
+
+Shed 503 responses (admission gate, recovering window) are retried with
+jittered exponential backoff honouring the ``Retry-After`` header.
+
+The script self-verifies (exit 1 on any byte difference), so it doubles
+as a local pre-push check::
 
     PYTHONPATH=src python scripts/serving_smoke.py --outdir /tmp/smoke
 """
@@ -26,7 +39,10 @@ doubles as a local pre-push check::
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
+import os
+import random
 import signal
 import subprocess
 import sys
@@ -51,6 +67,11 @@ CHUNKS = [
 
 SQL = "SELECT SUM(value) FROM data WHERE value > 50"
 
+#: Deterministic jitter for the 503 backoff.
+_rng = random.Random(0)
+
+MAX_ATTEMPTS = 8
+
 
 def to_bodies(chunk):
     return [
@@ -63,16 +84,27 @@ def to_observations(chunk):
     return [Observation(e, {ATTRIBUTE: v}, s) for e, s, v in chunk]
 
 
+class ServerDied(Exception):
+    """The server went away mid-request (a chaos crash, not an HTTP error)."""
+
+
 class ServerProcess:
     """A ``repro.cli serve`` subprocess plus its READY-line address."""
 
-    def __init__(self, state_dir: Path) -> None:
+    def __init__(self, state_dir: Path, *, faults: str | None = None,
+                 wal_fsync: str = "batch") -> None:
+        env = dict(os.environ)
+        env.pop("REPRO_FAULTS", None)
+        env.pop("REPRO_FAULTS_STAMP_DIR", None)
+        if faults:
+            env["REPRO_FAULTS"] = faults
         self.process = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
-             "--state-dir", str(state_dir)],
+             "--state-dir", str(state_dir), "--wal-fsync", wal_fsync],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
+            env=env,
         )
         deadline = time.time() + 30
         self.base = None
@@ -88,14 +120,27 @@ class ServerProcess:
 
     def request(self, method: str, path: str, body=None) -> bytes:
         data = json.dumps(body).encode() if body is not None else None
-        request = urllib.request.Request(
-            self.base + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        with urllib.request.urlopen(request, timeout=30) as response:
-            return response.read()
+        for attempt in range(MAX_ATTEMPTS):
+            request = urllib.request.Request(
+                self.base + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"} if data else {},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    return response.read()
+            except urllib.error.HTTPError as error:
+                if error.code != 503 or attempt == MAX_ATTEMPTS - 1:
+                    raise
+                # Shed or recovering: honour Retry-After, add jitter so a
+                # fleet of retrying clients does not stampede in lockstep.
+                retry_after = float(error.headers.get("Retry-After") or 0.0)
+                time.sleep(retry_after + _rng.uniform(0, min(0.05 * 2 ** attempt, 2.0)))
+            except (urllib.error.URLError, ConnectionError,
+                    http.client.HTTPException) as exc:
+                raise ServerDied(str(exc)) from exc
+        raise AssertionError("unreachable")
 
     def stop(self) -> None:
         """Graceful SIGTERM shutdown; waits for the state snapshot."""
@@ -106,26 +151,70 @@ class ServerProcess:
         if self.process.returncode != 0:
             raise RuntimeError(f"server exited with {self.process.returncode}")
 
+    def wait_crashed(self) -> None:
+        """Wait for the armed fault's SIGKILL to land."""
+        if self.process.wait(timeout=30) != -signal.SIGKILL:
+            raise RuntimeError(
+                f"expected a SIGKILL crash, got exit {self.process.returncode}"
+            )
+        remaining = self.process.stdout.read() or ""
+        for line in remaining.splitlines():
+            print(f"  server: {line}")
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--outdir", type=Path, required=True)
-    args = parser.parse_args()
-    outdir = args.outdir
-    outdir.mkdir(parents=True, exist_ok=True)
+
+class StepRecorder:
+    """Writes http_<step>.json / local_<step>.json pairs and verifies them."""
+
+    def __init__(self, outdir: Path) -> None:
+        self.outdir = outdir
+        self.pairs: list[str] = []
+
+    def record(self, step: str, http_bytes: bytes, local_bytes: bytes) -> None:
+        (self.outdir / f"http_{step}.json").write_bytes(http_bytes)
+        (self.outdir / f"local_{step}.json").write_bytes(local_bytes)
+        self.pairs.append(step)
+
+    def verify(self) -> int:
+        print("== verify: every HTTP body byte-identical to the facade")
+        failures = 0
+        for step in self.pairs:
+            http_bytes = (self.outdir / f"http_{step}.json").read_bytes()
+            local_bytes = (self.outdir / f"local_{step}.json").read_bytes()
+            status = "ok" if http_bytes == local_bytes else "MISMATCH"
+            failures += status != "ok"
+            print(f"  {step:20} {status}")
+        print(f"pairs written to {self.outdir} ({len(self.pairs)} steps)")
+        return failures
+
+
+def record_surfaces(recorder: StepRecorder, suffix: str,
+                    server: ServerProcess, local: OpenWorldSession) -> None:
+    """Record every served surface against the facade."""
+    recorder.record(
+        f"estimate_{suffix}",
+        server.request("GET", "/sessions/smoke/estimate"),
+        dumps_result(local.estimate().to_dict()),
+    )
+    recorder.record(
+        f"query_{suffix}",
+        server.request("POST", "/sessions/smoke/query", {"sql": SQL}),
+        dumps_result(local.query(SQL).to_dict()),
+    )
+    recorder.record(
+        f"snapshot_{suffix}",
+        server.request("GET", "/sessions/smoke/snapshot"),
+        dumps_result(local.snapshot().to_dict()),
+    )
+
+
+def run_graceful(outdir: Path, wal_fsync: str) -> int:
+    """The original smoke flow: SIGTERM mid-stream, restart, resume."""
+    recorder = StepRecorder(outdir)
     state_dir = outdir / "state"
-    pairs: list[str] = []
-
-    def record(step: str, http_bytes: bytes, local_bytes: bytes) -> None:
-        (outdir / f"http_{step}.json").write_bytes(http_bytes)
-        (outdir / f"local_{step}.json").write_bytes(local_bytes)
-        pairs.append(step)
-
-    # In-process reference session, fed the identical stream.
     local = OpenWorldSession(ATTRIBUTE, estimator=ESTIMATOR)
 
     print("== phase 1: serve, ingest two chunks, answer queries")
-    server = ServerProcess(state_dir)
+    server = ServerProcess(state_dir, wal_fsync=wal_fsync)
     server.request(
         "POST",
         "/sessions",
@@ -136,17 +225,17 @@ def main() -> int:
             "POST", "/sessions/smoke/ingest", {"observations": to_bodies(chunk)}
         )
         local.ingest(to_observations(chunk))
-        record(
+        recorder.record(
             f"estimate_{index}",
             server.request("GET", "/sessions/smoke/estimate"),
             dumps_result(local.estimate().to_dict()),
         )
-    record(
+    recorder.record(
         "query",
         server.request("POST", "/sessions/smoke/query", {"sql": SQL}),
         dumps_result(local.query(SQL).to_dict()),
     )
-    record(
+    recorder.record(
         "snapshot_mid",
         server.request("GET", "/sessions/smoke/snapshot"),
         dumps_result(local.snapshot().to_dict()),
@@ -154,37 +243,108 @@ def main() -> int:
 
     print("== phase 2: SIGTERM (snapshots state), restart, resume the stream")
     server.stop()
-    server = ServerProcess(state_dir)
+    server = ServerProcess(state_dir, wal_fsync=wal_fsync)
     server.request(
         "POST", "/sessions/smoke/ingest", {"observations": to_bodies(CHUNKS[2])}
     )
     local.ingest(to_observations(CHUNKS[2]))
-    record(
-        "estimate_resumed",
-        server.request("GET", "/sessions/smoke/estimate"),
-        dumps_result(local.estimate().to_dict()),
-    )
-    record(
-        "query_resumed",
-        server.request("POST", "/sessions/smoke/query", {"sql": SQL}),
-        dumps_result(local.query(SQL).to_dict()),
-    )
-    record(
-        "snapshot_final",
-        server.request("GET", "/sessions/smoke/snapshot"),
-        dumps_result(local.snapshot().to_dict()),
-    )
+    record_surfaces(recorder, "resumed", server, local)
     server.stop()
+    return recorder.verify()
 
-    print("== verify: every HTTP body byte-identical to the facade")
-    failures = 0
-    for step in pairs:
-        http_bytes = (outdir / f"http_{step}.json").read_bytes()
-        local_bytes = (outdir / f"local_{step}.json").read_bytes()
-        status = "ok" if http_bytes == local_bytes else "MISMATCH"
-        failures += status != "ok"
-        print(f"  {step:20} {status}")
-    print(f"pairs written to {outdir} ({len(pairs)} steps)")
+
+def reconcile(server: ServerProcess) -> int:
+    """Resend whatever the recovered ``state_version`` does not cover.
+
+    This is the write-ahead log's client contract: an unacknowledged
+    ingest was either journaled (the recovered version already covers
+    it; skip) or lost (resend).  Nothing gets applied twice.
+    """
+    sessions = {
+        entry["session"]: entry
+        for entry in json.loads(server.request("GET", "/sessions"))["sessions"]
+    }
+    if "smoke" not in sessions:
+        server.request(
+            "POST",
+            "/sessions",
+            {"name": "smoke", "attribute": ATTRIBUTE, "estimator": ESTIMATOR},
+        )
+        version = 0
+    else:
+        version = sessions["smoke"]["state_version"]
+    print(f"  recovered state_version={version}; resending {len(CHUNKS) - version} chunk(s)")
+    for chunk in CHUNKS[version:]:
+        server.request(
+            "POST", "/sessions/smoke/ingest", {"observations": to_bodies(chunk)}
+        )
+    return version
+
+
+def run_chaos(outdir: Path, faults: str, wal_fsync: str) -> int:
+    """Chaos flow: armed fault SIGKILLs the server; restart + reconcile."""
+    recorder = StepRecorder(outdir)
+    state_dir = outdir / "state"
+    local = OpenWorldSession(ATTRIBUTE, estimator=ESTIMATOR)
+    for chunk in CHUNKS:
+        local.ingest(to_observations(chunk))
+
+    print(f"== phase 1: serve with REPRO_FAULTS={faults!r}, drive until the crash")
+    server = ServerProcess(state_dir, faults=faults, wal_fsync=wal_fsync)
+    crashed = False
+    try:
+        server.request(
+            "POST",
+            "/sessions",
+            {"name": "smoke", "attribute": ATTRIBUTE, "estimator": ESTIMATOR},
+        )
+        for chunk in CHUNKS:
+            server.request(
+                "POST", "/sessions/smoke/ingest", {"observations": to_bodies(chunk)}
+            )
+    except ServerDied as died:
+        print(f"  crash observed mid-stream: {died}")
+        crashed = True
+    if not crashed:
+        raise RuntimeError(f"fault spec {faults!r} never fired during the stream")
+    server.wait_crashed()
+
+    print("== phase 2: restart on the same state dir, reconcile, compare")
+    server = ServerProcess(state_dir, wal_fsync=wal_fsync)
+    reconcile(server)
+    record_surfaces(recorder, "recovered", server, local)
+
+    print("== phase 3: graceful checkpoint, third boot, compare again")
+    server.stop()
+    server = ServerProcess(state_dir, wal_fsync=wal_fsync)
+    if reconcile(server) != len(CHUNKS):
+        raise RuntimeError("checkpointed state lost committed chunks")
+    record_surfaces(recorder, "checkpointed", server, local)
+    server.stop()
+    return recorder.verify()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", type=Path, required=True)
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="REPRO_FAULTS spec to arm in the server (chaos mode), "
+        "e.g. 'wal.after_append:crash@2'",
+    )
+    parser.add_argument(
+        "--wal-fsync",
+        default="batch",
+        choices=["always", "batch", "never"],
+        help="write-ahead log fsync policy for the server (default: batch)",
+    )
+    args = parser.parse_args()
+    args.outdir.mkdir(parents=True, exist_ok=True)
+    if args.faults:
+        failures = run_chaos(args.outdir, args.faults, args.wal_fsync)
+    else:
+        failures = run_graceful(args.outdir, args.wal_fsync)
     return 1 if failures else 0
 
 

@@ -279,6 +279,11 @@ class OpenWorldSession:
         return self._n_ingested
 
     @property
+    def count_method(self) -> str:
+        """COUNT-query correction method ("chao92" or "monte-carlo")."""
+        return self._count_method
+
+    @property
     def state_version(self) -> int:
         """Monotonic counter bumped by every ingest that commits observations.
 
@@ -317,6 +322,35 @@ class OpenWorldSession:
         :class:`~repro.utils.exceptions.ValidationError` and leaves the
         session exactly as it was.
         """
+        chunk = self.prepare_ingest(observations)
+        # Commit pass: cannot fail.
+        attribute = self._attribute
+        for obs in chunk:
+            self._state.integrate(obs, attribute)
+        if chunk:
+            # Atomic with respect to readers: nobody can observe the new
+            # state_version while a stale sample/database cache is still
+            # installed (or vice versa).
+            with self._mutation_lock:
+                self._n_ingested += len(chunk)
+                self._sample_cache = None
+                self._database_cache = None
+                self._state_version += 1
+        return len(chunk)
+
+    def prepare_ingest(
+        self, observations: "Iterable[Observation] | Observation"
+    ) -> Sequence[Observation]:
+        """Normalize and fully validate a chunk **without mutating state**.
+
+        Returns the chunk :meth:`ingest` would commit, or raises
+        :class:`~repro.utils.exceptions.ValidationError`.  This is the
+        write-ahead hook: the serving layer validates here, journals the
+        chunk to the WAL, and only then commits -- so the log never
+        contains a record whose replay would fail.  Only first-seen
+        observations carry the fused value, so those are the ones whose
+        attribute must be readable.
+        """
         if isinstance(observations, Observation):
             chunk: Sequence[Observation] = (observations,)
         elif isinstance(observations, (list, tuple)):
@@ -324,9 +358,6 @@ class OpenWorldSession:
         else:
             chunk = list(observations)
         attribute = self._attribute
-        # Validation pass: nothing is mutated until the whole chunk is known
-        # to be ingestible.  Only first-seen observations carry the fused
-        # value, so those are the ones whose attribute must be readable.
         first_seen: set[str] = set()
         for obs in chunk:
             if not isinstance(obs, Observation):
@@ -343,19 +374,7 @@ class OpenWorldSession:
                         f"observation of entity {entity!r} does not carry a "
                         f"numeric attribute {attribute!r}"
                     ) from exc
-        # Commit pass: cannot fail.
-        for obs in chunk:
-            self._state.integrate(obs, attribute)
-        if chunk:
-            # Atomic with respect to readers: nobody can observe the new
-            # state_version while a stale sample/database cache is still
-            # installed (or vice versa).
-            with self._mutation_lock:
-                self._n_ingested += len(chunk)
-                self._sample_cache = None
-                self._database_cache = None
-                self._state_version += 1
-        return len(chunk)
+        return chunk
 
     # ------------------------------------------------------------------ #
     # Snapshots of the integrated state

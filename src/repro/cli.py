@@ -206,6 +206,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="LRU bound of the version-keyed answer cache (default: 1024 entries)",
     )
+    serve.add_argument(
+        "--wal-fsync",
+        choices=("always", "batch", "never"),
+        default="batch",
+        help=(
+            "fsync policy of the write-ahead ingest logs under --state-dir: "
+            "'always' survives power loss, 'batch' (default) fsyncs every "
+            "32 appends, 'never' flushes to the OS only -- all three "
+            "survive SIGKILL"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help=(
+            "admission bound on concurrently executing requests; beyond it "
+            "requests are shed with 503 + Retry-After (default: unbounded)"
+        ),
+    )
     _add_parallel_options(serve)
 
     return parser
@@ -438,6 +458,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_entries=args.cache_size,
         state_dir=args.state_dir,
+        wal_fsync=args.wal_fsync,
+        max_inflight=args.max_inflight,
     )
 
 

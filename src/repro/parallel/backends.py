@@ -25,8 +25,10 @@ implementations cover the deployment spectrum:
     finish -- dynamic load balancing without a scheduler thread.  Read-only
     numpy invariants are broadcast through POSIX shared memory
     (:mod:`repro.parallel.sharedmem`) instead of being pickled per chunk.
-    A crashed worker surfaces as :class:`ParallelExecutionError` (never a
-    hang), and ``KeyboardInterrupt`` tears the pool down cleanly.
+    A crashed worker breaks the pool; the affected chunks are retried on
+    a rebuilt pool (``REPRO_PARALLEL_RETRIES`` rounds, default 1) and
+    only a repeat failure surfaces as :class:`ParallelExecutionError`
+    (never a hang).  ``KeyboardInterrupt`` tears the pool down cleanly.
 
 Determinism is the backends' contract, not an accident: tasks carry their
 own :class:`numpy.random.SeedSequence` children (see
@@ -64,6 +66,7 @@ from repro.parallel.sharedmem import (
     destroy_segments,
     publish_arrays,
 )
+from repro.resilience.faults import fault_point
 from repro.utils.exceptions import ReproError, ValidationError
 
 __all__ = [
@@ -91,6 +94,12 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: worker (rather than one big slice each) is what lets fast workers steal
 #: the stragglers' remaining work.
 _CHUNKS_PER_WORKER = 4
+
+#: Environment override for the process backend's crashed-chunk retry
+#: budget (attempts beyond the first; 0 disables retrying).
+RETRIES_ENV = "REPRO_PARALLEL_RETRIES"
+
+_DEFAULT_CHUNK_RETRIES = 1
 
 #: True in a process-pool worker (set by the pool initializer).  A nested
 #: fan-out layer inside a worker must not follow the inherited process-wide
@@ -242,18 +251,42 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, n_workers: int, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        start_method: str | None = None,
+        chunk_retries: "int | None" = None,
+    ) -> None:
         super().__init__(n_workers)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._context = multiprocessing.get_context(start_method)
         self._executor: ProcessPoolExecutor | None = None
+        if chunk_retries is None:
+            raw = os.environ.get(RETRIES_ENV)
+            try:
+                chunk_retries = int(raw) if raw else _DEFAULT_CHUNK_RETRIES
+            except ValueError:
+                raise ValidationError(
+                    f"{RETRIES_ENV} must be an integer, got {raw!r}"
+                ) from None
+        if chunk_retries < 0:
+            raise ValidationError(
+                f"chunk_retries must be >= 0, got {chunk_retries}"
+            )
+        self.chunk_retries = int(chunk_retries)
+        self._chunks_retried = 0
 
     @property
     def start_method(self) -> str:
         """The multiprocessing start method of the worker pool."""
         return self._context.get_start_method()
+
+    @property
+    def chunks_retried(self) -> int:
+        """Chunks re-submitted after a worker crash (for tests/telemetry)."""
+        return self._chunks_retried
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -274,26 +307,85 @@ class ProcessBackend(ExecutionBackend):
         try:
             if arrays:
                 specs, segments = publish_arrays(arrays)
-            executor = self._ensure_executor()
             chunk_size = max(
                 1, -(-len(tasks) // (self.n_workers * _CHUNKS_PER_WORKER))
             )
-            futures = [
-                executor.submit(_run_chunk, fn, tasks[i : i + chunk_size], plain, specs)
+            chunks = [
+                tasks[i : i + chunk_size]
                 for i in range(0, len(tasks), chunk_size)
             ]
-            chunks = _gather(futures, on_interrupt=self._discard_pool)
-        except BrokenProcessPool as exc:
-            self._discard_pool()
-            raise ParallelExecutionError(
-                f"a worker of the {self.n_workers}-worker process pool died "
-                "unexpectedly (killed, out of memory, or crashed during "
-                "unpickling); the pool has been torn down and will be "
-                "recreated on the next call"
-            ) from exc
+            results = self._map_chunks(fn, chunks, plain, specs)
         finally:
             destroy_segments(segments)
-        return [result for chunk in chunks for result in chunk]
+        return [result for chunk in results for result in chunk]
+
+    def _map_chunks(
+        self,
+        fn: Callable[[Any, Mapping[str, Any]], Any],
+        chunks: "list[Sequence[Any]]",
+        plain: dict[str, Any],
+        specs: "Mapping[str, SharedArraySpec]",
+    ) -> "list[list[Any]]":
+        """Run every chunk, re-submitting crashed ones on a rebuilt pool.
+
+        A dead worker (killed, OOM) breaks the whole pool: every future
+        that had not finished raises :class:`BrokenProcessPool`, whether
+        its chunk was the culprit or merely queued behind it.  Those
+        chunks -- and only those; completed results are kept -- are
+        resubmitted on a fresh pool, up to ``chunk_retries`` extra
+        rounds.  Reassembly stays by chunk index, so a retried run is
+        bit-identical to an undisturbed one (tasks carry their own seed
+        material; re-running is side-effect-free by the backend
+        contract).
+
+        Task-level exceptions are never retried: they are deterministic
+        outcomes of the mapped function and propagate unchanged, exactly
+        as the serial backend would raise them.
+        """
+        results: "list[list[Any] | None]" = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        attempt = 0
+        while True:
+            broken: "BaseException | None" = None
+            failed: list[int] = []
+            try:
+                executor = self._ensure_executor()
+                futures = [
+                    (index, executor.submit(_run_chunk, fn, chunks[index], plain, specs))
+                    for index in pending
+                ]
+            except BrokenProcessPool as exc:
+                broken, failed = exc, list(pending)
+                futures = []
+            try:
+                for index, future in futures:
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                        failed.append(index)
+            except BaseException:
+                # A task-level failure (or KeyboardInterrupt): cancel the
+                # rest and propagate, exactly like the serial semantics.
+                for _, future in futures:
+                    future.cancel()
+                if isinstance(sys.exc_info()[1], KeyboardInterrupt):
+                    self._discard_pool()
+                raise
+            if broken is None:
+                return results  # type: ignore[return-value]
+            self._discard_pool()
+            attempt += 1
+            if attempt > self.chunk_retries:
+                raise ParallelExecutionError(
+                    f"a worker of the {self.n_workers}-worker process pool "
+                    f"died unexpectedly and {len(failed)} chunk(s) still "
+                    f"failed after {self.chunk_retries} retry round(s); the "
+                    "pool has been torn down and will be recreated on the "
+                    "next call"
+                ) from broken
+            self._chunks_retried += len(failed)
+            pending = failed
 
     def _discard_pool(self) -> None:
         """Tear the pool down hard (crash / interrupt recovery path)."""
@@ -345,6 +437,7 @@ def _run_chunk(
     specs: "Mapping[str, SharedArraySpec]",
 ) -> list[Any]:
     """Worker-side chunk executor: attach shared views, run, detach."""
+    fault_point("parallel.worker_entry")
     views, handles = attach_arrays(specs)
     try:
         context = {**plain, **views}

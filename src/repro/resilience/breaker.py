@@ -1,0 +1,156 @@
+"""A per-session circuit breaker over the estimator path.
+
+State machine::
+
+            failures >= threshold
+    CLOSED ----------------------> OPEN
+      ^                              |
+      | probe succeeds               | cooldown elapses
+      |                              v
+      +--------------------------- HALF-OPEN
+               probe fails -> OPEN (cooldown restarts)
+
+While OPEN every call is rejected immediately with
+:class:`CircuitOpenError` (the serving layer maps it to HTTP 503 with a
+``Retry-After`` of the remaining cooldown) instead of queueing more work
+behind an estimator that keeps crashing.  After ``cooldown`` seconds the
+breaker *half-opens*: exactly one caller is admitted as a probe, the
+rest keep getting rejected until the probe resolves -- success closes
+the breaker, failure re-opens it for a fresh cooldown.
+
+Only *unexpected* failures should be recorded: a client asking for an
+estimate of an empty session (:class:`~repro.utils.exceptions.
+InsufficientDataError`) is the client's problem, not the estimator's
+health.  The caller decides what counts; this class just keeps the
+state machine consistent under concurrent threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from typing import Any
+
+from repro.utils.exceptions import ReproError, ValidationError
+
+__all__ = ["CircuitBreaker", "CircuitOpenError"]
+
+
+class CircuitOpenError(ReproError):
+    """The breaker is open; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker with an injectable clock.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive recorded failures that trip a CLOSED breaker.
+    cooldown:
+        Seconds an OPEN breaker rejects calls before half-opening.
+    clock:
+        Monotonic time source (injectable so tests never sleep).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        *,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown <= 0:
+            raise ValidationError(f"cooldown must be > 0, got {cooldown}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._times_opened = 0
+        self._rejected = 0
+
+    @property
+    def state(self) -> str:
+        """The current state: "closed", "open" or "half-open"."""
+        with self._lock:
+            return self._state
+
+    def before_call(self) -> None:
+        """Gate one call; raises :class:`CircuitOpenError` when rejected.
+
+        Transitions OPEN -> HALF-OPEN once the cooldown elapsed, letting
+        exactly one probe through.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return
+            now = self._clock()
+            if self._state == "open":
+                remaining = self._opened_at + self.cooldown - now
+                if remaining > 0:
+                    self._rejected += 1
+                    raise CircuitOpenError(
+                        "circuit breaker is open after "
+                        f"{self._consecutive_failures} consecutive estimator "
+                        f"failures; retry in {remaining:.1f}s",
+                        retry_after=remaining,
+                    )
+                self._state = "half-open"
+                self._probe_in_flight = False
+            # half-open: admit a single probe, reject the rest.
+            if self._probe_in_flight:
+                self._rejected += 1
+                raise CircuitOpenError(
+                    "circuit breaker is half-open with a probe in flight; "
+                    f"retry in {self.cooldown:.1f}s",
+                    retry_after=self.cooldown,
+                )
+            self._probe_in_flight = True
+
+    def record_success(self) -> None:
+        """A gated call succeeded: close the breaker, reset the count."""
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A gated call failed; trips the breaker at the threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (
+                self._state == "half-open"
+                or self._consecutive_failures >= self.failure_threshold
+            )
+            if tripped:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                self._times_opened += 1
+
+    def stats(self) -> "dict[str, Any]":
+        """JSON-safe counters for the ``/stats`` per-session block."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "times_opened": self._times_opened,
+                "rejected": self._rejected,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state!r})"

@@ -7,18 +7,22 @@ a still-ingesting sample:
 * :mod:`repro.serving.locks` -- a writer-preferring reader/writer lock;
 * :mod:`repro.serving.registry` -- :class:`ServedSession` (one session
   behind the lock) and the thread-safe :class:`SessionRegistry` with
-  state-dir snapshot/restore persistence;
+  checkpoint + write-ahead-log persistence (crash = replay, bit-exact);
 * :mod:`repro.serving.cache` -- the :class:`EstimateCache`, LRU-bounded
   and keyed by ``(session, state_version, spec, ...)`` so invalidation
   on ingest is exact and free;
 * :mod:`repro.serving.batcher` -- the :class:`CoalescingBatcher` folding
-  duplicate in-flight requests into one computation;
+  duplicate in-flight requests into one computation, with per-request
+  deadlines that abandon the response, never the computation;
 * :mod:`repro.serving.http` -- the stdlib HTTP JSON API
   (``repro.cli serve``), whose responses are byte-identical to the
-  equivalent in-process session calls.
+  equivalent in-process session calls, with liveness/readiness probes,
+  admission-gate load shedding and per-session circuit breaking from
+  :mod:`repro.resilience`.
 
 See DESIGN.md "Serving architecture" for the locking discipline and the
-soundness argument of version-keyed caching.
+soundness argument of version-keyed caching, and "Failure model and
+recovery" for the crash-safety story.
 """
 
 from repro.serving.batcher import CoalescingBatcher

@@ -31,10 +31,12 @@ processes through the estimator spec instead.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable, Hashable, Mapping, Sequence
 from typing import Any
 
 from repro.parallel.backends import ExecutionBackend, resolve_backend
+from repro.resilience.admission import DeadlineExceededError
 from repro.utils.exceptions import ValidationError
 
 __all__ = ["CoalescingBatcher"]
@@ -55,8 +57,12 @@ class _Computation:
         self.error = error
         self.done.set()
 
-    def wait(self) -> Any:
-        self.done.wait()
+    def wait(self, timeout: "float | None" = None) -> Any:
+        if not self.done.wait(timeout):
+            raise DeadlineExceededError(
+                "the request's deadline expired before the computation "
+                "finished; the result (if any) will still reach the cache"
+            )
         if self.error is not None:
             raise self.error
         return self.result
@@ -108,17 +114,22 @@ class CoalescingBatcher:
         self._in_flight: dict[Hashable, _Computation] = {}
         self._computed = 0
         self._coalesced = 0
+        self._abandoned = 0
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
 
-    def execute(self, key: Hashable, fn: Callable[[], Any]) -> Any:
+    def execute(
+        self, key: Hashable, fn: Callable[[], Any], timeout: "float | None" = None
+    ) -> Any:
         """Run ``fn`` for ``key``, or wait for an identical in-flight run."""
-        return self.execute_many([(key, fn)])[0]
+        return self.execute_many([(key, fn)], timeout=timeout)[0]
 
     def execute_many(
-        self, pairs: "Sequence[tuple[Hashable, Callable[[], Any]]]"
+        self,
+        pairs: "Sequence[tuple[Hashable, Callable[[], Any]]]",
+        timeout: "float | None" = None,
     ) -> list[Any]:
         """Run a batch of keyed computations; results in request order.
 
@@ -127,6 +138,15 @@ class CoalescingBatcher:
         computations this thread leads are fanned out through the
         configured execution backend.  Any computation's exception is
         re-raised to every requester that folded into it.
+
+        With a ``timeout`` (seconds, covering the whole batch) the led
+        computations run on a detached daemon thread and the caller
+        waits on the latches with a deadline: expiry raises
+        :class:`~repro.resilience.admission.DeadlineExceededError` while
+        the computation itself runs to completion in the background --
+        its result still reaches the answer cache and still releases any
+        followers, so abandoning a response never corrupts or wastes the
+        work, it only gives up on delivering it.
         """
         if not pairs:
             return []
@@ -143,12 +163,36 @@ class CoalescingBatcher:
                 else:
                     self._coalesced += 1
                 computations.append(computation)
+        if timeout is None:
+            if led:
+                self._run_led(led)
+            return [computation.wait() for computation in computations]
+        if led:
+            threading.Thread(
+                target=self._run_led,
+                args=(led,),
+                name="repro-coalesce-detached",
+                daemon=True,
+            ).start()
+        deadline = time.monotonic() + timeout
+        results = []
+        try:
+            for computation in computations:
+                results.append(computation.wait(deadline - time.monotonic()))
+        except DeadlineExceededError:
+            with self._lock:
+                self._abandoned += 1
+            raise
+        return results
+
+    def _run_led(self, led: "list[tuple[Callable[[], Any], _Computation]]") -> None:
+        """Run the computations this batch leads; always release the latches."""
         try:
             if len(led) == 1:
-                # The common single-request path stays in the calling
-                # thread: no backend round-trip on every cache miss.
+                # The common single-request path avoids a backend
+                # round-trip on every cache miss.
                 _run_captured(led[0], {})
-            elif led:
+            else:
                 backend = resolve_backend(self._backend, self._workers)
                 backend.map(_run_captured, led)
         finally:
@@ -164,7 +208,6 @@ class CoalescingBatcher:
                 for key, computation in list(self._in_flight.items()):
                     if computation.done.is_set():
                         del self._in_flight[key]
-        return [computation.wait() for computation in computations]
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -181,5 +224,6 @@ class CoalescingBatcher:
             return {
                 "computed": self._computed,
                 "coalesced": self._coalesced,
+                "abandoned": self._abandoned,
                 "in_flight": len(self._in_flight),
             }

@@ -22,6 +22,16 @@ Payloads are cached in their serialized ``repro.result/v1`` dict form:
 that is what the HTTP layer serves, and it makes the cache-hit contract
 literal -- a hit returns byte-identical JSON to the miss that populated
 it.
+
+Atomicity of the statistics: every counter surfaced by ``/stats`` --
+the hit/miss/eviction counts here (guarded by the LRU's internal lock),
+the per-session request counters, the coalescer's computed/coalesced/
+abandoned counts, and the admission/breaker/WAL blocks -- is mutated
+under a lock, so under arbitrary concurrency the counters are *exact*,
+not approximate: hits + misses equals the number of ``get`` calls,
+admitted + shed equals the number of arrivals.  The hammer test in
+``tests/serving/test_stats_hammer.py`` asserts these identities under
+a thread storm; keep them lock-protected when adding counters.
 """
 
 from __future__ import annotations

@@ -8,14 +8,32 @@ connection, which is exactly the concurrency model the
 Routes::
 
     GET    /healthz                      liveness + session count
+    GET    /readyz                       readiness (503 while recovering)
     GET    /stats                        caches, coalescer, per-session stats
     GET    /sessions                     list session descriptions
     POST   /sessions                     create {"name", "attribute", ...}
     DELETE /sessions/<name>              forget a session
     POST   /sessions/<name>/ingest       {"observations": [{...}, ...]}
-    GET    /sessions/<name>/estimate     ?spec=...&attribute=... (spec repeatable)
+    GET    /sessions/<name>/estimate     ?spec=...&attribute=...&timeout_ms=...
     POST   /sessions/<name>/query        {"sql", "spec"?, "closed_world"?}
     GET    /sessions/<name>/snapshot     the session-snapshot envelope
+
+Liveness (``/healthz``) answers 200 from the moment the socket is bound
+-- it means "the process is up", nothing more.  Readiness (``/readyz``)
+answers 503 ``{"status": "recovering"}`` while the registry replays its
+write-ahead logs after a restart and 200 ``{"status": "ready"}`` once
+every session is byte-exact; load balancers should route on readiness.
+
+Degradation, not collapse, under adverse conditions:
+
+* ``?timeout_ms=`` on estimate/query puts a deadline on the response --
+  expiry is HTTP 504 while the computation finishes in the background
+  and still populates the answer cache;
+* a full admission gate (``max_inflight``) sheds requests with HTTP 503
+  plus a ``Retry-After`` hint instead of letting threads pile up;
+* a session whose estimator keeps failing trips its circuit breaker:
+  HTTP 503 + ``Retry-After`` for the cooldown, instead of queueing more
+  doomed work (health and stats routes are exempt from the gate).
 
 Estimate, query and snapshot responses are the ``repro.result/v1``
 payloads of the equivalent :class:`~repro.api.session.OpenWorldSession`
@@ -23,14 +41,16 @@ calls, serialized by :func:`dumps_result` -- the same function any
 in-process comparison should use, so "byte-identical to the facade" is
 checkable with ``cmp`` (the CI serving-smoke job does exactly that).
 
-:func:`run_server` is the CLI's entry point: it restores sessions from
-``--state-dir``, serves until SIGINT/SIGTERM, then snapshots every
-session back to the state dir before exiting.
+:func:`run_server` is the CLI's entry point: it begins accepting (for
+liveness) *before* restoring sessions from ``--state-dir``, prints the
+``READY`` line once recovery finished, serves until SIGINT/SIGTERM,
+then snapshots every session back to the state dir before exiting.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -38,6 +58,13 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.data.records import Observation
+from repro.resilience.admission import (
+    AdmissionGate,
+    DeadlineExceededError,
+    OverloadedError,
+)
+from repro.resilience.breaker import CircuitOpenError
+from repro.resilience.faults import fault_point
 from repro.serving.registry import (
     DuplicateSessionError,
     SessionRegistry,
@@ -99,9 +126,21 @@ class ReproServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], registry: SessionRegistry) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        registry: SessionRegistry,
+        *,
+        gate: "AdmissionGate | None" = None,
+    ) -> None:
         super().__init__(address, _Handler)
         self.registry = registry
+        self.gate = gate
+
+
+def _retry_after_header(seconds: float) -> "tuple[str, str]":
+    """``Retry-After`` as HTTP delta-seconds (integer, at least 1)."""
+    return ("Retry-After", str(max(1, math.ceil(seconds))))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -134,13 +173,34 @@ class _Handler(BaseHTTPRequestHandler):
             handler = self._route(method, parts)
             if handler is None:
                 raise _RouteError(404, f"no route {method} {split.path}")
-            handler(parts, query)
+            if handler in (self._get_healthz, self._get_readyz):
+                # Health probes bypass readiness and admission: liveness
+                # must answer while recovering and while shedding load.
+                handler(parts, query)
+                return
+            if not self.server.registry.ready:
+                raise OverloadedError(
+                    "server is recovering (replaying the write-ahead logs)",
+                    retry_after=1.0,
+                )
+            gate = self.server.gate
+            if gate is None:
+                handler(parts, query)
+            else:
+                with gate:
+                    handler(parts, query)
         except _RouteError as exc:
             self._send_error(exc.status, str(exc))
         except (UnknownSessionError, InsufficientDataError) as exc:
             self._send_error(404, str(exc))
         except DuplicateSessionError as exc:
             self._send_error(409, str(exc))
+        except DeadlineExceededError as exc:
+            self._send_error(504, str(exc))
+        except (OverloadedError, CircuitOpenError) as exc:
+            self._send_error(
+                503, str(exc), headers=[_retry_after_header(exc.retry_after)]
+            )
         except ReproError as exc:
             self._send_error(400, str(exc))
         except BrokenPipeError:  # client went away mid-response
@@ -151,6 +211,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, method: str, parts: list[str]):
         registry_routes = {
             ("GET", ("healthz",)): self._get_healthz,
+            ("GET", ("readyz",)): self._get_readyz,
             ("GET", ("stats",)): self._get_stats,
             ("GET", ("sessions",)): self._get_sessions,
             ("POST", ("sessions",)): self._post_sessions,
@@ -180,8 +241,24 @@ class _Handler(BaseHTTPRequestHandler):
             200, {"status": "ok", "sessions": len(self.server.registry)}
         )
 
+    def _get_readyz(self, parts, query) -> None:
+        registry = self.server.registry
+        if registry.ready:
+            self._send_json(
+                200, {"status": "ready", "sessions": len(registry)}
+            )
+        else:
+            self._send_json(
+                503,
+                {"status": "recovering"},
+                headers=[_retry_after_header(1.0)],
+            )
+
     def _get_stats(self, parts, query) -> None:
-        self._send_json(200, self.server.registry.stats())
+        payload = self.server.registry.stats()
+        if self.server.gate is not None:
+            payload["admission"] = self.server.gate.stats()
+        self._send_json(200, payload)
 
     def _get_sessions(self, parts, query) -> None:
         registry = self.server.registry
@@ -234,10 +311,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_estimate(self, parts, query) -> None:
         served = self.server.registry.get(parts[1])
-        self._validated_query(query, {"spec", "attribute"})
+        self._validated_query(query, {"spec", "attribute", "timeout_ms"})
         specs: "list[str | None]" = list(query.get("spec", [])) or [None]
         attribute = self._single(query, "attribute")
-        payloads = served.estimate_payloads(specs, attribute)
+        payloads = served.estimate_payloads(
+            specs, attribute, timeout=self._timeout_seconds(query)
+        )
         if len(payloads) == 1:
             self._send_bytes(200, dumps_result(payloads[0]))
         else:
@@ -245,6 +324,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _post_query(self, parts, query) -> None:
         served = self.server.registry.get(parts[1])
+        self._validated_query(query, {"timeout_ms"})
         body = self._read_json_body()
         unknown = set(body) - {"sql", "spec", "closed_world"}
         if unknown:
@@ -253,7 +333,10 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(closed_world, bool):
             raise ValidationError("'closed_world' must be a JSON boolean")
         payload = served.query_payload(
-            body.get("sql", ""), spec=body.get("spec"), closed_world=closed_world
+            body.get("sql", ""),
+            spec=body.get("spec"),
+            closed_world=closed_world,
+            timeout=self._timeout_seconds(query),
         )
         self._send_bytes(200, dumps_result(payload))
 
@@ -300,10 +383,35 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValidationError(f"query parameter {key!r} given more than once")
         return values[0] if values else None
 
-    def _send_json(self, status: int, payload: Any) -> None:
-        self._send_bytes(status, dumps_result(payload))
+    def _timeout_seconds(self, query: dict[str, list[str]]) -> "float | None":
+        """The ``?timeout_ms=`` deadline, as seconds (``None`` = no deadline)."""
+        raw = self._single(query, "timeout_ms")
+        if raw is None:
+            return None
+        try:
+            millis = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"timeout_ms must be an integer, got {raw!r}"
+            ) from None
+        if millis <= 0:
+            raise ValidationError(f"timeout_ms must be > 0, got {millis}")
+        return millis / 1000.0
 
-    def _send_error(self, status: int, message: str) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        headers: "list[tuple[str, str]] | None" = None,
+    ) -> None:
+        self._send_bytes(status, dumps_result(payload), headers=headers)
+
+    def _send_error(
+        self,
+        status: int,
+        message: str,
+        headers: "list[tuple[str, str]] | None" = None,
+    ) -> None:
         # An error can fire before the request body was read (unrouted
         # POST, oversized body, malformed headers), which would leave the
         # body bytes sitting on the keep-alive connection to be parsed as
@@ -311,14 +419,22 @@ class _Handler(BaseHTTPRequestHandler):
         # to drain an arbitrary (possibly lying) Content-Length.
         self.close_connection = True
         try:
-            self._send_bytes(status, dumps_result({"error": message}))
+            self._send_bytes(status, dumps_result({"error": message}), headers=headers)
         except BrokenPipeError:  # pragma: no cover - client already gone
             pass
 
-    def _send_bytes(self, status: int, body: bytes) -> None:
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        headers: "list[tuple[str, str]] | None" = None,
+    ) -> None:
+        fault_point("http.before_response")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers or ():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
@@ -347,22 +463,49 @@ def make_server(
     workers: "int | None" = None,
     cache_entries: "int | None" = None,
     state_dir: "str | None" = None,
+    wal_fsync: "str | None" = None,
+    max_inflight: "int | None" = None,
+    queue_timeout: float = 0.0,
+    defer_restore: bool = False,
 ) -> ReproServer:
     """Build a bound (not yet serving) server; restores ``state_dir``.
 
     ``port=0`` binds an ephemeral port (tests and the benchmark use
     this); the bound address is ``server.server_address``.
+
+    When the function builds the registry itself, ``state_dir`` also
+    enables write-ahead ingest logging (``wal_fsync`` picks the
+    durability policy); a caller-supplied registry keeps whatever
+    persistence it was constructed with, and ``state_dir`` then only
+    names the snapshot directory to restore (the pre-WAL behavior).
+
+    ``max_inflight`` arms the admission gate; ``defer_restore=True``
+    skips the ``state_dir`` restore (and marks the registry as
+    recovering) so :func:`run_server` can accept liveness probes while
+    replaying -- callers using it must invoke ``load_state`` themselves.
     """
     if registry is None:
         kwargs: dict[str, Any] = {"backend": backend, "workers": workers}
         if cache_entries is not None:
             kwargs["cache_entries"] = cache_entries
+        if state_dir:
+            kwargs["state_dir"] = state_dir
+        if wal_fsync is not None:
+            kwargs["wal_fsync"] = wal_fsync
         registry = SessionRegistry(**kwargs)
-    server = ReproServer((host, port), registry)
+    gate = (
+        AdmissionGate(max_inflight, queue_timeout=queue_timeout)
+        if max_inflight is not None
+        else None
+    )
+    server = ReproServer((host, port), registry, gate=gate)
     if state_dir:
-        restored = registry.load_state(state_dir)
-        if restored:
-            print(f"restored {len(restored)} session(s): {', '.join(restored)}")
+        if defer_restore:
+            registry._set_phase("recovering")
+        else:
+            restored = registry.load_state(state_dir)
+            if restored:
+                print(f"restored {len(restored)} session(s): {', '.join(restored)}")
     return server
 
 
@@ -374,15 +517,22 @@ def run_server(
     workers: "int | None" = None,
     cache_entries: "int | None" = None,
     state_dir: "str | None" = None,
+    wal_fsync: "str | None" = None,
+    max_inflight: "int | None" = None,
 ) -> int:
     """Serve until SIGINT/SIGTERM, then snapshot sessions to the state dir.
 
     The serve loop runs on a daemon thread while the main thread waits on
     the shutdown latch -- signal handlers run on the main thread, and
     ``HTTPServer.shutdown`` must not be called from the thread running
-    ``serve_forever``.  Prints one ``READY http://host:port`` line once
-    accepting, so wrappers (the CI smoke job, the benchmark) can wait for
-    it instead of polling.
+    ``serve_forever``.
+
+    Ordering after a restart: the socket starts accepting *first* (so
+    ``/healthz`` answers and ``/readyz`` reports 503 "recovering"), then
+    the state dir is restored and its write-ahead logs replayed, and
+    only then is the ``READY http://host:port`` line printed -- wrappers
+    (the CI smoke job, the benchmark) that wait for it never see a
+    partially recovered registry.
     """
     server = make_server(
         host,
@@ -391,6 +541,9 @@ def run_server(
         workers=workers,
         cache_entries=cache_entries,
         state_dir=state_dir,
+        wal_fsync=wal_fsync,
+        max_inflight=max_inflight,
+        defer_restore=True,
     )
     stop = threading.Event()
     previous_handlers = {}
@@ -404,6 +557,10 @@ def run_server(
         target=server.serve_forever, name="repro-serving", daemon=True
     )
     serve_thread.start()
+    if state_dir:
+        restored = server.registry.load_state(state_dir)
+        if restored:
+            print(f"restored {len(restored)} session(s): {', '.join(restored)}")
     bound_host, bound_port = server.server_address[:2]
     print(f"READY http://{bound_host}:{bound_port}", flush=True)
     try:

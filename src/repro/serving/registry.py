@@ -5,15 +5,32 @@
 reader/writer lock (ingests exclusive, estimates/queries/snapshots
 shared), with every read answer flowing through the server-wide
 version-keyed :class:`~repro.serving.cache.EstimateCache` and
-:class:`~repro.serving.batcher.CoalescingBatcher`.
+:class:`~repro.serving.batcher.CoalescingBatcher`, and every unexpected
+estimator failure feeding the session's
+:class:`~repro.resilience.breaker.CircuitBreaker`.
 
 :class:`SessionRegistry` manages the named sessions of one serving
 process -- creation, lookup, deletion, aggregate statistics -- and the
-state-dir persistence used by graceful shutdown: :meth:`save_state`
-writes every session's snapshot envelope into one atomically-replaced
-JSON file, :meth:`load_state` restores them, preserving each session's
-``state_version`` so restarted servers resume cache-consistent and
-mid-stream ingests continue bit-identically.
+state-dir persistence model:
+
+* :meth:`save_state` writes every session's snapshot envelope into one
+  atomically-replaced JSON file (a *checkpoint*), then rotates each
+  session's write-ahead log down to the records the checkpoint does not
+  cover;
+* between checkpoints, every committed ingest is journaled to the
+  session's WAL (:mod:`repro.resilience.wal`) **before** the session
+  mutates, so ungraceful death (SIGKILL, OOM) loses nothing that was
+  acknowledged;
+* :meth:`load_state` restores the checkpoint and replays each WAL tail
+  on top -- deduplicated by ``state_version``, so a crash *between* the
+  checkpoint replace and the log rotation replays records the snapshot
+  already covers exactly zero times.  Session creations and deletions
+  are journaled too (a ``create`` head record / a ``drop`` tombstone),
+  so the session *set* is as crash-safe as the session contents.
+
+The recovery invariant all of this serves: state after crash + replay is
+bit-identical to the never-crashed run -- the same invariant the chunked
+-vs-one-shot ingest parity rests on, extended across process death.
 
 Served payloads are the ``repro.result/v1`` dicts of the underlying
 session calls, with one deliberate exception: the ``runtime`` execution
@@ -36,10 +53,13 @@ from typing import Any
 
 from repro.api.session import OpenWorldSession
 from repro.data.records import Observation
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import fault_point
+from repro.resilience.wal import WalCorruptionError, WriteAheadLog
 from repro.serving.batcher import CoalescingBatcher
 from repro.serving.cache import DEFAULT_CACHE_ENTRIES, EstimateCache, request_key
 from repro.serving.locks import RWLock
-from repro.utils.exceptions import ValidationError
+from repro.utils.exceptions import ReproError, ValidationError
 
 __all__ = [
     "DuplicateSessionError",
@@ -48,6 +68,7 @@ __all__ = [
     "SessionRegistry",
     "STATE_SCHEMA",
     "STATE_FILENAME",
+    "WAL_DIRNAME",
 ]
 
 #: Envelope identifier of the registry's persisted state file.
@@ -55,6 +76,9 @@ STATE_SCHEMA = "repro.serving/v1"
 
 #: File the registry writes under ``--state-dir``.
 STATE_FILENAME = "sessions.json"
+
+#: Subdirectory of the state dir holding the per-session WALs.
+WAL_DIRNAME = "wal"
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
@@ -73,6 +97,61 @@ def _served_payload(payload: dict[str, Any]) -> dict[str, Any]:
         payload = dict(payload)
         payload["runtime"] = None
     return payload
+
+
+# ---------------------------------------------------------------------- #
+# WAL record conventions
+# ---------------------------------------------------------------------- #
+#
+# Three record shapes live in a session's journal:
+#
+#   {"op": "create", "snapshot": <SessionSnapshot envelope>}
+#       Head record of a session created after the last checkpoint,
+#       carrying the session's state *at registration* (trivial for
+#       ``create``, possibly mid-stream for ``adopt``).  A surviving
+#       create record *overrides* any same-named entry in the checkpoint
+#       file: checkpointing removes create records, so one can only
+#       survive when the name was (re)created afterwards.
+#
+#   {"op": "ingest", "v": <post-ingest state_version>,
+#    "observations": [[entity_id, source_id, attributes, sequence], ...]}
+#       One committed ingest chunk.  Replay applies records with
+#       v > the restored session's state_version, in order, and asserts
+#       the version matches after each -- the bit-identity check.
+#
+#   {"op": "drop"}
+#       Tombstone: the whole journal is rewritten to this single record
+#       when a session is deleted, so a crash before the next checkpoint
+#       cannot resurrect it from a stale sessions.json.
+
+
+def _create_record(session: OpenWorldSession) -> "dict[str, Any] | None":
+    """The WAL head record carrying the session's state at registration.
+
+    ``None`` for sessions built around an estimator *instance*: those
+    cannot be snapshotted, so they are served memory-only.
+    """
+    if session.default_spec is None:
+        return None
+    return {"op": "create", "snapshot": session.snapshot().to_dict()}
+
+
+def _ingest_record(version: int, chunk: "list[Observation]") -> dict[str, Any]:
+    return {
+        "op": "ingest",
+        "v": int(version),
+        "observations": [
+            [obs.entity_id, obs.source_id, dict(obs.attributes), obs.sequence]
+            for obs in chunk
+        ],
+    }
+
+
+def _decode_observations(items: "list[Any]") -> list[Observation]:
+    return [
+        Observation(entity_id, attributes, source_id, int(sequence))
+        for entity_id, source_id, attributes, sequence in items
+    ]
 
 
 class ServedSession:
@@ -94,6 +173,13 @@ class ServedSession:
         Optional :mod:`repro.parallel` overrides passed through to
         ``estimate`` so the Monte-Carlo grid of spec-configured sessions
         shards across the server's configured backend.
+    wal:
+        Optional :class:`~repro.resilience.wal.WriteAheadLog` journaling
+        this session's ingests (appended under the write lock, *before*
+        the session mutates).
+    breaker:
+        Optional :class:`~repro.resilience.breaker.CircuitBreaker` fed
+        by unexpected estimator failures on the compute path.
     """
 
     def __init__(
@@ -106,6 +192,8 @@ class ServedSession:
         backend: "str | None" = None,
         workers: "int | None" = None,
         epoch: int = 0,
+        wal: "WriteAheadLog | None" = None,
+        breaker: "CircuitBreaker | None" = None,
     ) -> None:
         self.name = name
         self._session = session
@@ -113,6 +201,8 @@ class ServedSession:
         self._batcher = batcher
         self._backend = backend
         self._workers = workers
+        self._wal = wal
+        self._breaker = breaker
         self._lock = RWLock()
         # Cache/coalescing keys carry the registry-assigned epoch, not the
         # bare name: deleting a session and recreating the name must never
@@ -130,12 +220,23 @@ class ServedSession:
     def ingest(self, observations: "list[Observation] | Observation") -> dict[str, Any]:
         """Exclusive ingest; returns the post-ingest version and counts.
 
+        Write-ahead discipline: the chunk is validated without mutating
+        anything, journaled to the WAL (flushed at least to the OS), and
+        only then committed -- so a SIGKILL at *any* instruction of this
+        method either loses an unacknowledged chunk entirely or replays
+        it exactly once, never half of it.
+
         Old cache entries need no explicit purge: they are keyed by the
         superseded version, unreachable from now on, and will age out of
         the LRU bound.
         """
         with self._lock.write_locked():
-            ingested = self._session.ingest(observations)
+            chunk = list(self._session.prepare_ingest(observations))
+            if chunk and self._wal is not None:
+                self._wal.append(
+                    _ingest_record(self._session.state_version + 1, chunk)
+                )
+            ingested = self._session.ingest(chunk)
             with self._stats_lock:
                 self._ingest_requests += 1
             return {
@@ -151,19 +252,28 @@ class ServedSession:
     # ------------------------------------------------------------------ #
 
     def estimate_payload(
-        self, spec: "str | None" = None, attribute: "str | None" = None
+        self,
+        spec: "str | None" = None,
+        attribute: "str | None" = None,
+        timeout: "float | None" = None,
     ) -> dict[str, Any]:
         """The served ``estimate`` envelope (cache -> coalescer -> session)."""
-        return self.estimate_payloads([spec], attribute)[0]
+        return self.estimate_payloads([spec], attribute, timeout=timeout)[0]
 
     def estimate_payloads(
-        self, specs: "list[str | None]", attribute: "str | None" = None
+        self,
+        specs: "list[str | None]",
+        attribute: "str | None" = None,
+        timeout: "float | None" = None,
     ) -> list[dict[str, Any]]:
         """Several estimator specs against one state, fanned out as a batch.
 
         Distinct specs run through the batcher's execution backend;
         duplicate specs (within the batch or already in flight from other
-        requests) compute once.
+        requests) compute once.  ``timeout`` (seconds) bounds the whole
+        batch; expiry raises :class:`~repro.resilience.admission.
+        DeadlineExceededError` while any led computation finishes in the
+        background and still reaches the cache.
         """
         detail = attribute or self._session.attribute
         pairs = []
@@ -183,7 +293,9 @@ class ServedSession:
                     (index, key, self._estimate_computation(spec, spec_key, attribute, detail))
                 )
         if pairs:
-            computed = self._batcher.execute_many([(key, fn) for _, key, fn in pairs])
+            computed = self._batcher.execute_many(
+                [(key, fn) for _, key, fn in pairs], timeout=timeout
+            )
             for (index, _, _), payload in zip(pairs, computed):
                 results[index] = payload
         return results
@@ -201,11 +313,13 @@ class ServedSession:
                 # (version, payload) pair is consistent by construction --
                 # the invariant that makes version-keyed caching exact.
                 version = self._session.state_version
-                estimate = self._session.estimate(
-                    attribute,
-                    spec,
-                    backend=self._backend if spec_configured else None,
-                    workers=self._workers if spec_configured else None,
+                estimate = self._guarded(
+                    lambda: self._session.estimate(
+                        attribute,
+                        spec,
+                        backend=self._backend if spec_configured else None,
+                        workers=self._workers if spec_configured else None,
+                    )
                 )
             payload = _served_payload(estimate.to_dict())
             self._cache.put(
@@ -217,7 +331,11 @@ class ServedSession:
         return compute
 
     def query_payload(
-        self, sql: str, spec: "str | None" = None, closed_world: bool = False
+        self,
+        sql: str,
+        spec: "str | None" = None,
+        closed_world: bool = False,
+        timeout: "float | None" = None,
     ) -> dict[str, Any]:
         """The served ``query`` envelope, cached and coalesced like estimates."""
         if not isinstance(sql, str) or not sql.strip():
@@ -236,7 +354,11 @@ class ServedSession:
         def compute() -> dict[str, Any]:
             with self._lock.read_locked():
                 version = self._session.state_version
-                answer = self._session.query(sql, spec=spec, closed_world=closed_world)
+                answer = self._guarded(
+                    lambda: self._session.query(
+                        sql, spec=spec, closed_world=closed_world
+                    )
+                )
             payload = _served_payload(answer.to_dict())
             self._cache.put(
                 request_key(self._cache_name, version, "query", spec_key, detail),
@@ -244,12 +366,59 @@ class ServedSession:
             )
             return payload
 
-        return self._batcher.execute(key, compute)
+        return self._batcher.execute(key, compute, timeout=timeout)
+
+    def _guarded(self, fn):
+        """Run one estimator computation through the circuit breaker.
+
+        :class:`~repro.utils.exceptions.ReproError` subclasses are
+        client-class outcomes (bad spec, empty session) and say nothing
+        about estimator health; anything else is an estimator failure
+        and counts toward tripping the breaker.
+        """
+        breaker = self._breaker
+        if breaker is None:
+            return fn()
+        breaker.before_call()
+        try:
+            result = fn()
+        except ReproError:
+            raise
+        except BaseException:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return result
 
     def snapshot_payload(self) -> dict[str, Any]:
         """The session's snapshot envelope (shared lock, never cached)."""
         with self._lock.read_locked():
             return self._session.snapshot().to_dict()
+
+    # ------------------------------------------------------------------ #
+    # WAL checkpointing
+    # ------------------------------------------------------------------ #
+
+    def checkpoint_wal(self, snapshot_version: int) -> None:
+        """Rotate the WAL down to records newer than ``snapshot_version``.
+
+        Runs under the write lock so no ingest can append between the
+        cut-off decision and the rewrite.  Called *after* the checkpoint
+        file is durably in place: the create record (now redundant) and
+        every covered ingest record are dropped; anything newer -- an
+        ingest that raced the snapshot collection -- is kept.
+        """
+        if self._wal is None:
+            return
+        with self._lock.write_locked():
+            records = self._wal.recover()
+            keep = [
+                record
+                for record in records
+                if record.get("op") == "ingest"
+                and int(record.get("v", 0)) > int(snapshot_version)
+            ]
+            self._wal.rewrite(keep)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -273,12 +442,16 @@ class ServedSession:
             }
 
     def stats(self) -> dict[str, Any]:
-        """:meth:`info` plus request counters and the estimator-cache block."""
+        """:meth:`info` plus request counters and the resilience blocks."""
         out = self.info()
         with self._stats_lock:
             out["ingest_requests"] = self._ingest_requests
             out["read_requests"] = self._read_requests
         out["estimator_cache"] = self._session.estimator_cache_stats()
+        if self._breaker is not None:
+            out["circuit_breaker"] = self._breaker.stats()
+        if self._wal is not None:
+            out["wal"] = self._wal.stats()
         return out
 
     def _canonical_spec(self, spec: "str | None") -> str:
@@ -302,6 +475,19 @@ class SessionRegistry:
         request fan-out stays on threads).
     cache_entries:
         LRU bound of the shared answer cache.
+    state_dir:
+        Enables crash-safe persistence: per-session write-ahead logs
+        under ``<state_dir>/wal/`` plus the ``sessions.json`` checkpoint
+        written by :meth:`save_state`.  Without it the registry is
+        memory-only (the pre-WAL behavior); :meth:`save_state` /
+        :meth:`load_state` may still be called with an explicit
+        directory for snapshot-only persistence.
+    wal_fsync / wal_batch_every:
+        Durability policy of the WALs (see :class:`WriteAheadLog`).
+    breaker_threshold / breaker_cooldown:
+        Per-session circuit-breaker settings; ``breaker_threshold=0``
+        disables the breakers.  ``breaker_clock`` is injectable for
+        tests.
     """
 
     def __init__(
@@ -310,6 +496,12 @@ class SessionRegistry:
         backend: "str | None" = None,
         workers: "int | None" = None,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        state_dir: "str | os.PathLike[str] | None" = None,
+        wal_fsync: str = "batch",
+        wal_batch_every: "int | None" = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+        breaker_clock: Any = None,
     ) -> None:
         self._backend = backend
         self._workers = workers
@@ -320,6 +512,33 @@ class SessionRegistry:
         self._lock = threading.Lock()
         self._sessions: dict[str, ServedSession] = {}
         self._epochs = itertools.count(1)
+        self._state_dir = Path(state_dir) if state_dir is not None else None
+        self._wal_fsync = wal_fsync
+        self._wal_batch_every = wal_batch_every
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_cooldown = float(breaker_cooldown)
+        self._breaker_clock = breaker_clock
+        self._phase = "ready"
+        self._phase_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Readiness
+    # ------------------------------------------------------------------ #
+
+    @property
+    def phase(self) -> str:
+        """Lifecycle phase: "ready", or "recovering" during WAL replay."""
+        with self._phase_lock:
+            return self._phase
+
+    def _set_phase(self, phase: str) -> None:
+        with self._phase_lock:
+            self._phase = phase
+
+    @property
+    def ready(self) -> bool:
+        """True once restore/replay has finished (or was never needed)."""
+        return self.phase == "ready"
 
     # ------------------------------------------------------------------ #
     # Session lifecycle
@@ -342,14 +561,43 @@ class SessionRegistry:
             estimator=estimator,
             count_method=count_method,
         )
-        return self._register(name, session)
+        return self._register(name, session, journal_create=True)
 
     def adopt(self, name: str, session: OpenWorldSession) -> ServedSession:
         """Register an existing session object under ``name``."""
         self._validated_name(name)
-        return self._register(name, session)
+        return self._register(name, session, journal_create=True)
 
-    def _register(self, name: str, session: OpenWorldSession) -> ServedSession:
+    def _register(
+        self,
+        name: str,
+        session: OpenWorldSession,
+        *,
+        journal_create: bool = False,
+        wal: "WriteAheadLog | None" = None,
+    ) -> ServedSession:
+        if wal is None and self._state_dir is not None:
+            create = _create_record(session)
+            if create is not None:
+                wal = self._open_wal(name)
+                if journal_create:
+                    # rewrite (not append): the file may hold a drop
+                    # tombstone or stale records of a deleted previous
+                    # incarnation of this name.
+                    wal.rewrite([create])
+        breaker = (
+            CircuitBreaker(
+                self._breaker_threshold,
+                self._breaker_cooldown,
+                **(
+                    {"clock": self._breaker_clock}
+                    if self._breaker_clock is not None
+                    else {}
+                ),
+            )
+            if self._breaker_threshold > 0
+            else None
+        )
         served = ServedSession(
             name,
             session,
@@ -358,12 +606,24 @@ class SessionRegistry:
             backend=self._backend,
             workers=self._workers,
             epoch=next(self._epochs),
+            wal=wal,
+            breaker=breaker,
         )
         with self._lock:
             if name in self._sessions:
+                if wal is not None:
+                    wal.close()
                 raise DuplicateSessionError(f"session {name!r} already exists")
             self._sessions[name] = served
         return served
+
+    def _open_wal(self, name: str) -> WriteAheadLog:
+        kwargs: dict[str, Any] = {"fsync": self._wal_fsync}
+        if self._wal_batch_every is not None:
+            kwargs["batch_every"] = self._wal_batch_every
+        return WriteAheadLog(
+            self._state_dir / WAL_DIRNAME / f"{name}.wal", **kwargs
+        )
 
     def get(self, name: str) -> ServedSession:
         """The served session called ``name`` (404 when absent)."""
@@ -379,15 +639,27 @@ class SessionRegistry:
     def remove(self, name: str) -> None:
         """Forget the session called ``name`` (404 when absent).
 
+        With a WAL, the journal is rewritten to a single ``drop``
+        tombstone: a crash before the next checkpoint must not resurrect
+        the session from the stale ``sessions.json``.  The tombstone
+        file itself is purged at the next :meth:`save_state`.
+
         Its cache entries become unreachable and age out of the LRU bound
         like superseded versions do: keys carry the instance's unique
         epoch, so even a recreated session with the same name can never
         hit them.
         """
         with self._lock:
-            if name not in self._sessions:
-                raise UnknownSessionError(f"unknown session {name!r}")
-            del self._sessions[name]
+            served = self._sessions.pop(name, None)
+        if served is None:
+            raise UnknownSessionError(f"unknown session {name!r}")
+        if served._wal is not None:
+            # Under the session's write lock: an in-flight ingest that
+            # grabbed the served object before the pop must not append
+            # behind the tombstone.
+            with served._lock.write_locked():
+                served._wal.rewrite([{"op": "drop"}])
+                served._wal.close()
 
     def names(self) -> list[str]:
         """Registered session names, sorted."""
@@ -411,6 +683,7 @@ class SessionRegistry:
         """The ``/stats`` payload: caches, coalescer, per-session blocks."""
         return {
             "schema": STATE_SCHEMA,
+            "phase": self.phase,
             "sessions": [served.stats() for served in self.sessions()],
             "answer_cache": self.cache.stats(),
             "coalescer": self.batcher.stats(),
@@ -420,46 +693,162 @@ class SessionRegistry:
     # State-dir persistence
     # ------------------------------------------------------------------ #
 
-    def save_state(self, state_dir: "str | os.PathLike[str]") -> Path:
-        """Write every session's snapshot to ``state_dir`` atomically.
+    def _resolved_state_dir(
+        self, state_dir: "str | os.PathLike[str] | None"
+    ) -> Path:
+        if state_dir is not None:
+            return Path(state_dir)
+        if self._state_dir is None:
+            raise ValidationError(
+                "no state directory: pass one explicitly or construct the "
+                "registry with state_dir=..."
+            )
+        return self._state_dir
 
-        The file is written next to its final location and moved into
-        place with :func:`os.replace`, so a crash mid-write leaves the
-        previous state intact, never a torn file.
+    def save_state(
+        self, state_dir: "str | os.PathLike[str] | None" = None
+    ) -> Path:
+        """Checkpoint every session's snapshot to ``state_dir`` atomically.
+
+        The file is written next to its final location, fsynced, and
+        moved into place with :func:`os.replace`, so a crash mid-write
+        leaves the previous state intact, never a torn file.  Once the
+        replace has happened the per-session WALs are rotated down to
+        the (usually zero) records the checkpoint does not cover, and
+        tombstone/orphan journals of deleted sessions are purged.
         """
-        directory = Path(state_dir)
+        directory = self._resolved_state_dir(state_dir)
         directory.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema": STATE_SCHEMA,
-            "sessions": {
-                served.name: served.snapshot_payload() for served in self.sessions()
-            },
-        }
+        sessions = self.sessions()
+        snapshots: dict[str, dict[str, Any]] = {}
+        versions: dict[str, int] = {}
+        for served in sessions:
+            payload = served.snapshot_payload()
+            snapshots[served.name] = payload
+            versions[served.name] = int(payload["state_version"])
+        payload = {"schema": STATE_SCHEMA, "sessions": snapshots}
         target = directory / STATE_FILENAME
         scratch = directory / (STATE_FILENAME + ".tmp")
-        scratch.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+        with open(scratch, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("registry.before_replace")
         os.replace(scratch, target)
+        self._fsync_directory(directory)
+        # The checkpoint is durable; rotate the journals behind it.
+        for served in sessions:
+            served.checkpoint_wal(versions[served.name])
+        self._purge_orphan_wals(directory)
         return target
 
-    def load_state(self, state_dir: "str | os.PathLike[str]") -> list[str]:
-        """Restore every session persisted by :meth:`save_state`.
+    def _purge_orphan_wals(self, directory: Path) -> None:
+        wal_dir = directory / WAL_DIRNAME
+        if not wal_dir.is_dir():
+            return
+        with self._lock:
+            live = set(self._sessions)
+        for path in wal_dir.glob("*.wal"):
+            if path.stem not in live:
+                path.unlink(missing_ok=True)
+
+    @staticmethod
+    def _fsync_directory(directory: Path) -> None:
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def load_state(
+        self, state_dir: "str | os.PathLike[str] | None" = None
+    ) -> list[str]:
+        """Restore the checkpoint, then replay each WAL tail on top.
 
         Missing state files are not an error (first boot of a fresh
-        ``--state-dir``); malformed ones are.  Returns the restored names.
+        ``--state-dir``).  Torn or corrupt WAL tails are truncated at
+        the last clean record boundary (CRC framing); a record that
+        replays to the *wrong* state version raises
+        :class:`~repro.resilience.wal.WalCorruptionError` -- that is a
+        bug or foreign tampering, not a crash artifact, and silently
+        serving wrong answers is worse than refusing to start.
+
+        Sets :attr:`phase` to ``"recovering"`` for the duration, so the
+        HTTP readiness endpoint reports 503 until every session is
+        byte-exact.  Returns the restored names.
         """
-        target = Path(state_dir) / STATE_FILENAME
-        if not target.exists():
-            return []
-        payload = json.loads(target.read_text())
-        if not isinstance(payload, dict) or payload.get("schema") != STATE_SCHEMA:
-            raise ValidationError(
-                f"{target} is not a {STATE_SCHEMA!r} state file"
-            )
+        directory = self._resolved_state_dir(state_dir)
+        self._set_phase("recovering")
+        try:
+            restored = self._load_state(directory)
+        finally:
+            self._set_phase("ready")
+        return restored
+
+    def _load_state(self, directory: Path) -> list[str]:
+        target = directory / STATE_FILENAME
+        snapshots: dict[str, Any] = {}
+        if target.exists():
+            payload = json.loads(target.read_text())
+            if not isinstance(payload, dict) or payload.get("schema") != STATE_SCHEMA:
+                raise ValidationError(
+                    f"{target} is not a {STATE_SCHEMA!r} state file"
+                )
+            snapshots = payload.get("sessions", {})
+        journals: dict[str, tuple[WriteAheadLog, list[dict[str, Any]]]] = {}
+        if self._state_dir is not None and directory == self._state_dir:
+            wal_dir = directory / WAL_DIRNAME
+            if wal_dir.is_dir():
+                for path in sorted(wal_dir.glob("*.wal")):
+                    wal = self._open_wal(path.stem)
+                    journals[path.stem] = (wal, wal.recover())
         restored = []
-        for name, snapshot in sorted(payload.get("sessions", {}).items()):
-            self.adopt(name, OpenWorldSession.restore(snapshot))
+        for name in sorted(set(snapshots) | set(journals)):
+            wal, records = journals.get(name, (None, []))
+            if records and records[0].get("op") == "drop":
+                if wal is not None:
+                    wal.close()
+                continue  # tombstoned after the last checkpoint
+            create_head = records[0] if records and records[0].get("op") == "create" else None
+            if create_head is not None:
+                # Created (or recreated) after the last checkpoint: the
+                # journal, not the stale snapshot entry, is authoritative.
+                session = OpenWorldSession.restore(create_head["snapshot"])
+            elif name in snapshots:
+                session = OpenWorldSession.restore(snapshots[name])
+            else:
+                raise WalCorruptionError(
+                    f"journal {name!r} has no create record and no "
+                    "checkpoint entry; cannot reconstruct the session"
+                )
+            self._replay(name, session, records)
+            self._register(name, session, wal=wal)
             restored.append(name)
         return restored
+
+    @staticmethod
+    def _replay(name: str, session: OpenWorldSession, records: list) -> None:
+        for record in records:
+            if record.get("op") != "ingest":
+                continue
+            version = int(record.get("v", 0))
+            if version <= session.state_version:
+                continue  # already covered by the checkpoint
+            if version != session.state_version + 1:
+                raise WalCorruptionError(
+                    f"journal {name!r} jumps from state_version "
+                    f"{session.state_version} to {version}; refusing to "
+                    "replay a gapped log"
+                )
+            session.ingest(_decode_observations(record["observations"]))
+            if session.state_version != version:
+                raise WalCorruptionError(
+                    f"replaying journal {name!r} reached state_version "
+                    f"{session.state_version}, record claims {version}"
+                )
 
     @staticmethod
     def _validated_name(name: str) -> None:

@@ -1,0 +1,88 @@
+"""Crashed-worker recovery in the process backend.
+
+A worker is SIGKILLed via the ``parallel.worker_entry`` fault point
+(armed in the parent and inherited by forked workers; a stamp directory
+makes the crash fire at most once across the whole process tree).  The
+backend must rebuild the pool, resubmit exactly the failed chunks, and
+return results bit-identical to an undisturbed serial run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.backends import ParallelExecutionError, ProcessBackend
+from repro.resilience import faults
+from repro.utils.exceptions import ValidationError
+
+TASKS = list(range(16))
+
+
+def _square(task, shared):
+    return task * task
+
+
+def _fail_on_three(task, shared):
+    if task == 3:
+        raise RuntimeError("task three is broken")
+    return task
+
+
+@pytest.fixture
+def worker_crash(tmp_path, monkeypatch):
+    """Arm one SIGKILL at the top of the first chunk any worker runs."""
+    monkeypatch.setenv(faults.STAMP_DIR_ENV, str(tmp_path))
+    monkeypatch.setenv(faults.FAULTS_ENV, "parallel.worker_entry:crash@1")
+    faults.arm_from_env()  # forked workers inherit the armed state
+    yield
+    faults.disarm()
+
+
+def test_crashed_chunk_is_retried_bit_identical(worker_crash):
+    with ProcessBackend(2, start_method="fork") as backend:
+        results = backend.map(_square, TASKS)
+        assert results == [task * task for task in TASKS]
+        assert backend.chunks_retried >= 1
+        # The rebuilt pool keeps serving subsequent maps.
+        assert backend.map(_square, TASKS) == results
+        assert backend.chunks_retried >= 1  # no further crashes, no retries
+
+
+def test_zero_retry_budget_surfaces_the_crash(worker_crash):
+    with ProcessBackend(2, start_method="fork", chunk_retries=0) as backend:
+        with pytest.raises(ParallelExecutionError, match="died unexpectedly"):
+            backend.map(_square, TASKS)
+        # The pool was torn down; the next map rebuilds and succeeds
+        # (the stamp directory already absorbed the one-shot fault).
+        assert backend.map(_square, TASKS) == [task * task for task in TASKS]
+        assert backend.chunks_retried == 0
+
+
+def test_task_level_exceptions_are_never_retried():
+    with ProcessBackend(2, start_method="fork") as backend:
+        with pytest.raises(RuntimeError, match="task three is broken"):
+            backend.map(_fail_on_three, TASKS)
+        assert backend.chunks_retried == 0
+
+
+def test_injected_raise_propagates_unretried(tmp_path, monkeypatch):
+    monkeypatch.setenv(faults.STAMP_DIR_ENV, str(tmp_path))
+    monkeypatch.setenv(faults.FAULTS_ENV, "parallel.worker_entry:raise@1")
+    faults.arm_from_env()
+    try:
+        with ProcessBackend(2, start_method="fork") as backend:
+            with pytest.raises(faults.InjectedFaultError):
+                backend.map(_square, TASKS)
+            assert backend.chunks_retried == 0
+    finally:
+        faults.disarm()
+
+
+def test_retry_budget_validation(monkeypatch):
+    with pytest.raises(ValidationError):
+        ProcessBackend(2, chunk_retries=-1)
+    monkeypatch.setenv("REPRO_PARALLEL_RETRIES", "nope")
+    with pytest.raises(ValidationError):
+        ProcessBackend(2)
+    monkeypatch.setenv("REPRO_PARALLEL_RETRIES", "3")
+    assert ProcessBackend(2).chunk_retries == 3

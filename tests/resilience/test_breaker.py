@@ -1,0 +1,149 @@
+"""Unit tests of the circuit breaker state machine (injected clock)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker, CircuitOpenError
+from repro.utils.exceptions import ValidationError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown=10.0, clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_admits(self, breaker):
+        assert breaker.state == "closed"
+        breaker.before_call()  # no raise
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.before_call()
+
+    def test_success_resets_the_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class TestOpen:
+    def test_trips_at_threshold(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_open_rejects_with_retry_after(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+
+    def test_half_opens_after_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.before_call()  # the probe is admitted
+        assert breaker.state == "half-open"
+
+
+class TestHalfOpen:
+    def _tripped(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.before_call()  # admit the probe
+
+    def test_single_probe_admission(self, breaker, clock):
+        self._tripped(breaker, clock)
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()  # second caller rejected while probing
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._tripped(breaker, clock)
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.before_call()
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self, breaker, clock):
+        self._tripped(breaker, clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.9)
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        clock.advance(0.1)
+        breaker.before_call()
+        assert breaker.state == "half-open"
+
+
+class TestValidationAndStats:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(cooldown=0.0)
+
+    def test_stats_surface(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        stats = breaker.stats()
+        assert stats == {
+            "state": "open",
+            "consecutive_failures": 3,
+            "failure_threshold": 3,
+            "times_opened": 1,
+            "rejected": 1,
+        }
+
+
+def test_concurrent_probes_admit_exactly_one(clock):
+    """Racing threads at the half-open transition: one probe, rest rejected."""
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.0)
+    admitted, rejected = [], []
+    barrier = threading.Barrier(8)
+
+    def contender() -> None:
+        barrier.wait()
+        try:
+            breaker.before_call()
+            admitted.append(1)
+        except CircuitOpenError:
+            rejected.append(1)
+
+    threads = [threading.Thread(target=contender) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(admitted) == 1 and len(rejected) == 7

@@ -1,0 +1,139 @@
+"""Unit tests of the deterministic fault-injection registry."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FAULTS_ENV,
+    STAMP_DIR_ENV,
+    InjectedFaultError,
+    arm,
+    disarm,
+    fault_point,
+    hit_counts,
+    parse_spec,
+)
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    monkeypatch.delenv(STAMP_DIR_ENV, raising=False)
+    disarm()
+    yield
+    disarm()
+
+
+class TestParse:
+    def test_single_clause(self):
+        armed = parse_spec("wal.after_append:raise@3")
+        assert set(armed) == {"wal.after_append"}
+        assert armed["wal.after_append"].action == "raise"
+        assert armed["wal.after_append"].nth == 3
+
+    def test_default_hit_is_first(self):
+        assert parse_spec("wal.before_fsync:crash")["wal.before_fsync"].nth == 1
+
+    def test_multiple_clauses(self):
+        armed = parse_spec("wal.after_append:raise,http.before_response:crash@2")
+        assert set(armed) == {"wal.after_append", "http.before_response"}
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValidationError, match="unknown fault point"):
+            parse_spec("wal.after_apend:raise")  # typo must fail loudly
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValidationError, match="unknown fault action"):
+            parse_spec("wal.after_append:explode")
+
+    def test_malformed_clause_rejected(self):
+        with pytest.raises(ValidationError, match="malformed"):
+            parse_spec("wal.after_append")
+
+    def test_bad_hit_count_rejected(self):
+        with pytest.raises(ValidationError, match="non-integer"):
+            parse_spec("wal.after_append:raise@soon")
+        with pytest.raises(ValidationError, match=">= 1"):
+            parse_spec("wal.after_append:raise@0")
+
+    def test_empty_spec_arms_nothing(self):
+        assert parse_spec("") == {}
+
+
+class TestFiring:
+    def test_unarmed_point_is_a_noop(self):
+        fault_point("wal.after_append")  # must not raise
+
+    def test_fires_exactly_on_the_nth_hit(self):
+        arm("wal.after_append:raise@3")
+        fault_point("wal.after_append")
+        fault_point("wal.after_append")
+        with pytest.raises(InjectedFaultError):
+            fault_point("wal.after_append")
+        # ... and never again: the restarted/retried path runs clean.
+        fault_point("wal.after_append")
+        fault_point("wal.after_append")
+        assert hit_counts() == {"wal.after_append": 5}
+
+    def test_other_points_unaffected(self):
+        arm("wal.after_append:raise")
+        fault_point("wal.before_fsync")
+        fault_point("registry.before_replace")
+
+    def test_rearm_resets_hits(self):
+        arm("wal.after_append:raise@2")
+        fault_point("wal.after_append")
+        arm("wal.after_append:raise@2")
+        fault_point("wal.after_append")
+        assert hit_counts() == {"wal.after_append": 1}
+
+    def test_env_is_parsed_lazily(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "wal.after_append:raise")
+        faults._armed = None  # simulate a fresh process
+        with pytest.raises(InjectedFaultError):
+            fault_point("wal.after_append")
+
+    def test_stamp_dir_makes_firing_at_most_once(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STAMP_DIR_ENV, str(tmp_path))
+        arm("wal.after_append:raise")
+        with pytest.raises(InjectedFaultError):
+            fault_point("wal.after_append")
+        # A second process (simulated by re-arming, which resets local
+        # hit counters) finds the stamp and does not fire.
+        arm("wal.after_append:raise")
+        fault_point("wal.after_append")
+        assert (tmp_path / "wal.after_append.fired").exists()
+
+
+def test_crash_action_is_sigkill(tmp_path):
+    """The crash action dies by SIGKILL: no atexit, no cleanup, no trace."""
+    code = (
+        "from repro.resilience.faults import fault_point\n"
+        "import atexit, sys\n"
+        "atexit.register(lambda: print('ATEXIT RAN', flush=True))\n"
+        "print('before', flush=True)\n"
+        "fault_point('wal.after_append')\n"
+        "print('after', flush=True)\n"
+    )
+    env = dict(os.environ)
+    env[FAULTS_ENV] = "wal.after_append:crash"
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=60,
+    )
+    assert proc.returncode == -signal.SIGKILL
+    assert proc.stdout == "before\n"  # neither 'after' nor the atexit hook

@@ -13,7 +13,12 @@ from repro.utils.exceptions import ValidationError
 def test_single_execution_returns_result():
     batcher = CoalescingBatcher()
     assert batcher.execute("k", lambda: 42) == 42
-    assert batcher.stats() == {"computed": 1, "coalesced": 0, "in_flight": 0}
+    assert batcher.stats() == {
+        "computed": 1,
+        "coalesced": 0,
+        "abandoned": 0,
+        "in_flight": 0,
+    }
 
 
 def test_simultaneous_identical_requests_compute_once():

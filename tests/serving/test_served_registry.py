@@ -145,7 +145,14 @@ class TestStats:
         served.estimate_payload()
         served.estimate_payload()
         stats = registry.stats()
-        assert set(stats) == {"schema", "sessions", "answer_cache", "coalescer"}
+        assert set(stats) == {
+            "schema",
+            "phase",
+            "sessions",
+            "answer_cache",
+            "coalescer",
+        }
+        assert stats["phase"] == "ready"
         (block,) = stats["sessions"]
         assert block["session"] == "s"
         assert block["state_version"] == 1
