@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Cluster throughput benchmark: cold-miss scaling vs worker count.
+
+A closed-loop load generator against ``repro.cluster`` fleets of 1, 2
+and 3 **process-mode** workers (each worker is a real subprocess with
+its own GIL, so shared-nothing sharding can buy actual CPU
+parallelism).  The workload is the cache-hostile one:
+
+* a fixed set of sessions, spread over the ring;
+* one client thread per session, each looping ingest-then-estimate, so
+  every estimate moves the state version and *must* recompute.
+
+The offered load (sessions x requests) is identical at every fleet
+size; only the number of workers changes.  The headline number is
+``scaling_3_over_1`` -- cold-miss throughput of the 3-worker fleet over
+the 1-worker fleet.  On a multi-core machine the acceptance bar is
+1.8x; the check is **advisory** (``--min-scaling`` warns, it does not
+fail by default) because the recorded ``cpu_count`` decides whether the
+hardware can express the parallelism at all -- a 1-CPU CI runner
+serializes the fleet no matter how well the router shards.
+
+Run standalone to emit ``BENCH_cluster_throughput.json``::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_throughput.py [--quick]
+
+``--quick`` shrinks request counts and Monte-Carlo settings for CI;
+``benchmarks/compare_bench.py`` gates the ``seconds`` cells against the
+committed ``BENCH_cluster_throughput_quick.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.cluster.run import make_cluster
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_cluster_throughput.json"
+)
+
+WORKER_COUNTS = (1, 2, 3)
+
+#: Monte-Carlo estimator with enough work that a cold request costs
+#: something; the same spec family as the serving benchmark.
+PAPER_SPEC = "monte-carlo?seed=1&n_runs=10&n_count_steps=20"
+QUICK_SPEC = "monte-carlo?seed=1&n_runs=5&n_count_steps=10"
+
+PAPER_LOAD = {"sessions": 6, "requests": 24}
+QUICK_LOAD = {"sessions": 4, "requests": 5}
+
+
+def request(base: str, method: str, path: str, body: "dict | None" = None) -> bytes:
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(req, timeout=120) as response:
+        return response.read()
+
+
+def seed_bodies(session: str) -> list[dict]:
+    """A deterministic skewed mention stream per session (no RNG)."""
+    bodies = []
+    for source in range(12):
+        for entity in range(80):
+            if source < 12 - (entity % 12):
+                bodies.append(
+                    {
+                        "entity_id": f"{session}-e{entity}",
+                        "source_id": f"{session}-s{source}",
+                        "attributes": {"value": float(10 + (entity * 7) % 90)},
+                    }
+                )
+    return bodies
+
+
+def run_fleet(n_workers: int, spec: str, load: dict) -> dict:
+    """One closed loop against an ``n_workers``-strong process fleet."""
+    sessions = [f"bench-{index}" for index in range(load["sessions"])]
+    with tempfile.TemporaryDirectory() as state_dir:
+        server, router, fleet = make_cluster(
+            workers=n_workers,
+            replicas=0,
+            state_dir=state_dir,
+            mode="process",
+            wal_fsync="never",
+        )
+        serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        serve_thread.start()
+        router.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            for name in sessions:
+                request(
+                    base,
+                    "POST",
+                    "/sessions",
+                    {"name": name, "attribute": "value", "estimator": spec},
+                )
+                request(
+                    base,
+                    "POST",
+                    f"/sessions/{name}/ingest",
+                    {"observations": seed_bodies(name)},
+                )
+            placements = {name: router.table.primary(name) for name in sessions}
+
+            errors: list[BaseException] = []
+            barrier = threading.Barrier(len(sessions) + 1)
+
+            def client(name: str) -> None:
+                try:
+                    barrier.wait()
+                    for index in range(load["requests"]):
+                        # Every estimate follows an ingest: the answer
+                        # cache must miss, each request pays a full
+                        # estimator run on the owning worker.
+                        request(
+                            base,
+                            "POST",
+                            f"/sessions/{name}/ingest",
+                            {
+                                "observations": [
+                                    {
+                                        "entity_id": f"{name}-drip{index}",
+                                        "source_id": f"{name}-drip",
+                                        "attributes": {"value": 50.0},
+                                    }
+                                ]
+                            },
+                        )
+                        request(base, "GET", f"/sessions/{name}/estimate")
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(name,)) for name in sessions
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            start = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            seconds = time.perf_counter() - start
+            if errors:
+                raise errors[0]
+        finally:
+            router.stop()
+            server.shutdown()
+            serve_thread.join(timeout=10)
+            server.server_close()
+            fleet.stop(graceful=False)
+
+    total = load["sessions"] * load["requests"]
+    return {
+        "workload": f"cold-miss-{n_workers}w",
+        "workers": n_workers,
+        "sessions": load["sessions"],
+        "requests": total,
+        "distinct_primaries": len(set(placements.values())),
+        "seconds": round(seconds, 6),
+        "req_per_s": round(total / seconds, 2),
+    }
+
+
+def run_benchmark(quick: bool) -> dict:
+    spec = QUICK_SPEC if quick else PAPER_SPEC
+    load = QUICK_LOAD if quick else PAPER_LOAD
+    workloads = [run_fleet(n, spec, load) for n in WORKER_COUNTS]
+    by_workers = {cell["workers"]: cell for cell in workloads}
+    scaling = round(by_workers[3]["req_per_s"] / by_workers[1]["req_per_s"], 2)
+    return {
+        "benchmark": "cluster_throughput",
+        "mode": "quick" if quick else "paper-scale",
+        "mc_settings": spec,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "worker_mode": "process",
+        "wal_fsync": "never",
+        "scaling_3_over_1": scaling,
+        "workloads": workloads,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=1.8,
+        help=(
+            "advisory bar for 3-worker over 1-worker cold-miss throughput; "
+            "a shortfall warns (and only fails with --enforce-scaling)"
+        ),
+    )
+    parser.add_argument(
+        "--enforce-scaling",
+        action="store_true",
+        help="turn the --min-scaling shortfall into a non-zero exit",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.quick)
+    output = args.output or DEFAULT_OUTPUT
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {output}")
+    if args.min_scaling and payload["scaling_3_over_1"] < args.min_scaling:
+        verdict = "FAIL" if args.enforce_scaling else "advisory"
+        print(
+            f"{verdict}: scaling_3_over_1={payload['scaling_3_over_1']} "
+            f"< {args.min_scaling} (cpu_count={payload['cpu_count']}; a "
+            "single-CPU machine cannot express fleet parallelism)"
+        )
+        if args.enforce_scaling:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,8 +2,9 @@
 """Benchmark-regression gate: diff a fresh bench JSON against a baseline.
 
 CI runs the quick-mode benchmarks (``bench_estimator_runtime.py --quick``,
-``bench_parallel_scaling.py --quick``) and then gates the wall-time cells
-against the committed ``BENCH_*_quick.json`` baselines::
+``bench_parallel_scaling.py --quick``, ``bench_serving_throughput.py
+--quick``, ``bench_cluster_throughput.py --quick``) and then gates the
+wall-time cells against the committed ``BENCH_*_quick.json`` baselines::
 
     python benchmarks/compare_bench.py bench-quick.json BENCH_estimator_runtime_quick.json
 

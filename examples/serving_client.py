@@ -18,10 +18,20 @@ clients would:
 Run with::
 
     python examples/serving_client.py
+
+Point it at an already-running server (or a ``repro.cli cluster``
+router -- the wire format is identical) instead with::
+
+    python examples/serving_client.py --base-url http://127.0.0.1:8080
+
+In ``--base-url`` mode refused connections are retried with jittered
+backoff too, so the walkthrough rides out a rolling restart.
 """
 
 from __future__ import annotations
 
+import argparse
+import http.client
 import json
 import random
 import threading
@@ -51,6 +61,11 @@ RETRIES = {"count": 0}
 
 MAX_ATTEMPTS = 8
 
+#: Set in --base-url mode: a remote server (or one worker behind a
+#: cluster router) may be mid-restart, so a refused connection is a
+#: transient to back off from, not a bug to crash on.
+RETRY_REFUSED = False
+
 
 def _backoff_delay(attempt: int, retry_after: float) -> float:
     """Honour the server's Retry-After floor, plus jittered exponential growth.
@@ -77,25 +92,55 @@ def request(base: str, method: str, path: str, body=None) -> dict | list:
                 return json.loads(response.read())
         except urllib.error.HTTPError as error:
             # 503 = shed by the admission gate (or a recovering/breaker
-            # state): back off as instructed and try again.
+            # state, or a cluster router mid-migration): back off as
+            # instructed and try again.
             if error.code != 503 or attempt == MAX_ATTEMPTS - 1:
                 raise
             retry_after = float(error.headers.get("Retry-After") or 0.0)
             RETRIES["count"] += 1
             time.sleep(_backoff_delay(attempt, retry_after))
+        except (urllib.error.URLError, ConnectionError, http.client.HTTPException):
+            # Refused/reset: the server (or its router) is restarting.
+            if not RETRY_REFUSED or attempt == MAX_ATTEMPTS - 1:
+                raise
+            RETRIES["count"] += 1
+            time.sleep(0.1 + _backoff_delay(attempt, 0.0))
     raise AssertionError("unreachable")
 
 
 def main() -> None:
-    # A deliberately small admission bound: with six clients hammering at
-    # once, some requests are shed with 503 + Retry-After and the backoff
-    # in request() absorbs them transparently.
-    server = make_server(max_inflight=2)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    host, port = server.server_address[:2]
-    base = f"http://{host}:{port}"
-    print(f"serving on {base}\n")
+    global RETRY_REFUSED
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base-url",
+        default=None,
+        help="drive an already-running server or cluster router at this URL "
+        "instead of starting an in-process one (refused connections are "
+        "retried with jittered backoff)",
+    )
+    options = parser.parse_args()
+
+    server = thread = None
+    if options.base_url is not None:
+        RETRY_REFUSED = True
+        base = options.base_url.rstrip("/")
+        print(f"driving external server at {base}\n")
+        # Re-runs against a long-lived server: clear our own leftovers.
+        try:
+            request(base, "DELETE", "/sessions/employees")
+        except urllib.error.HTTPError as error:
+            if error.code != 404:
+                raise
+    else:
+        # A deliberately small admission bound: with six clients hammering
+        # at once, some requests are shed with 503 + Retry-After and the
+        # backoff in request() absorbs them transparently.
+        server = make_server(max_inflight=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        print(f"serving on {base}\n")
 
     print("== create a session")
     info = request(base, "POST", "/sessions", {
@@ -139,26 +184,41 @@ def main() -> None:
 
     print("\n== the /stats ledger")
     stats = request(base, "GET", "/stats")
-    cache, coalescer = stats["answer_cache"], stats["coalescer"]
-    print(f"   answer cache: {cache['hits']} hits, {cache['misses']} misses "
-          f"({cache['size']}/{cache['max_entries']} entries)")
-    print(f"   coalescer: {coalescer['computed']} computed, "
-          f"{coalescer['coalesced']} folded into in-flight duplicates")
-    admission = stats["admission"]
-    print(f"   admission: {admission['admitted']} admitted, "
-          f"{admission['shed']} shed (max_inflight={admission['max_inflight']}); "
-          f"{RETRIES['count']} shed responses retried with jittered backoff")
-    session_block = stats["sessions"][0]
-    print(f"   estimator cache: {session_block['estimator_cache']}")
+    if stats.get("schema") == "repro.cluster/v1":
+        # A cluster router aggregates shared-nothing worker ledgers.
+        router = stats["router"]
+        print(f"   router: {router['requests']} requests, "
+              f"{router['primary_reads']} primary / "
+              f"{router['replica_reads']} replica reads, "
+              f"{router['migrations']} migrations")
+        for worker_name in sorted(stats["workers"]):
+            worker_stats = stats["workers"][worker_name]
+            print(f"   {worker_name}: "
+                  f"{len(worker_stats.get('sessions', []))} session(s)")
+        print(f"   {RETRIES['count']} shed/refused responses retried "
+              "with jittered backoff")
+    else:
+        cache, coalescer = stats["answer_cache"], stats["coalescer"]
+        print(f"   answer cache: {cache['hits']} hits, {cache['misses']} misses "
+              f"({cache['size']}/{cache['max_entries']} entries)")
+        print(f"   coalescer: {coalescer['computed']} computed, "
+              f"{coalescer['coalesced']} folded into in-flight duplicates")
+        admission = stats["admission"]
+        print(f"   admission: {admission['admitted']} admitted, "
+              f"{admission['shed']} shed (max_inflight={admission['max_inflight']}); "
+              f"{RETRIES['count']} shed responses retried with jittered backoff")
+        session_block = stats["sessions"][0]
+        print(f"   estimator cache: {session_block['estimator_cache']}")
 
     print("\n== snapshot for replay or migration")
     snapshot = request(base, "GET", "/sessions/employees/snapshot")
     print(f"   kind={snapshot['kind']!r} state_version={snapshot['state_version']} "
           f"n_ingested={snapshot['n_ingested']}")
 
-    server.shutdown()
-    thread.join(timeout=5)
-    server.server_close()
+    if server is not None:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()
     print("\ndone.")
 
 

@@ -30,6 +30,22 @@ and then requires the same byte identity as the graceful run::
 Shed 503 responses (admission gate, recovering window) are retried with
 jittered exponential backoff honouring the ``Retry-After`` header.
 
+``--cluster N`` drives a ``repro.cli cluster`` router over N workers
+instead of a single server: the stream is delivered with the
+version-checked exactly-once protocol (a chaos SIGKILL of a worker is
+absorbed by the supervisor + WAL replay), then one forced rebalance
+(``POST /cluster/workers``) and one rolling restart
+(``POST /cluster/restart``) run mid-session -- every surface must stay
+byte-identical to the facade throughout::
+
+    PYTHONPATH=src python scripts/serving_smoke.py --outdir /tmp/cluster \\
+        --cluster 3 --faults 'wal.after_append:crash@2'
+
+``--base-url URL`` (repeatable) skips process management entirely and
+drives an already-running server or router, rotating over the given
+bases; connection-refused responses (a router mid-rolling-restart) are
+retried with the same jittered backoff instead of failing the run.
+
 The script self-verifies (exit 1 on any byte difference), so it doubles
 as a local pre-push check::
 
@@ -88,25 +104,99 @@ class ServerDied(Exception):
     """The server went away mid-request (a chaos crash, not an HTTP error)."""
 
 
+class Client:
+    """Retrying HTTP client over one or more base URLs.
+
+    503s honour ``Retry-After`` with jittered exponential backoff.  With
+    ``retry_refused=True`` a refused/torn connection rotates to the next
+    base and retries too -- the router-mode contract, where a connection
+    refusal just means the router is mid-rolling-restart.  Without it, a
+    refused connection raises :class:`ServerDied` (the classic chaos
+    -detection semantics against a lone server).
+    """
+
+    def __init__(self, bases, *, retry_refused: bool = False) -> None:
+        self.bases = list(bases)
+        self.retry_refused = retry_refused
+        self._turn = 0
+
+    def request_once(self, method: str, path: str, body=None) -> bytes:
+        """One attempt, no retries (the exactly-once ingest primitive)."""
+        base = self.bases[self._turn % len(self.bases)]
+        self._turn += 1
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.read()
+        except (urllib.error.HTTPError, ConnectionError) as error:
+            raise
+        except (urllib.error.URLError, http.client.HTTPException) as exc:
+            raise ServerDied(str(exc)) from exc
+
+    def request(self, method: str, path: str, body=None) -> bytes:
+        for attempt in range(MAX_ATTEMPTS):
+            backoff = _rng.uniform(0, min(0.05 * 2 ** attempt, 2.0))
+            try:
+                return self.request_once(method, path, body)
+            except urllib.error.HTTPError as error:
+                if error.code != 503 or attempt == MAX_ATTEMPTS - 1:
+                    raise
+                # Shed or recovering: honour Retry-After, add jitter so a
+                # fleet of retrying clients does not stampede in lockstep.
+                retry_after = float(error.headers.get("Retry-After") or 0.0)
+                time.sleep(retry_after + backoff)
+            except (ServerDied, ConnectionError) as exc:
+                if not self.retry_refused or attempt == MAX_ATTEMPTS - 1:
+                    if isinstance(exc, ConnectionError):
+                        raise ServerDied(str(exc)) from exc
+                    raise
+                # Refused/torn: the router is mid-rolling-restart.  No
+                # Retry-After to honour, so back off on jitter alone.
+                time.sleep(0.1 + backoff)
+        raise AssertionError("unreachable")
+
+
 class ServerProcess:
-    """A ``repro.cli serve`` subprocess plus its READY-line address."""
+    """A ``repro.cli serve``/``cluster`` subprocess plus its READY address.
+
+    ``cluster=(workers, replicas)`` boots the consistent-hash router
+    fleet instead of a lone server; the READY-line contract (and hence
+    this wrapper) is identical.  Armed faults get a stamp directory so a
+    ``crash`` fires at most once across the whole worker tree.
+    """
 
     def __init__(self, state_dir: Path, *, faults: str | None = None,
-                 wal_fsync: str = "batch") -> None:
+                 wal_fsync: str = "batch",
+                 cluster: "tuple[int, int] | None" = None) -> None:
         env = dict(os.environ)
         env.pop("REPRO_FAULTS", None)
         env.pop("REPRO_FAULTS_STAMP_DIR", None)
         if faults:
             env["REPRO_FAULTS"] = faults
+            if cluster:
+                stamp_dir = state_dir.parent / "fault-stamps"
+                stamp_dir.mkdir(parents=True, exist_ok=True)
+                env["REPRO_FAULTS_STAMP_DIR"] = str(stamp_dir)
+        if cluster:
+            argv = ["cluster", "--workers", str(cluster[0]),
+                    "--replicas", str(cluster[1]), "--worker-mode", "process"]
+        else:
+            argv = ["serve"]
         self.process = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+            [sys.executable, "-m", "repro.cli", *argv, "--port", "0",
              "--state-dir", str(state_dir), "--wal-fsync", wal_fsync],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
             env=env,
         )
-        deadline = time.time() + 30
+        deadline = time.time() + 120
         self.base = None
         while time.time() < deadline:
             line = self.process.stdout.readline()
@@ -115,32 +205,12 @@ class ServerProcess:
             print(f"  server: {line.rstrip()}")
             if line.startswith("READY "):
                 self.base = line.split(None, 1)[1].strip()
+                self.client = Client([self.base], retry_refused=bool(cluster))
                 return
-        raise RuntimeError("server did not print READY within 30s")
+        raise RuntimeError("server did not print READY within 120s")
 
     def request(self, method: str, path: str, body=None) -> bytes:
-        data = json.dumps(body).encode() if body is not None else None
-        for attempt in range(MAX_ATTEMPTS):
-            request = urllib.request.Request(
-                self.base + path,
-                data=data,
-                method=method,
-                headers={"Content-Type": "application/json"} if data else {},
-            )
-            try:
-                with urllib.request.urlopen(request, timeout=30) as response:
-                    return response.read()
-            except urllib.error.HTTPError as error:
-                if error.code != 503 or attempt == MAX_ATTEMPTS - 1:
-                    raise
-                # Shed or recovering: honour Retry-After, add jitter so a
-                # fleet of retrying clients does not stampede in lockstep.
-                retry_after = float(error.headers.get("Retry-After") or 0.0)
-                time.sleep(retry_after + _rng.uniform(0, min(0.05 * 2 ** attempt, 2.0)))
-            except (urllib.error.URLError, ConnectionError,
-                    http.client.HTTPException) as exc:
-                raise ServerDied(str(exc)) from exc
-        raise AssertionError("unreachable")
+        return self.client.request(method, path, body)
 
     def stop(self) -> None:
         """Graceful SIGTERM shutdown; waits for the state snapshot."""
@@ -324,6 +394,94 @@ def run_chaos(outdir: Path, faults: str, wal_fsync: str) -> int:
     return recorder.verify()
 
 
+def ingest_stream(client: Client) -> None:
+    """Exactly-once delivery of CHUNKS, whatever crashes along the way.
+
+    The committed ``state_version`` is the source of truth: each loop
+    re-reads it and sends only the first uncovered chunk, so a chunk
+    whose acknowledgement was lost to a worker crash is never resent
+    (the version already covers it) and a lost chunk always is.
+    """
+    while True:
+        listing = json.loads(client.request("GET", "/sessions"))
+        sessions = {entry["session"]: entry for entry in listing["sessions"]}
+        if "smoke" not in sessions:
+            try:
+                client.request(
+                    "POST",
+                    "/sessions",
+                    {"name": "smoke", "attribute": ATTRIBUTE, "estimator": ESTIMATOR},
+                )
+            except urllib.error.HTTPError as exc:
+                if exc.code != 409:  # 409 = a lost-ack retry already created it
+                    raise
+            version = 0
+        else:
+            version = sessions["smoke"]["state_version"]
+        if version >= len(CHUNKS):
+            return
+        try:
+            client.request_once(
+                "POST",
+                "/sessions/smoke/ingest",
+                {"observations": to_bodies(CHUNKS[version])},
+            )
+        except (urllib.error.HTTPError, ConnectionError, ServerDied) as exc:
+            # Worker crashed or shed mid-delivery; the next loop
+            # re-reads the committed version and reconciles.
+            print(f"  ingest attempt for chunk {version} failed ({exc}); reconciling")
+            time.sleep(0.2 + _rng.uniform(0, 0.3))
+
+
+def run_cluster_flow(outdir: Path, workers: int, replicas: int,
+                     faults: str | None, wal_fsync: str) -> int:
+    """Cluster mode: chaos ingest, forced rebalance, rolling restart."""
+    recorder = StepRecorder(outdir)
+    state_dir = outdir / "state"
+    local = OpenWorldSession(ATTRIBUTE, estimator=ESTIMATOR)
+    for chunk in CHUNKS:
+        local.ingest(to_observations(chunk))
+
+    print(f"== phase 1: boot cluster --workers {workers} --replicas {replicas}"
+          + (f" with REPRO_FAULTS={faults!r}" if faults else ""))
+    server = ServerProcess(state_dir, faults=faults, wal_fsync=wal_fsync,
+                           cluster=(workers, replicas))
+    ingest_stream(server.client)
+    if faults:
+        stamp_dir = state_dir.parent / "fault-stamps"
+        if not any(stamp_dir.iterdir()):
+            raise RuntimeError(f"fault spec {faults!r} never fired during the stream")
+        print(f"  fault fired: {[p.name for p in stamp_dir.iterdir()]}")
+    record_surfaces(recorder, "ingested", server, local)
+
+    print("== phase 2: forced rebalance (scale out by one worker)")
+    report = json.loads(server.request("POST", "/cluster/workers"))
+    moved = [entry["session"] for entry in report["moved"]]
+    print(f"  added {report['added']['name']}; moved session(s): {moved or 'none'}")
+    record_surfaces(recorder, "rebalanced", server, local)
+
+    print("== phase 3: rolling restart under the same session")
+    report = json.loads(server.request("POST", "/cluster/restart"))
+    restarted = [entry["worker"] for entry in report["restarted"]]
+    print(f"  rolled: {', '.join(restarted)}")
+    record_surfaces(recorder, "rolled", server, local)
+    server.stop()
+    return recorder.verify()
+
+
+def run_client_flow(outdir: Path, bases: list[str]) -> int:
+    """--base-url mode: drive an externally managed server or router."""
+    recorder = StepRecorder(outdir)
+    local = OpenWorldSession(ATTRIBUTE, estimator=ESTIMATOR)
+    for chunk in CHUNKS:
+        local.ingest(to_observations(chunk))
+    client = Client(bases, retry_refused=True)
+    print(f"== driving {len(bases)} base URL(s): {', '.join(bases)}")
+    ingest_stream(client)
+    record_surfaces(recorder, "client", client, local)
+    return recorder.verify()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--outdir", type=Path, required=True)
@@ -339,9 +497,38 @@ def main() -> int:
         choices=["always", "batch", "never"],
         help="write-ahead log fsync policy for the server (default: batch)",
     )
+    parser.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drive a 'repro.cli cluster' router over N process workers "
+        "(chaos + forced rebalance + rolling restart)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="replica count for --cluster (default: 1)",
+    )
+    parser.add_argument(
+        "--base-url",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="drive an already-running server/router at URL instead of "
+        "spawning one (repeatable; requests rotate over the list and "
+        "refused connections are retried with jittered backoff)",
+    )
     args = parser.parse_args()
     args.outdir.mkdir(parents=True, exist_ok=True)
-    if args.faults:
+    if args.base_url:
+        failures = run_client_flow(args.outdir, args.base_url)
+    elif args.cluster:
+        failures = run_cluster_flow(
+            args.outdir, args.cluster, args.replicas, args.faults, args.wal_fsync
+        )
+    elif args.faults:
         failures = run_chaos(args.outdir, args.faults, args.wal_fsync)
     else:
         failures = run_graceful(args.outdir, args.wal_fsync)

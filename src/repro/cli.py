@@ -1,6 +1,6 @@
 """Command-line interface for the unknown-unknowns estimators.
 
-Five subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro.cli estimate  mentions.csv --attribute employees
     python -m repro.cli query     mentions.csv --attribute gdp \
@@ -8,6 +8,7 @@ Five subcommands cover the common workflows::
     python -m repro.cli dataset   us-tech-employment --step 50
     python -m repro.cli experiment figure6 --repetitions 50 --backend process
     python -m repro.cli serve     --port 8080 --state-dir ./state
+    python -m repro.cli cluster   --workers 3 --replicas 2 --state-dir ./state
 
 ``estimate`` and ``query`` read a CSV of per-source mentions
 (``entity_id, source_id, <attribute>`` -- see :mod:`repro.data.io`);
@@ -20,6 +21,9 @@ serial run, and ``--describe`` prints the experiment's parameter spec.
 sessions behind reader/writer locks, version-keyed estimate caching,
 request coalescing, and graceful SIGINT/SIGTERM shutdown that snapshots
 every session to ``--state-dir`` and restores them on restart.
+``cluster`` runs the same API behind a consistent-hash router over N
+shared-nothing serve workers (:mod:`repro.cluster`) with live session
+migration for rebalancing and rolling restarts.
 
 Estimators are given as **estimator specs** (see :mod:`repro.api.specs`):
 any registered name (``bucket``, ``monte-carlo``, ...) or a composite
@@ -227,6 +231,78 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_parallel_options(serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="serve sessions through a consistent-hash router over N workers",
+    )
+    cluster.add_argument(
+        "--host", default="127.0.0.1", help="router bind address (default: 127.0.0.1)"
+    )
+    cluster.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="router bind port; 0 picks an ephemeral port",
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="serve-worker count; session names consistent-hash across them "
+        "(default: 2)",
+    )
+    cluster.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="copies per session: 1 = primary only, R > 1 adds R-1 read "
+        "replicas that estimate reads round-robin over (default: 1)",
+    )
+    cluster.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "directory for the per-worker state shards "
+            "(<state-dir>/<worker>/); omitted = a throwaway temp dir"
+        ),
+    )
+    cluster.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="per-worker LRU bound of the version-keyed answer cache",
+    )
+    cluster.add_argument(
+        "--wal-fsync",
+        choices=("always", "batch", "never"),
+        default="batch",
+        help="fsync policy of each worker's write-ahead ingest logs "
+        "(see 'serve --wal-fsync')",
+    )
+    cluster.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="per-worker admission bound (503 + Retry-After beyond it)",
+    )
+    cluster.add_argument(
+        "--worker-mode",
+        choices=("process", "thread"),
+        default="process",
+        help=(
+            "'process' (default) spawns each worker as its own interpreter "
+            "-- N cold misses use N cores; 'thread' runs them in-process "
+            "(tests/demos)"
+        ),
+    )
+    cluster.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKENDS),
+        help="execution backend *inside* each worker (default: serial -- "
+        "the cluster parallelizes across workers instead)",
+    )
 
     return parser
 
@@ -463,6 +539,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    # Imported here for the same reason as _cmd_serve: the cluster stack
+    # is only needed by this subcommand.
+    from repro.cluster.run import run_cluster
+
+    return run_cluster(
+        args.host,
+        args.port,
+        workers=args.workers,
+        replicas=args.replicas,
+        state_dir=args.state_dir,
+        mode=args.worker_mode,
+        wal_fsync=args.wal_fsync,
+        cache_entries=args.cache_size,
+        max_inflight=args.max_inflight,
+        backend=args.backend,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -473,6 +568,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dataset": _cmd_dataset,
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
     }
     try:
         return handlers[args.command](args)

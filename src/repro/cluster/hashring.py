@@ -1,0 +1,185 @@
+"""Consistent hashing: deterministic session placement over a worker fleet.
+
+The router (:mod:`repro.cluster.router`) must answer one question on
+every request -- *which worker owns this session name?* -- with three
+properties:
+
+**Deterministic.**  Placement is a pure function of the session name and
+the set of worker names.  Two routers (or one router before and after a
+restart) looking at the same fleet compute the same placement, so no
+placement table has to be persisted or agreed on.  The hash is
+:func:`hashlib.blake2b` over the UTF-8 bytes -- *never* Python's
+builtin ``hash``, whose per-process randomization (``PYTHONHASHSEED``)
+would scatter sessions on every boot.
+
+**Stable under membership change.**  The ring is the classic consistent
+-hashing construction (Karger et al.): each worker is hashed to many
+*virtual points* on a 64-bit circle and a key belongs to the first
+worker point at or clockwise-after the key's own point.  Adding a
+worker claims only the arcs immediately counter-clockwise of its new
+points -- every key that does not land on one of those arcs keeps its
+owner.  Removing a worker is the mirror image: only *its* keys move (to
+their next-clockwise surviving point), everyone else stays put.  With
+``K`` keys on ``N`` workers, one join/leave therefore remaps about
+``K/N`` keys instead of rehashing nearly everything the way ``hash(key)
+% N`` would.
+
+**Balanced.**  A worker's share of the circle is the sum of many small
+arcs rather than one big one, so with the default 256 virtual points
+per worker the per-worker key share concentrates within a few percent
+of ``K/N`` (the property-based tests pin <15% deviation).
+
+:meth:`HashRing.preference` generalizes ownership to a *preference
+list*: the first ``n`` distinct workers clockwise of the key.  Entry 0
+is the primary; the rest are the replica set used for read fan-out --
+and because the walk is clockwise, a worker leaving promotes exactly
+the next entry, which already held the replica.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+from repro.utils.exceptions import ValidationError
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "hash_key"]
+
+#: Virtual points per worker.  256 keeps the balance tests comfortably
+#: inside the 15% envelope up to 8-worker fleets (measured worst-case
+#: deviation ~10%) while ring rebuilds stay trivially cheap (a fleet
+#: has tens of workers, not thousands).
+DEFAULT_VNODES = 256
+
+
+def hash_key(text: str) -> int:
+    """The ring position of ``text``: a stable 64-bit blake2b digest."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring of named nodes with virtual points.
+
+    Mutation (:meth:`add` / :meth:`remove`) rebuilds the sorted point
+    array; lookups are a binary search.  The class is not thread-safe --
+    the router guards its ring with the routing-table lock, and tests
+    use private instances.
+    """
+
+    def __init__(
+        self, nodes: "Iterable[str]" = (), *, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValidationError(f"vnodes must be >= 1, got {vnodes}")
+        self._vnodes = int(vnodes)
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes(self) -> list[str]:
+        """The member node names, sorted."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        """Join ``node``; only keys on its new arcs change owners."""
+        if not isinstance(node, str) or not node:
+            raise ValidationError(f"node name must be a non-empty string, got {node!r}")
+        if node in self._nodes:
+            raise ValidationError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for point in self._node_points(node):
+            # Point collisions across distinct 64-bit blake2b digests are
+            # vanishingly unlikely; deterministic first-writer-wins keeps
+            # even that case stable across rebuilds (insertion order is
+            # not consulted -- the lexically-first name claims the point).
+            owner = self._owners.get(point)
+            if owner is None:
+                bisect.insort(self._points, point)
+                self._owners[point] = node
+            elif node < owner:
+                self._owners[point] = node
+        self._rebuild_collisions()
+
+    def remove(self, node: str) -> None:
+        """Leave ``node``; only its keys change owners."""
+        if node not in self._nodes:
+            raise ValidationError(f"node {node!r} is not on the ring")
+        self._nodes.remove(node)
+        self._points = []
+        self._owners = {}
+        for member in self._nodes:
+            for point in self._node_points(member):
+                owner = self._owners.get(point)
+                if owner is None or member < owner:
+                    self._owners[point] = member
+        self._points = sorted(self._owners)
+
+    def _rebuild_collisions(self) -> None:
+        # add() maintains points incrementally; this just asserts the
+        # sorted invariant cheaply in the (normal) no-collision case.
+        if len(self._points) != len(self._owners):  # pragma: no cover
+            self._points = sorted(self._owners)
+
+    def _node_points(self, node: str) -> list[int]:
+        return [hash_key(f"{node}#{index}") for index in range(self._vnodes)]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def primary(self, key: str) -> str:
+        """The owning node of ``key`` (the first clockwise node point)."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: str, n: int) -> list[str]:
+        """The first ``n`` distinct nodes clockwise of ``key``.
+
+        Entry 0 is the primary; entries 1.. are the replica set.  When
+        the ring has fewer than ``n`` nodes the full membership is
+        returned (no padding) -- callers size replica sets with
+        ``min(n, len(ring))`` semantics for free.
+        """
+        if not self._nodes:
+            raise ValidationError("the hash ring has no nodes")
+        if n < 1:
+            raise ValidationError(f"preference length must be >= 1, got {n}")
+        want = min(n, len(self._nodes))
+        start = bisect.bisect_left(self._points, hash_key(key))
+        found: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            point = self._points[(start + offset) % len(self._points)]
+            owner = self._owners[point]
+            if owner not in seen:
+                seen.add(owner)
+                found.append(owner)
+                if len(found) == want:
+                    break
+        return found
+
+    def placement(self, keys: "Iterable[str]") -> dict[str, str]:
+        """``{key: primary}`` for every key (test and rebalance helper)."""
+        return {key: self.primary(key) for key in keys}
+
+    def describe(self) -> dict[str, object]:
+        """JSON-safe summary for the router's ``/cluster`` topology view."""
+        return {
+            "nodes": self.nodes,
+            "vnodes": self._vnodes,
+            "points": len(self._points),
+        }

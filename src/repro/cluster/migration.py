@@ -1,0 +1,126 @@
+"""Live session migration: quiesce -> snapshot -> transfer -> fence -> resume.
+
+Moving a session between workers is how the cluster rebalances when the
+ring changes and how a worker is drained for a rolling restart.  The
+protocol is deliberately tiny, because every hard part is delegated to
+an invariant that already exists:
+
+1. **Quiesce** (caller's job -- the router marks the session migrating
+   *before* calling :func:`migrate_session`): no new request reaches
+   either copy, and in-flight requests have drained.  Clients see HTTP
+   503 + ``Retry-After`` for the migration window, never a hang and
+   never a stale answer.
+2. **Snapshot**: ``GET /sessions/<name>/snapshot`` on the source -- the
+   same ``repro.result/v1`` envelope used by graceful shutdown and the
+   WAL's create records.  Under quiesce the envelope's
+   ``state_version`` *is* the session's one true version.
+3. **Transfer**: ``POST /sessions/<name>/restore`` on the destination.
+   Restore is replace-if-newer and version-reporting (see
+   :meth:`~repro.serving.registry.SessionRegistry.restore_session`), so
+   re-sending the same envelope is a no-op that reports the same
+   version -- the step is idempotent.
+4. **Fence**: the destination's reported ``state_version`` must equal
+   the envelope's.  Equality proves the destination holds exactly the
+   transferred state -- not an older stray copy, not a newer one from a
+   racing writer (impossible under quiesce, but the fence turns
+   "impossible" into "checked").  On mismatch the source keeps the
+   session and the caller aborts: at most one copy is ever routable.
+5. **Resume** (caller's job): only *after* the fence holds is the
+   source copy deleted and the routing table flipped.  A crash anywhere
+   earlier leaves the source authoritative; a crash between transfer
+   and delete leaves two copies **at the same version**, which the
+   router's startup reconciliation resolves by keeping the
+   ring-placement copy -- either choice is byte-identical, which is the
+   precise sense in which the transfer is exactly-once.
+
+The two ``cluster.*`` fault points make the window SIGKILL-testable
+exactly like the WAL points: ``cluster.before_transfer`` crashes after
+quiesce with zero copies moved, ``cluster.before_resume`` crashes with
+two fenced copies and no delete.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.cluster.fleet import worker_request, worker_request_json
+from repro.resilience.faults import fault_point
+from repro.utils.exceptions import ReproError
+
+__all__ = ["MigrationError", "fetch_snapshot", "migrate_session"]
+
+
+class MigrationError(ReproError):
+    """A migration step failed; the source copy remains authoritative."""
+
+
+def fetch_snapshot(base: str, name: str, *, timeout: float = 60.0) -> dict[str, Any]:
+    """The session-snapshot envelope of ``name`` on the worker at ``base``."""
+    status, payload, _ = worker_request(
+        base, "GET", f"/sessions/{name}/snapshot", timeout=timeout
+    )
+    if status != 200:
+        raise MigrationError(
+            f"snapshot of {name!r} on {base} failed with HTTP {status}: "
+            f"{payload[:200]!r}"
+        )
+    return json.loads(payload)
+
+
+def migrate_session(
+    name: str,
+    source_base: str,
+    dest_base: str,
+    *,
+    keep_source: bool = False,
+    timeout: float = 60.0,
+) -> dict[str, Any]:
+    """Move ``name`` from the source worker to the destination worker.
+
+    The caller must have quiesced the session first (no requests are
+    reaching either worker for it).  ``keep_source=True`` skips the
+    delete -- used when the source copy should live on as a read
+    replica.  Returns a summary with the fenced ``state_version``.
+    """
+    envelope = fetch_snapshot(source_base, name, timeout=timeout)
+    version = int(envelope["state_version"])
+    fault_point("cluster.before_transfer")
+    status, restored = worker_request_json(
+        dest_base,
+        "POST",
+        f"/sessions/{name}/restore",
+        envelope,
+        timeout=timeout,
+    )
+    if status not in (200, 201):
+        raise MigrationError(
+            f"restore of {name!r} on {dest_base} failed with HTTP {status}: "
+            f"{restored!r}"
+        )
+    fenced = int(restored.get("state_version", -1))
+    if fenced != version:
+        raise MigrationError(
+            f"migration fence failed for {name!r}: transferred "
+            f"state_version {version} but {dest_base} reports {fenced}; "
+            "the source copy remains authoritative"
+        )
+    fault_point("cluster.before_resume")
+    if not keep_source:
+        status, payload, _ = worker_request(
+            source_base, "DELETE", f"/sessions/{name}", timeout=timeout
+        )
+        # 404 = already deleted by an earlier attempt of this same
+        # migration; the retry protocol tolerates it.
+        if status not in (200, 404):
+            raise MigrationError(
+                f"post-fence delete of {name!r} on {source_base} failed "
+                f"with HTTP {status}: {payload[:200]!r}"
+            )
+    return {
+        "session": name,
+        "from": source_base,
+        "to": dest_base,
+        "state_version": version,
+        "kept_source": keep_source,
+    }

@@ -1,0 +1,923 @@
+"""The cluster router: one address, N shared-nothing serve workers.
+
+The router speaks **exactly** the single-server HTTP/JSON API
+(:mod:`repro.serving.http`): every session route is proxied to the
+owning worker and the response body is forwarded *verbatim*, so a body
+served through the router is byte-identical to the same request against
+a lone server -- the smoke driver and the chaos suite generalize to the
+fleet with nothing but a different base URL.
+
+Placement is the consistent-hash ring (:mod:`repro.cluster.hashring`):
+``preference(name, R)`` names the primary (entry 0) and the ``R-1``
+read replicas.  The router enforces the cluster's traffic discipline:
+
+* **ingests go to the primary** -- the single writer per session; the
+  ack's ``state_version`` is recorded and a snapshot push to the
+  replicas is scheduled (one background replication thread, newest
+  push wins);
+* **estimate reads fan out**: round-robin over the preference workers
+  whose last pushed ``state_version`` matches the primary's -- a stale
+  or unknown replica is simply skipped, so a replica answer is always
+  byte-identical to the primary's (snapshot/restore parity + the nulled
+  runtime block);
+* **a migrating session sheds, never hangs**: requests arriving inside
+  a migration window get HTTP 503 + ``Retry-After`` (the same
+  contract as the admission gate), and the window itself is bounded by
+  quiesce -- the migration starts only after in-flight requests drain;
+* **a dead worker degrades, never errors**: a refused/torn proxy leg
+  becomes 503 + ``Retry-After`` while the fleet supervisor respawns the
+  worker and its WAL replay restores every session it owned.
+
+Aggregation stays shared-nothing: ``/stats`` and ``/sessions`` are
+fan-out reads over the workers merged at the router (each session
+reported by its placement worker), ``/readyz`` is the conjunction of
+worker readiness and the router's own reconciliation phase.
+
+On boot the router **reconciles**: it lists every worker's sessions,
+and for each name keeps the highest-``state_version`` copy (migrating
+it to the ring placement if a crash mid-migration left it elsewhere),
+records matching replica copies, and deletes off-placement leftovers.
+Because migration quiesces writes, duplicate copies can only exist at
+*equal* versions -- either copy is byte-identical, which is what makes
+the crash-interrupted transfer exactly-once (see
+:mod:`repro.cluster.migration`).
+
+Admin surface (cluster-only, not part of the single-server API)::
+
+    GET  /cluster           topology: workers, ring, placements, replicas
+    POST /cluster/workers   scale out by one worker and rebalance onto it
+    POST /cluster/restart   rolling restart: drain -> restart -> restore, per worker
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.cluster.fleet import (
+    Fleet,
+    Worker,
+    WorkerUnavailableError,
+    worker_request,
+    worker_request_json,
+)
+from repro.cluster.hashring import HashRing
+from repro.cluster.migration import MigrationError, fetch_snapshot, migrate_session
+from repro.utils.exceptions import ReproError, ValidationError
+
+__all__ = ["ClusterRouter", "RouterServer", "SessionMigratingError"]
+
+#: Request bodies beyond this are refused at the router (mirrors the
+#: worker-side bound so the router never relays what a worker would 413).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Retry-After hint for shed requests (migration window / dead worker).
+SHED_RETRY_AFTER = 1.0
+
+
+class SessionMigratingError(ReproError):
+    """The session is mid-migration; retry shortly (HTTP 503)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            f"session {name!r} is migrating between workers; retry shortly"
+        )
+        self.retry_after = SHED_RETRY_AFTER
+
+
+class _RoutingTable:
+    """Placement, migration quiesce, and replica bookkeeping.
+
+    All state is router-local and rebuilt by reconciliation on boot --
+    nothing here needs to be durable because placement is a pure
+    function of the ring and the authoritative data lives in the
+    workers' state shards.
+    """
+
+    def __init__(self, replicas: int) -> None:
+        self.ring = HashRing()
+        self.replicas = max(1, int(replicas))
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._migrating: set[str] = set()
+        self._inflight: dict[str, int] = {}
+        #: Overrides placement while a home worker is down for a rolling
+        #: restart: name -> temporary preference list.
+        self._overrides: dict[str, list[str]] = {}
+        #: name -> last state_version acked by the primary.
+        self._primary_version: dict[str, int] = {}
+        #: (name, worker) -> state_version last pushed to that replica.
+        self._replica_version: dict[tuple[str, str], int] = {}
+        self._round_robin: dict[str, "itertools.cycle[int] | None"] = {}
+        self._rr_counter: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+
+    def preference(self, name: str) -> list[str]:
+        with self._lock:
+            override = self._overrides.get(name)
+            if override is not None:
+                return list(override)
+        return self.ring.preference(name, self.replicas)
+
+    def primary(self, name: str) -> str:
+        return self.preference(name)[0]
+
+    def set_override(self, name: str, workers: "list[str] | None") -> None:
+        with self._lock:
+            if workers is None:
+                self._overrides.pop(name, None)
+            else:
+                self._overrides[name] = list(workers)
+
+    # ------------------------------------------------------------------ #
+    # Quiesce / in-flight accounting
+    # ------------------------------------------------------------------ #
+
+    def begin(self, name: str) -> None:
+        with self._lock:
+            if name in self._migrating:
+                raise SessionMigratingError(name)
+            self._inflight[name] = self._inflight.get(name, 0) + 1
+
+    def end(self, name: str) -> None:
+        with self._lock:
+            count = self._inflight.get(name, 0) - 1
+            if count <= 0:
+                self._inflight.pop(name, None)
+                self._drained.notify_all()
+            else:
+                self._inflight[name] = count
+
+    def quiesce(self, name: str, timeout: float = 60.0) -> None:
+        """Shed new requests for ``name`` and wait out the in-flight ones."""
+        with self._lock:
+            self._migrating.add(name)
+            deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+            waited = self._drained.wait_for(
+                lambda: self._inflight.get(name, 0) == 0, timeout=deadline
+            )
+            if not waited:
+                self._migrating.discard(name)
+                raise MigrationError(
+                    f"session {name!r} did not drain within {timeout}s"
+                )
+
+    def resume(self, name: str) -> None:
+        with self._lock:
+            self._migrating.discard(name)
+
+    def migrating(self) -> list[str]:
+        with self._lock:
+            return sorted(self._migrating)
+
+    # ------------------------------------------------------------------ #
+    # Version bookkeeping (replica read eligibility)
+    # ------------------------------------------------------------------ #
+
+    def record_primary(self, name: str, version: int) -> None:
+        with self._lock:
+            self._primary_version[name] = int(version)
+
+    def primary_version(self, name: str) -> "int | None":
+        with self._lock:
+            return self._primary_version.get(name)
+
+    def record_replica(self, name: str, worker: str, version: int) -> None:
+        with self._lock:
+            self._replica_version[(name, worker)] = int(version)
+
+    def forget(self, name: str) -> None:
+        with self._lock:
+            self._primary_version.pop(name, None)
+            self._overrides.pop(name, None)
+            self._rr_counter.pop(name, None)
+            for key in [k for k in self._replica_version if k[0] == name]:
+                self._replica_version.pop(key)
+
+    def forget_replicas_off(self, name: str, keep: "list[str]") -> None:
+        with self._lock:
+            for key in [
+                k
+                for k in self._replica_version
+                if k[0] == name and k[1] not in keep
+            ]:
+                self._replica_version.pop(key)
+
+    def known_sessions(self) -> list[str]:
+        with self._lock:
+            return sorted(self._primary_version)
+
+    def read_target(self, name: str) -> "tuple[str, list[str]]":
+        """The worker to send an estimate read to, plus the fallbacks.
+
+        Candidates are the primary and every replica whose last pushed
+        version matches the primary's acked version; the pick
+        round-robins across them.  The fallback list (ending in the
+        primary) absorbs a candidate that turns out to be down or to
+        have lost the copy.
+        """
+        preference = self.preference(name)
+        primary = preference[0]
+        with self._lock:
+            expected = self._primary_version.get(name)
+            candidates = [primary]
+            if expected is not None:
+                for worker in preference[1:]:
+                    if self._replica_version.get((name, worker)) == expected:
+                        candidates.append(worker)
+            turn = self._rr_counter.get(name, 0)
+            self._rr_counter[name] = turn + 1
+        chosen = candidates[turn % len(candidates)]
+        fallbacks = [worker for worker in candidates if worker != chosen]
+        if primary not in fallbacks and chosen != primary:
+            fallbacks.append(primary)
+        return chosen, fallbacks
+
+
+class RouterServer(ThreadingHTTPServer):
+    """The bound HTTP server carrying the :class:`ClusterRouter` state."""
+
+    daemon_threads = True
+
+    def __init__(self, address: "tuple[str, int]", router: "ClusterRouter") -> None:
+        super().__init__(address, _RouterHandler)
+        self.router = router
+
+
+class ClusterRouter:
+    """Routing, replication, reconciliation and admin logic of the fleet."""
+
+    def __init__(self, fleet: Fleet, *, replicas: int = 1) -> None:
+        self.fleet = fleet
+        self.table = _RoutingTable(replicas)
+        self.phase = "recovering"
+        self._admin_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "primary_reads": 0,
+            "replica_reads": 0,
+            "shed_migrating": 0,
+            "shed_unavailable": 0,
+            "migrations": 0,
+            "replica_pushes": 0,
+        }
+        self._replication_queue: "queue.Queue[str | None]" = queue.Queue()
+        self._pending_replication: set[str] = set()
+        self._pending_lock = threading.Lock()
+        self._replication_thread: "threading.Thread | None" = None
+        for worker in fleet.workers():
+            self.table.ring.add(worker.name)
+        fleet.on_worker_restart = self._worker_restarted
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Reconcile worker state into the routing table and go ready."""
+        self._replication_thread = threading.Thread(
+            target=self._replication_loop, name="router-replication", daemon=True
+        )
+        self._replication_thread.start()
+        self.reconcile()
+        self.phase = "ready"
+
+    def stop(self) -> None:
+        self.phase = "stopping"
+        self._replication_queue.put(None)
+        if self._replication_thread is not None:
+            self._replication_thread.join(timeout=30)
+            self._replication_thread = None
+
+    def count(self, key: str, delta: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[key] = self._counters.get(key, 0) + delta
+
+    @property
+    def ready(self) -> bool:
+        if self.phase != "ready":
+            return False
+        return all(worker.ready for worker in self.fleet.workers())
+
+    # ------------------------------------------------------------------ #
+    # Proxy legs
+    # ------------------------------------------------------------------ #
+
+    def forward(
+        self,
+        worker_name: str,
+        method: str,
+        path: str,
+        body: "bytes | None" = None,
+    ) -> "tuple[int, bytes, dict[str, str]]":
+        worker = self.fleet.worker(worker_name)
+        base = worker.base
+        if base is None or not worker.ready:
+            raise WorkerUnavailableError(
+                f"worker {worker_name} is restarting; retry shortly"
+            )
+        return worker_request(base, method, path, body)
+
+    # ------------------------------------------------------------------ #
+    # Replication (primary snapshot -> replicas)
+    # ------------------------------------------------------------------ #
+
+    def schedule_replication(self, name: str) -> None:
+        if self.table.replicas <= 1:
+            return
+        with self._pending_lock:
+            if name in self._pending_replication:
+                return  # a push is queued; it will read the newest snapshot
+            self._pending_replication.add(name)
+        self._replication_queue.put(name)
+
+    def _replication_loop(self) -> None:
+        while True:
+            name = self._replication_queue.get()
+            if name is None:
+                return
+            with self._pending_lock:
+                self._pending_replication.discard(name)
+            try:
+                self.replicate_now(name)
+            except (ReproError, OSError):
+                # The next ingest re-schedules; a stale replica is merely
+                # skipped by the read fan-out in the meantime.
+                continue
+
+    def replicate_now(self, name: str) -> int:
+        """Push the primary's snapshot to every replica; returns push count."""
+        preference = self.table.preference(name)
+        if len(preference) < 2:
+            return 0
+        if name in self.table.migrating():
+            return 0  # the migration itself will re-sync replicas
+        primary = preference[0]
+        worker = self.fleet.worker(primary)
+        if worker.base is None or not worker.ready:
+            return 0
+        envelope = fetch_snapshot(worker.base, name)
+        version = int(envelope["state_version"])
+        pushed = 0
+        for replica_name in preference[1:]:
+            replica = self.fleet.worker(replica_name)
+            if replica.base is None or not replica.ready:
+                continue
+            status, restored = worker_request_json(
+                replica.base, "POST", f"/sessions/{name}/restore", envelope
+            )
+            if status == 200 and int(restored.get("state_version", -1)) >= version:
+                self.table.record_replica(
+                    name, replica_name, int(restored["state_version"])
+                )
+                pushed += 1
+                self.count("replica_pushes")
+        return pushed
+
+    # ------------------------------------------------------------------ #
+    # Migration / rebalancing / rolling restart
+    # ------------------------------------------------------------------ #
+
+    def migrate(
+        self, name: str, source: str, dest: str, *, keep_source: bool = False
+    ) -> dict[str, Any]:
+        """Quiesced migration of one session between two workers."""
+        self.table.quiesce(name)
+        try:
+            result = migrate_session(
+                name,
+                self.fleet.worker(source).base,
+                self.fleet.worker(dest).base,
+                keep_source=keep_source,
+            )
+        finally:
+            self.table.resume(name)
+        self.table.record_primary(name, int(result["state_version"]))
+        if keep_source:
+            self.table.record_replica(name, source, int(result["state_version"]))
+        self.count("migrations")
+        return result
+
+    def add_worker(self) -> dict[str, Any]:
+        """Scale out by one worker; migrate exactly the remapped arc."""
+        with self._admin_lock:
+            sessions = self.table.known_sessions()
+            before = {name: self.table.preference(name) for name in sessions}
+            worker = self.fleet.spawn()
+            self.table.ring.add(worker.name)
+            moved = self._rebalance(before)
+        return {"added": worker.describe(), "moved": moved}
+
+    def _rebalance(self, before: "dict[str, list[str]]") -> list[dict[str, Any]]:
+        """Move sessions whose placement changed; re-sync changed replicas."""
+        moved = []
+        for name, old_pref in sorted(before.items()):
+            new_pref = self.table.preference(name)
+            if new_pref[0] != old_pref[0]:
+                keep = old_pref[0] in new_pref[1:]
+                result = self.migrate(
+                    name, old_pref[0], new_pref[0], keep_source=keep
+                )
+                moved.append(result)
+            self.table.forget_replicas_off(name, new_pref[1:])
+            for worker_name in old_pref:
+                if worker_name not in new_pref:
+                    self._best_effort_delete(name, worker_name)
+            if len(new_pref) > 1:
+                self.schedule_replication(name)
+        return moved
+
+    def _best_effort_delete(self, name: str, worker_name: str) -> None:
+        try:
+            self.forward(worker_name, "DELETE", f"/sessions/{name}")
+        except WorkerUnavailableError:
+            pass  # the copy dies with the shard at the next reconcile
+
+    def rolling_restart(self) -> dict[str, Any]:
+        """Drain each worker in turn, restart it, and restore placement.
+
+        With a lone worker there is nowhere to drain to: the worker is
+        restarted in place and its own checkpoint + WAL replay brings
+        every session back (requests during the window shed with 503).
+        """
+        with self._admin_lock:
+            report = []
+            for worker in list(self.fleet.names()):
+                drained = self._drain(worker)
+                self.fleet.restart_worker(worker, graceful=True)
+                for name, fallback in drained:
+                    self.migrate(name, fallback, worker)
+                    self.table.set_override(name, None)
+                    self.schedule_replication(name)
+                report.append(
+                    {"worker": worker, "drained": [name for name, _ in drained]}
+                )
+        return {"restarted": report}
+
+    def _drain(self, worker_name: str) -> list[tuple[str, str]]:
+        """Migrate every session primaried on ``worker_name`` elsewhere."""
+        if len(self.fleet.names()) < 2:
+            return []
+        drained = []
+        for name in self.table.known_sessions():
+            preference = self.table.preference(name)
+            if preference[0] != worker_name:
+                continue
+            fallback = next(
+                (w for w in preference[1:] if w != worker_name), None
+            )
+            if fallback is None:
+                ring_pref = self.table.ring.preference(name, len(self.fleet.names()))
+                fallback = next(w for w in ring_pref if w != worker_name)
+            self.migrate(name, worker_name, fallback)
+            self.table.set_override(name, [fallback])
+            drained.append((name, fallback))
+        return drained
+
+    def _worker_restarted(self, worker: Worker) -> None:
+        """Supervisor callback: re-sync replicas after a crash respawn.
+
+        The respawned worker replayed its own WAL shard, so its sessions
+        are back at their acked versions; replica bookkeeping for copies
+        *on* the worker is conservatively reset (they re-qualify at the
+        next push).
+        """
+        for name in self.table.known_sessions():
+            preference = self.table.preference(name)
+            if worker.name in preference[1:]:
+                self.schedule_replication(name)
+
+    # ------------------------------------------------------------------ #
+    # Boot reconciliation
+    # ------------------------------------------------------------------ #
+
+    def reconcile(self) -> dict[str, Any]:
+        """Resolve worker shards into one consistent placement.
+
+        For every session name found on any worker: the copy with the
+        highest ``state_version`` wins (duplicates can only be equal --
+        migration quiesces writes); it is migrated to the ring placement
+        if a crash left it elsewhere; matching replica copies are
+        recorded; off-placement leftovers are deleted.
+        """
+        found: dict[str, dict[str, int]] = {}
+        for worker in self.fleet.workers():
+            if worker.base is None:
+                continue
+            status, listing = worker_request_json(worker.base, "GET", "/sessions")
+            if status != 200:
+                raise WorkerUnavailableError(
+                    f"worker {worker.name} listing failed with HTTP {status}"
+                )
+            for entry in listing["sessions"]:
+                found.setdefault(entry["session"], {})[worker.name] = int(
+                    entry["state_version"]
+                )
+        actions = {"sessions": len(found), "migrated": 0, "deleted": 0}
+        for name, copies in sorted(found.items()):
+            preference = self.table.preference(name)
+            primary = preference[0]
+            vmax = max(copies.values())
+            if copies.get(primary) != vmax:
+                source = sorted(w for w, v in copies.items() if v == vmax)[0]
+                keep = source in preference[1:]
+                self.migrate(name, source, primary, keep_source=keep)
+                copies[primary] = vmax
+                if not keep:
+                    copies.pop(source, None)
+                actions["migrated"] += 1
+            self.table.record_primary(name, vmax)
+            for worker_name, version in sorted(copies.items()):
+                if worker_name == primary:
+                    continue
+                if worker_name in preference[1:]:
+                    self.table.record_replica(name, worker_name, version)
+                else:
+                    self._best_effort_delete(name, worker_name)
+                    actions["deleted"] += 1
+            if len(preference) > 1:
+                self.schedule_replication(name)
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+
+    def merged_sessions(self) -> list[dict[str, Any]]:
+        """Session info blocks, each from its placement worker."""
+        merged: dict[str, dict[str, Any]] = {}
+        for worker in self.fleet.workers():
+            if worker.base is None or not worker.ready:
+                continue
+            try:
+                status, listing = worker_request_json(
+                    worker.base, "GET", "/sessions"
+                )
+            except WorkerUnavailableError:
+                continue
+            if status != 200:
+                continue
+            for entry in listing["sessions"]:
+                name = entry["session"]
+                try:
+                    if self.table.primary(name) == worker.name:
+                        merged[name] = entry
+                    else:
+                        merged.setdefault(name, entry)
+                except ValidationError:  # pragma: no cover - empty ring
+                    merged.setdefault(name, entry)
+        return [merged[name] for name in sorted(merged)]
+
+    def aggregated_stats(self) -> dict[str, Any]:
+        workers: dict[str, Any] = {}
+        session_blocks: dict[str, dict[str, Any]] = {}
+        for worker in self.fleet.workers():
+            if worker.base is None or not worker.ready:
+                workers[worker.name] = {"error": "restarting"}
+                continue
+            try:
+                status, stats = worker_request_json(worker.base, "GET", "/stats")
+            except WorkerUnavailableError as exc:
+                workers[worker.name] = {"error": str(exc)}
+                continue
+            workers[worker.name] = stats if status == 200 else {"error": status}
+            if status == 200:
+                for block in stats.get("sessions", []):
+                    name = block["session"]
+                    try:
+                        if self.table.primary(name) == worker.name:
+                            session_blocks[name] = block
+                    except ValidationError:  # pragma: no cover - empty ring
+                        pass
+        with self._stats_lock:
+            counters = dict(self._counters)
+        return {
+            "schema": "repro.cluster/v1",
+            "phase": self.phase,
+            "workers": workers,
+            "sessions": [session_blocks[name] for name in sorted(session_blocks)],
+            "router": {
+                **counters,
+                "replicas": self.table.replicas,
+                "ring": self.table.ring.describe(),
+                "migrating": self.table.migrating(),
+                "fleet": self.fleet.describe(),
+            },
+        }
+
+    def topology(self) -> dict[str, Any]:
+        placements = {
+            name: self.table.preference(name)
+            for name in self.table.known_sessions()
+        }
+        return {
+            "schema": "repro.cluster/v1",
+            "phase": self.phase,
+            "replicas": self.table.replicas,
+            "ring": self.table.ring.describe(),
+            "workers": self.fleet.describe(),
+            "placements": placements,
+            "migrating": self.table.migrating(),
+        }
+
+
+def _retry_after_header(seconds: float) -> "tuple[str, str]":
+    return ("Retry-After", str(max(1, math.ceil(seconds))))
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    server_version = "repro-cluster-router/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, method: str) -> None:
+        router = self.server.router
+        try:
+            split = urlsplit(self.path)
+            parts = [p for p in split.path.split("/") if p]
+            router.count("requests")
+            if method == "GET" and parts == ["healthz"]:
+                self._send_json(
+                    200,
+                    {"status": "ok", "workers": len(router.fleet.names())},
+                )
+                return
+            if method == "GET" and parts == ["readyz"]:
+                self._get_readyz()
+                return
+            if not router.ready:
+                self._send_json(
+                    503,
+                    {"status": router.phase},
+                    headers=[_retry_after_header(SHED_RETRY_AFTER)],
+                )
+                return
+            if parts and parts[0] == "cluster":
+                self._dispatch_cluster(method, parts)
+                return
+            if method == "GET" and parts == ["stats"]:
+                self._send_json(200, router.aggregated_stats())
+                return
+            if method == "GET" and parts == ["sessions"]:
+                self._send_json(200, {"sessions": router.merged_sessions()})
+                return
+            if method == "POST" and parts == ["sessions"]:
+                self._post_create(split)
+                return
+            if parts and parts[0] == "sessions" and len(parts) in (2, 3):
+                self._dispatch_session(method, parts, split)
+                return
+            self._send_json(404, {"error": f"no route {method} {split.path}"})
+        except SessionMigratingError as exc:
+            router.count("shed_migrating")
+            self._send_json(
+                503,
+                {"error": str(exc)},
+                headers=[_retry_after_header(exc.retry_after)],
+            )
+        except WorkerUnavailableError as exc:
+            router.count("shed_unavailable")
+            self._send_json(
+                503,
+                {"error": str(exc)},
+                headers=[_retry_after_header(SHED_RETRY_AFTER)],
+            )
+        except ValidationError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_json(
+                500, {"error": f"router error: {type(exc).__name__}: {exc}"}
+            )
+
+    # ------------------------------------------------------------------ #
+    # Session routes (proxied)
+    # ------------------------------------------------------------------ #
+
+    def _post_create(self, split) -> None:
+        router = self.server.router
+        body = self._read_body()
+        try:
+            parsed = json.loads(body or b"")
+            name = parsed.get("name") if isinstance(parsed, dict) else None
+        except json.JSONDecodeError:
+            name = None
+        if not isinstance(name, str) or not name:
+            raise ValidationError(
+                "creating a session requires a JSON body with a 'name'"
+            )
+        router.table.begin(name)
+        try:
+            status, payload, headers = router.forward(
+                router.table.primary(name), "POST", "/sessions", body
+            )
+        finally:
+            router.table.end(name)
+        if status == 201:
+            router.table.record_primary(name, 0)
+            router.schedule_replication(name)
+        self._relay(status, payload, headers)
+
+    def _dispatch_session(self, method: str, parts: list[str], split) -> None:
+        router = self.server.router
+        name = parts[1]
+        action = parts[2] if len(parts) == 3 else None
+        path = split.path + (f"?{split.query}" if split.query else "")
+        body = self._read_body() if method in ("POST",) else None
+        router.table.begin(name)
+        try:
+            if method == "DELETE" and action is None:
+                self._delete_session(name, path, body)
+                return
+            if method == "GET" and action == "estimate":
+                self._read_fanout(name, path)
+                return
+            if (method, action) in (
+                ("POST", "ingest"),
+                ("POST", "query"),
+                ("GET", "snapshot"),
+                ("POST", "restore"),
+            ):
+                status, payload, headers = router.forward(
+                    router.table.primary(name), method, path, body
+                )
+                if action == "ingest" and status == 200:
+                    try:
+                        ack = json.loads(payload)
+                        router.table.record_primary(
+                            name, int(ack["state_version"])
+                        )
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        pass
+                    router.schedule_replication(name)
+                elif action == "restore" and status == 200:
+                    try:
+                        router.table.record_primary(
+                            name, int(json.loads(payload)["state_version"])
+                        )
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        pass
+                    router.schedule_replication(name)
+                self._relay(status, payload, headers)
+                return
+            self._send_json(
+                404, {"error": f"no route {method} {split.path}"}
+            )
+        finally:
+            router.table.end(name)
+
+    def _delete_session(self, name: str, path: str, body) -> None:
+        router = self.server.router
+        preference = router.table.preference(name)
+        status, payload, headers = router.forward(
+            preference[0], "DELETE", path, body
+        )
+        for replica in preference[1:]:
+            try:
+                router.forward(replica, "DELETE", path, body)
+            except WorkerUnavailableError:
+                pass
+        router.table.forget(name)
+        self._relay(status, payload, headers)
+
+    def _read_fanout(self, name: str, path: str) -> None:
+        router = self.server.router
+        chosen, fallbacks = router.table.read_target(name)
+        primary = router.table.primary(name)
+        for index, worker_name in enumerate([chosen, *fallbacks]):
+            try:
+                status, payload, headers = router.forward(
+                    worker_name, "GET", path
+                )
+            except WorkerUnavailableError:
+                if index == len(fallbacks):
+                    raise
+                continue
+            # A replica that lost the copy (restart race) must not leak a
+            # 404 for a session that exists: fall through to the primary.
+            if status == 404 and worker_name != primary and fallbacks:
+                continue
+            router.count(
+                "primary_reads" if worker_name == primary else "replica_reads"
+            )
+            self._relay(status, payload, headers)
+            return
+        raise WorkerUnavailableError(
+            f"no worker could answer the read for session {name!r}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cluster admin routes
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_cluster(self, method: str, parts: list[str]) -> None:
+        router = self.server.router
+        if method == "GET" and parts == ["cluster"]:
+            self._send_json(200, router.topology())
+            return
+        if method == "POST" and parts == ["cluster", "workers"]:
+            self._send_json(200, router.add_worker())
+            return
+        if method == "POST" and parts == ["cluster", "restart"]:
+            self._send_json(200, router.rolling_restart())
+            return
+        self._send_json(404, {"error": f"no route {method} /{'/'.join(parts)}"})
+
+    # ------------------------------------------------------------------ #
+    # Readiness
+    # ------------------------------------------------------------------ #
+
+    def _get_readyz(self) -> None:
+        router = self.server.router
+        if router.ready:
+            self._send_json(
+                200,
+                {"status": "ready", "workers": len(router.fleet.names())},
+            )
+        else:
+            self._send_json(
+                503,
+                {"status": router.phase if router.phase != "ready" else "degraded"},
+                headers=[_retry_after_header(SHED_RETRY_AFTER)],
+            )
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def _read_body(self) -> "bytes | None":
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ValidationError("Content-Length header is not an integer") from None
+        if length <= 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            raise ValidationError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return self.rfile.read(length)
+
+    def _relay(
+        self, status: int, payload: bytes, headers: "dict[str, str]"
+    ) -> None:
+        """Forward a worker response verbatim (the byte-identity contract)."""
+        passthrough = [
+            (key, value)
+            for key, value in headers.items()
+            if key.lower() in ("retry-after",)
+        ]
+        self._send_bytes(status, payload, headers=passthrough)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        headers: "list[tuple[str, str]] | None" = None,
+    ) -> None:
+        body = (json.dumps(payload, indent=2, allow_nan=False) + "\n").encode()
+        self._send_bytes(status, body, headers=headers)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        headers: "list[tuple[str, str]] | None" = None,
+    ) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in headers or ():
+                self.send_header(name, value)
+            if status >= 400:
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(body)
+        except BrokenPipeError:  # pragma: no cover - client already gone
+            pass

@@ -11,6 +11,8 @@ instrumented call sites inside the durability-critical code paths::
     fault_point("registry.before_replace")  # before os.replace of sessions.json
     fault_point("parallel.worker_entry")    # top of a process-pool chunk
     fault_point("http.before_response")     # before any response bytes
+    fault_point("cluster.before_transfer")  # migration: snapshot taken, not sent
+    fault_point("cluster.before_resume")    # migration: fenced, source not dropped
 
 armed through the ``REPRO_FAULTS`` environment variable (or :func:`arm`
 for in-process tests) with specs of the form::
@@ -74,6 +76,8 @@ FAULT_POINTS = frozenset(
         "registry.before_replace",
         "parallel.worker_entry",
         "http.before_response",
+        "cluster.before_transfer",
+        "cluster.before_resume",
     }
 )
 

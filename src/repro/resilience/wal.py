@@ -81,8 +81,11 @@ class WalCorruptionError(ReproError):
 
 
 def _encode(record: "dict[str, Any]") -> bytes:
+    # Insertion order must survive the round-trip: snapshot payloads in
+    # create records carry first-seen dict order (counts, values) that
+    # the serving layer exposes byte-for-byte, so no sort_keys here.
     payload = json.dumps(
-        record, separators=(",", ":"), sort_keys=True, allow_nan=False
+        record, separators=(",", ":"), allow_nan=False
     ).encode("utf-8")
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 

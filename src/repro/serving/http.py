@@ -17,6 +17,8 @@ Routes::
     GET    /sessions/<name>/estimate     ?spec=...&attribute=...&timeout_ms=...
     POST   /sessions/<name>/query        {"sql", "spec"?, "closed_world"?}
     GET    /sessions/<name>/snapshot     the session-snapshot envelope
+    POST   /sessions/<name>/restore      materialize from a snapshot envelope
+                                         (migration/replica push; replace-if-newer)
 
 Liveness (``/healthz``) answers 200 from the moment the socket is bound
 -- it means "the process is up", nothing more.  Readiness (``/readyz``)
@@ -228,6 +230,7 @@ class _Handler(BaseHTTPRequestHandler):
                 ("GET", "estimate"): self._get_estimate,
                 ("POST", "query"): self._post_query,
                 ("GET", "snapshot"): self._get_snapshot,
+                ("POST", "restore"): self._post_restore,
             }
             return session_routes.get(action)
         return None
@@ -343,6 +346,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _get_snapshot(self, parts, query) -> None:
         served = self.server.registry.get(parts[1])
         self._send_bytes(200, dumps_result(served.snapshot_payload()))
+
+    def _post_restore(self, parts, query) -> None:
+        # The receiving half of a cluster migration / replica push: the
+        # body is a session-snapshot envelope, the response reports the
+        # state_version this worker now holds (the migration fence).
+        body = self._read_json_body()
+        served = self.server.registry.restore_session(parts[1], body)
+        self._send_json(200, served.info())
 
     # ------------------------------------------------------------------ #
     # Plumbing

@@ -568,6 +568,39 @@ class SessionRegistry:
         self._validated_name(name)
         return self._register(name, session, journal_create=True)
 
+    def restore_session(
+        self, name: str, payload: "dict[str, Any]"
+    ) -> ServedSession:
+        """Materialize ``name`` from a snapshot envelope (replace-if-newer).
+
+        The receiving half of a cluster migration or replica push.  The
+        semantics make retries safe and the migration fence checkable:
+
+        * no current session -> restore and register (journaling a WAL
+          create record carrying the envelope, so the copy survives a
+          crash of *this* worker too);
+        * current session at an **older** ``state_version`` -> replace
+          it (a replica catching up, or a re-migration onto a stale
+          leftover);
+        * current session at the **same or newer** version -> no-op
+          that keeps the current instance (the idempotent-retry case).
+
+        Either way the returned session's ``info()['state_version']`` is
+        what the caller fences on: it equals the envelope's version
+        exactly when this worker now holds the transferred state.
+        """
+        self._validated_name(name)
+        session = OpenWorldSession.restore(payload)
+        with self._lock:
+            existing = self._sessions.get(name)
+        if existing is not None:
+            with existing._lock.read_locked():
+                current_version = existing._session.state_version
+            if current_version >= session.state_version:
+                return existing
+            self.remove(name)
+        return self._register(name, session, journal_create=True)
+
     def _register(
         self,
         name: str,

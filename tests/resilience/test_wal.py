@@ -43,11 +43,24 @@ class TestFraming:
     def test_missing_file_reads_empty(self, tmp_path):
         assert read_records(tmp_path / "absent.wal") == []
 
-    def test_key_order_is_canonical(self, wal):
-        wal.append({"b": 1, "a": 2})
+    def test_insertion_order_survives_the_round_trip(self, wal):
+        # Dict order is semantic: snapshot payloads inside create records
+        # carry first-seen counts/values order that the serving layer
+        # exposes byte-for-byte after a replay.  Sorting here would make
+        # a WAL-recovered session differ from the one that wrote it.
+        record = {
+            "op": "create",
+            "snapshot": {"counts": {"gamma": 2, "alpha": 3, "beta": 1}},
+        }
+        wal.append(record)
         wal.close()
         raw = wal.path.read_bytes()
-        assert b'{"a":2,"b":1}' in raw
+        assert b'{"gamma":2,"alpha":3,"beta":1}' in raw
+        assert list(read_records(wal.path)[0]["snapshot"]["counts"]) == [
+            "gamma",
+            "alpha",
+            "beta",
+        ]
 
 
 class TestRecovery:
