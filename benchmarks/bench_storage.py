@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""Storage-layer benchmark: ingest throughput, restart latency, replay.
+
+Measures the disk store (:mod:`repro.storage`) against the in-memory
+default on the same deterministic stream, directly at the
+:class:`~repro.api.session.OpenWorldSession` seam (no HTTP):
+
+* ``ingest-*``: rows/second through ``session.ingest`` per store --
+  memory, disk with the ``batch`` fsync policy (the serving default),
+  disk with ``never`` (page-cache only).
+* ``seal``: the disk-mode checkpoint (seal the active segment + write
+  the manifest) after the full stream -- O(active tail), not O(n).
+* ``attach``: the headline cell -- re-open the sealed store by reading
+  the manifest and mmapping the invariant arrays.  O(1) in session
+  size; the dict materialization the estimators need is deferred.
+* ``checkpoint-restore``: the O(n) path attach replaces -- serialize
+  the session snapshot to JSON, parse it back, rebuild a session.
+* ``first-read-materialize``: the deferred O(c) dict build the first
+  estimator-facing read pays after an attach.
+* ``stream-replay``: a full pass over the segment observation reader
+  (the progressive-replay surface), rows/second off disk.
+
+Run standalone to emit ``BENCH_storage.json``::
+
+    PYTHONPATH=src python benchmarks/bench_storage.py [--quick]
+
+``--restart-check`` runs the acceptance gate instead: build a sealed
+10^6-row store and fail unless the mmap attach lands under 100 ms.
+
+Wall times are filesystem- and machine-dependent; the committed JSON
+records ``cpu_count`` so the CI regression gate only enforces cells on
+a matching machine class (see ``compare_bench.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api.session import OpenWorldSession
+from repro.data.records import Observation
+from repro.storage.store import DiskStore
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+
+PAPER_ROWS = 1_000_000
+QUICK_ROWS = 50_000
+CHUNK_ROWS = 10_000
+
+ATTRIBUTE = "value"
+ESTIMATOR = "bucket/frequency"
+
+#: The restart acceptance bar: a million-row session must re-attach in
+#: under this (ISSUE acceptance criterion; typical runs land well under).
+RESTART_BUDGET_SECONDS = 0.100
+RESTART_ROWS = 1_000_000
+
+
+def entity_pool(rows: int) -> int:
+    return max(1_000, rows // 20)
+
+
+def chunk_observations(start: int, count: int, pool: int) -> "list[Observation]":
+    return [
+        Observation(
+            f"e{(i * 7919) % pool}",
+            {ATTRIBUTE: float(10 + (i * 7919) % 97)},
+            f"s{i % 32}",
+        )
+        for i in range(start, start + count)
+    ]
+
+
+def timed_ingest(session: OpenWorldSession, rows: int, pool: int) -> float:
+    """Ingest the deterministic stream; returns ingest-only wall time."""
+    seconds = 0.0
+    for start in range(0, rows, CHUNK_ROWS):
+        chunk = chunk_observations(start, min(CHUNK_ROWS, rows - start), pool)
+        begin = time.perf_counter()
+        session.ingest(chunk)
+        seconds += time.perf_counter() - begin
+    return seconds
+
+
+def ingest_cell(label: str, session: OpenWorldSession, rows: int, pool: int) -> dict:
+    seconds = timed_ingest(session, rows, pool)
+    return {
+        "workload": label,
+        "rows": rows,
+        "seconds": round(seconds, 6),
+        "rows_per_s": round(rows / seconds, 1),
+    }
+
+
+def build_sealed_store(directory: Path, rows: int, pool: int) -> None:
+    """A sealed, closed disk store holding the full stream."""
+    session = OpenWorldSession(
+        ATTRIBUTE, estimator=ESTIMATOR, store=DiskStore(directory, fsync="batch")
+    )
+    timed_ingest(session, rows, pool)
+    session.store.seal()
+    session.close()
+
+
+def attach_seconds(directory: Path) -> "tuple[float, OpenWorldSession]":
+    """Wall time of the O(1) attach path: manifest + mmap + counters."""
+    begin = time.perf_counter()
+    store = DiskStore(directory, fsync="batch")
+    session = OpenWorldSession.attach(store)
+    _ = (session.n, session.c, session.n_sources, session.state_version)
+    seconds = time.perf_counter() - begin
+    assert not store.materialized, "attach must not materialize the dicts"
+    return seconds, session
+
+
+def run_benchmark(quick: bool) -> dict:
+    rows = QUICK_ROWS if quick else PAPER_ROWS
+    pool = entity_pool(rows)
+    cells = []
+    with tempfile.TemporaryDirectory(prefix="bench-storage-") as tmp:
+        root = Path(tmp)
+        memory = OpenWorldSession(ATTRIBUTE, estimator=ESTIMATOR)
+        cells.append(ingest_cell("ingest-memory", memory, rows, pool))
+        for policy in ("batch", "never"):
+            disk = OpenWorldSession(
+                ATTRIBUTE,
+                estimator=ESTIMATOR,
+                store=DiskStore(root / f"disk-{policy}", fsync=policy),
+            )
+            cells.append(
+                ingest_cell(f"ingest-disk-{policy}", disk, rows, pool)
+            )
+            if policy == "batch":
+                begin = time.perf_counter()
+                disk.store.seal()
+                cells.append(
+                    {
+                        "workload": "seal",
+                        "seconds": round(time.perf_counter() - begin, 6),
+                    }
+                )
+            disk.close()
+
+        seconds, attached = attach_seconds(root / "disk-batch")
+        cells.append(
+            {
+                "workload": "attach",
+                "rows": rows,
+                "seconds": round(seconds, 6),
+                "milliseconds": round(seconds * 1000, 3),
+            }
+        )
+
+        # The O(n) checkpoint path attach replaces: JSON out, JSON in,
+        # rebuild the session dict by dict.
+        begin = time.perf_counter()
+        envelope = json.dumps(memory.snapshot().to_dict())
+        restored = OpenWorldSession.restore(json.loads(envelope))
+        cells.append(
+            {
+                "workload": "checkpoint-restore",
+                "rows": rows,
+                "seconds": round(time.perf_counter() - begin, 6),
+                "snapshot_bytes": len(envelope),
+            }
+        )
+        assert restored.state_version == attached.state_version
+
+        begin = time.perf_counter()
+        entities = len(attached.store.state.counts)
+        cells.append(
+            {
+                "workload": "first-read-materialize",
+                "entities": entities,
+                "seconds": round(time.perf_counter() - begin, 6),
+            }
+        )
+
+        reader = attached.store.observation_reader()
+        begin = time.perf_counter()
+        replayed = sum(1 for _ in reader)
+        seconds = time.perf_counter() - begin
+        cells.append(
+            {
+                "workload": "stream-replay",
+                "rows": replayed,
+                "seconds": round(seconds, 6),
+                "rows_per_s": round(replayed / seconds, 1),
+            }
+        )
+        assert replayed == rows
+        attached.close()
+    return {
+        "benchmark": "storage",
+        "mode": "quick" if quick else "paper-scale",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "chunk_rows": CHUNK_ROWS,
+        "entities": pool,
+        "cells": cells,
+    }
+
+
+def run_restart_check(rows: int) -> int:
+    """Build a sealed ``rows``-row store; gate the attach latency."""
+    pool = entity_pool(rows)
+    with tempfile.TemporaryDirectory(prefix="bench-storage-check-") as tmp:
+        directory = Path(tmp) / "store"
+        print(f"building a sealed {rows:,}-row store ...", flush=True)
+        build_sealed_store(directory, rows, pool)
+        # Best of three: the gate is about the attach path's complexity
+        # class, not one cold-cache outlier.
+        best = None
+        for _ in range(3):
+            seconds, session = attach_seconds(directory)
+            session.close()
+            best = seconds if best is None else min(best, seconds)
+        print(
+            f"attach: {best * 1000:.2f} ms for {rows:,} rows "
+            f"(budget {RESTART_BUDGET_SECONDS * 1000:.0f} ms)"
+        )
+        if best >= RESTART_BUDGET_SECONDS:
+            print("FAIL: restart latency exceeds the budget")
+            return 1
+        print("OK: mmap attach is O(1) in session size")
+        return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument(
+        "--restart-check",
+        action="store_true",
+        help=f"gate: a sealed {RESTART_ROWS:,}-row store must attach in "
+        f"under {RESTART_BUDGET_SECONDS * 1000:.0f} ms",
+    )
+    parser.add_argument(
+        "--restart-rows",
+        type=int,
+        default=RESTART_ROWS,
+        help="row count for --restart-check (default: 1,000,000)",
+    )
+    args = parser.parse_args(argv)
+    if args.restart_check:
+        return run_restart_check(args.restart_rows)
+    result = run_benchmark(args.quick)
+    output = args.output or DEFAULT_OUTPUT
+    output.write_text(json.dumps(result, indent=2) + "\n")
+    for cell in result["cells"]:
+        rate = f"{cell['rows_per_s']:>12,.0f} rows/s" if "rows_per_s" in cell else ""
+        print(f"{cell['workload']:24} {cell['seconds']:>10.4f}s {rate}")
+    print(f"written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

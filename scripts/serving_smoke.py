@@ -172,7 +172,7 @@ class ServerProcess:
     """
 
     def __init__(self, state_dir: Path, *, faults: str | None = None,
-                 wal_fsync: str = "batch",
+                 wal_fsync: str = "batch", store: str = "memory",
                  cluster: "tuple[int, int] | None" = None) -> None:
         env = dict(os.environ)
         env.pop("REPRO_FAULTS", None)
@@ -190,7 +190,8 @@ class ServerProcess:
             argv = ["serve"]
         self.process = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", *argv, "--port", "0",
-             "--state-dir", str(state_dir), "--wal-fsync", wal_fsync],
+             "--state-dir", str(state_dir), "--wal-fsync", wal_fsync,
+             "--store", store],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -277,14 +278,14 @@ def record_surfaces(recorder: StepRecorder, suffix: str,
     )
 
 
-def run_graceful(outdir: Path, wal_fsync: str) -> int:
+def run_graceful(outdir: Path, wal_fsync: str, store: str) -> int:
     """The original smoke flow: SIGTERM mid-stream, restart, resume."""
     recorder = StepRecorder(outdir)
     state_dir = outdir / "state"
     local = OpenWorldSession(ATTRIBUTE, estimator=ESTIMATOR)
 
     print("== phase 1: serve, ingest two chunks, answer queries")
-    server = ServerProcess(state_dir, wal_fsync=wal_fsync)
+    server = ServerProcess(state_dir, wal_fsync=wal_fsync, store=store)
     server.request(
         "POST",
         "/sessions",
@@ -313,7 +314,7 @@ def run_graceful(outdir: Path, wal_fsync: str) -> int:
 
     print("== phase 2: SIGTERM (snapshots state), restart, resume the stream")
     server.stop()
-    server = ServerProcess(state_dir, wal_fsync=wal_fsync)
+    server = ServerProcess(state_dir, wal_fsync=wal_fsync, store=store)
     server.request(
         "POST", "/sessions/smoke/ingest", {"observations": to_bodies(CHUNKS[2])}
     )
@@ -351,7 +352,7 @@ def reconcile(server: ServerProcess) -> int:
     return version
 
 
-def run_chaos(outdir: Path, faults: str, wal_fsync: str) -> int:
+def run_chaos(outdir: Path, faults: str, wal_fsync: str, store: str) -> int:
     """Chaos flow: armed fault SIGKILLs the server; restart + reconcile."""
     recorder = StepRecorder(outdir)
     state_dir = outdir / "state"
@@ -360,7 +361,8 @@ def run_chaos(outdir: Path, faults: str, wal_fsync: str) -> int:
         local.ingest(to_observations(chunk))
 
     print(f"== phase 1: serve with REPRO_FAULTS={faults!r}, drive until the crash")
-    server = ServerProcess(state_dir, faults=faults, wal_fsync=wal_fsync)
+    server = ServerProcess(state_dir, faults=faults, wal_fsync=wal_fsync,
+                           store=store)
     crashed = False
     try:
         server.request(
@@ -380,13 +382,13 @@ def run_chaos(outdir: Path, faults: str, wal_fsync: str) -> int:
     server.wait_crashed()
 
     print("== phase 2: restart on the same state dir, reconcile, compare")
-    server = ServerProcess(state_dir, wal_fsync=wal_fsync)
+    server = ServerProcess(state_dir, wal_fsync=wal_fsync, store=store)
     reconcile(server)
     record_surfaces(recorder, "recovered", server, local)
 
     print("== phase 3: graceful checkpoint, third boot, compare again")
     server.stop()
-    server = ServerProcess(state_dir, wal_fsync=wal_fsync)
+    server = ServerProcess(state_dir, wal_fsync=wal_fsync, store=store)
     if reconcile(server) != len(CHUNKS):
         raise RuntimeError("checkpointed state lost committed chunks")
     record_surfaces(recorder, "checkpointed", server, local)
@@ -434,7 +436,7 @@ def ingest_stream(client: Client) -> None:
 
 
 def run_cluster_flow(outdir: Path, workers: int, replicas: int,
-                     faults: str | None, wal_fsync: str) -> int:
+                     faults: str | None, wal_fsync: str, store: str) -> int:
     """Cluster mode: chaos ingest, forced rebalance, rolling restart."""
     recorder = StepRecorder(outdir)
     state_dir = outdir / "state"
@@ -445,7 +447,7 @@ def run_cluster_flow(outdir: Path, workers: int, replicas: int,
     print(f"== phase 1: boot cluster --workers {workers} --replicas {replicas}"
           + (f" with REPRO_FAULTS={faults!r}" if faults else ""))
     server = ServerProcess(state_dir, faults=faults, wal_fsync=wal_fsync,
-                           cluster=(workers, replicas))
+                           store=store, cluster=(workers, replicas))
     ingest_stream(server.client)
     if faults:
         stamp_dir = state_dir.parent / "fault-stamps"
@@ -498,6 +500,13 @@ def main() -> int:
         help="write-ahead log fsync policy for the server (default: batch)",
     )
     parser.add_argument(
+        "--store",
+        default="memory",
+        choices=["memory", "disk"],
+        help="observation store of the server under test (see "
+        "'serve --store'); byte identity must hold either way",
+    )
+    parser.add_argument(
         "--cluster",
         type=int,
         default=None,
@@ -526,12 +535,13 @@ def main() -> int:
         failures = run_client_flow(args.outdir, args.base_url)
     elif args.cluster:
         failures = run_cluster_flow(
-            args.outdir, args.cluster, args.replicas, args.faults, args.wal_fsync
+            args.outdir, args.cluster, args.replicas, args.faults,
+            args.wal_fsync, args.store,
         )
     elif args.faults:
-        failures = run_chaos(args.outdir, args.faults, args.wal_fsync)
+        failures = run_chaos(args.outdir, args.faults, args.wal_fsync, args.store)
     else:
-        failures = run_graceful(args.outdir, args.wal_fsync)
+        failures = run_graceful(args.outdir, args.wal_fsync, args.store)
     return 1 if failures else 0
 
 

@@ -52,6 +52,7 @@ from repro.data.records import Observation
 from repro.data.sample import ObservedSample
 from repro.query.database import Database
 from repro.query.executor import ClosedWorldExecutor, OpenWorldExecutor, QueryResult
+from repro.storage.store import MemoryStore
 from repro.utils.exceptions import InsufficientDataError, ValidationError
 from repro.utils.lru import LRUCache
 from repro.utils.serialization import envelope, unwrap
@@ -171,6 +172,14 @@ class OpenWorldSession:
         it via their ``spec`` argument.
     count_method:
         Correction method for COUNT queries ("chao92" or "monte-carlo").
+    store:
+        Session state store.  Defaults to an in-memory
+        :class:`~repro.storage.store.MemoryStore`; pass a
+        :class:`~repro.storage.store.DiskStore` to persist every ingest
+        chunk in the append-only segment log and keep the aggregate
+        invariants in memory-mapped files, so a restart re-attaches in
+        O(1) instead of replaying or parsing the whole sample.  Every
+        read surface is byte-identical across stores.
 
     Example
     -------
@@ -187,6 +196,7 @@ class OpenWorldSession:
         table_name: str = "data",
         estimator: "str | EstimatorSpec | SumEstimator" = "bucket",
         count_method: str = "chao92",
+        store: "Any | None" = None,
     ) -> None:
         if not attribute or not isinstance(attribute, str):
             raise ValidationError("attribute must be a non-empty string")
@@ -199,9 +209,22 @@ class OpenWorldSession:
         else:
             self._default_spec = EstimatorSpec.of(estimator)
             self._default_estimator = None
-        # Incrementally maintained integration state (shared implementation
-        # with the progressive replay; see repro.data.progressive).
-        self._state = IntegrationState()
+        # The store maintains the integration state (shared implementation
+        # with the progressive replay; see repro.data.progressive and
+        # repro.storage.store).
+        self._store = store if store is not None else MemoryStore()
+        self._store.bind_config(
+            {
+                "attribute": self._attribute,
+                "table_name": self._table_name,
+                "estimator": (
+                    self._default_spec.to_string()
+                    if self._default_spec is not None
+                    else estimator
+                ),
+                "count_method": self._count_method,
+            }
+        )
         self._seed_source_sizes: tuple[int, ...] = ()
         self._n_ingested = 0
         # Caches, invalidated on ingest.  The mutation lock makes the
@@ -236,17 +259,69 @@ class OpenWorldSession:
                 )
             attribute = attrs[0]
         session = cls(attribute, **kwargs)
-        state = session._state
-        state.counts = sample.counts
-        state.values = sample.values_by_entity()
-        state.frequencies = sample.frequency_counts()
-        state.n = sample.n
-        session._seed_source_sizes = tuple(sample.source_sizes)
+        seed_sizes = tuple(sample.source_sizes)
+        session._store.load_state(
+            counts=sample.counts,
+            values=sample.values_by_entity(),
+            per_source={},
+            frequencies=sample.frequency_counts(),
+            n=sample.n,
+            seed_source_sizes=seed_sizes,
+            n_ingested=0,
+            state_version=0,
+        )
+        session._seed_source_sizes = seed_sizes
+        return session
+
+    @classmethod
+    def attach(cls, store: Any) -> "OpenWorldSession":
+        """Re-open the session persisted in ``store`` without replaying it.
+
+        The store carries the full config (attribute, table name,
+        estimator spec, count method) and the recovered counters, so
+        attach is O(1): the expensive dict materialization is deferred
+        until the first read or ingest.  This is what makes restarting a
+        disk-backed server milliseconds instead of seconds.
+        """
+        config = store.attached_config()
+        if config is None:
+            raise ValidationError(
+                "the store holds no session state to attach; create the "
+                "session with OpenWorldSession(..., store=store) instead"
+            )
+        session = cls(
+            config["attribute"],
+            table_name=config["table_name"],
+            estimator=config["estimator"],
+            count_method=config["count_method"],
+            store=store,
+        )
+        counters = store.recovered_counters()
+        session._n_ingested = int(counters["n_ingested"])
+        session._state_version = int(counters["state_version"])
+        session._seed_source_sizes = tuple(store.seed_source_sizes)
         return session
 
     # ------------------------------------------------------------------ #
     # State inspection
     # ------------------------------------------------------------------ #
+
+    @property
+    def _state(self) -> IntegrationState:
+        # Kept as a property so the disk store can defer its O(c) dict
+        # materialization until the first code path that actually needs
+        # the dicts touches it.
+        return self._store.state
+
+    @property
+    def store(self) -> Any:
+        """The session's state store (memory by default)."""
+        return self._store
+
+    @property
+    def store_kind(self) -> str:
+        """``"memory"`` or ``"disk"``."""
+        return self._store.kind
 
     @property
     def attribute(self) -> str:
@@ -266,12 +341,12 @@ class OpenWorldSession:
     @property
     def n(self) -> int:
         """Total number of observations (with duplicates) integrated."""
-        return self._state.n
+        return self._store.n
 
     @property
     def c(self) -> int:
         """Number of unique entities observed."""
-        return len(self._state.counts)
+        return self._store.c
 
     @property
     def n_ingested(self) -> int:
@@ -303,8 +378,13 @@ class OpenWorldSession:
         """Per-source contribution sizes (seeded sizes first)."""
         return self._seed_source_sizes + tuple(self._state.per_source.values())
 
+    @property
+    def n_sources(self) -> int:
+        """``len(source_sizes)`` without forcing a disk store to materialize."""
+        return len(self._seed_source_sizes) + self._store.n_sources
+
     def __len__(self) -> int:
-        return len(self._state.counts)
+        return self._store.c
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -323,11 +403,17 @@ class OpenWorldSession:
         session exactly as it was.
         """
         chunk = self.prepare_ingest(observations)
-        # Commit pass: cannot fail.
-        attribute = self._attribute
-        for obs in chunk:
-            self._state.integrate(obs, attribute)
+        # Commit pass: cannot fail on session state.  A disk store makes
+        # the chunk durable (names + segment frame) before integrating
+        # and before the invariant arrays absorb it -- its internal
+        # ordering, see repro.storage.store.
         if chunk:
+            self._store.apply_chunk(
+                chunk,
+                self._attribute,
+                self._state_version + 1,
+                self._n_ingested + len(chunk),
+            )
             # Atomic with respect to readers: nobody can observe the new
             # state_version while a stale sample/database cache is still
             # installed (or vice versa).
@@ -518,7 +604,10 @@ class OpenWorldSession:
 
     @classmethod
     def restore(
-        cls, snapshot: "SessionSnapshot | dict[str, Any]"
+        cls,
+        snapshot: "SessionSnapshot | dict[str, Any]",
+        *,
+        store: "Any | None" = None,
     ) -> "OpenWorldSession":
         """Rebuild a session from :meth:`snapshot` output (object or dict).
 
@@ -526,6 +615,10 @@ class OpenWorldSession:
         further ingests from an already-seen source id keep extending that
         source's contribution, so a snapshot/restore cycle in the middle of
         a stream replay stays bit-identical to an uninterrupted run.
+
+        ``store`` seeds a fresh store (disk or memory) with the snapshot
+        state; subsequent restarts can then skip the snapshot entirely
+        and :meth:`attach` the store directly.
         """
         if isinstance(snapshot, dict):
             snapshot = SessionSnapshot.from_dict(snapshot)
@@ -534,17 +627,27 @@ class OpenWorldSession:
             table_name=snapshot.table_name,
             estimator=snapshot.estimator,
             count_method=snapshot.count_method,
+            store=store,
         )
-        state = session._state
-        state.counts = dict(snapshot.counts)
-        state.values = {eid: dict(vals) for eid, vals in snapshot.values.items()}
-        state.per_source = dict(snapshot.source_sizes)
-        state.n = sum(state.counts.values())
-        state.frequencies = dict(Counter(state.counts.values()))
+        counts = dict(snapshot.counts)
+        session._store.load_state(
+            counts=counts,
+            values={eid: dict(vals) for eid, vals in snapshot.values.items()},
+            per_source=dict(snapshot.source_sizes),
+            frequencies=dict(Counter(counts.values())),
+            n=sum(counts.values()),
+            seed_source_sizes=tuple(snapshot.seed_source_sizes),
+            n_ingested=int(snapshot.n_ingested),
+            state_version=int(snapshot.state_version),
+        )
         session._seed_source_sizes = tuple(snapshot.seed_source_sizes)
         session._n_ingested = int(snapshot.n_ingested)
         session._state_version = int(snapshot.state_version)
         return session
+
+    def close(self) -> None:
+        """Release store resources (file handles, mmaps); memory is a no-op."""
+        self._store.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

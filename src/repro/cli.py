@@ -222,6 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--store",
+        choices=("memory", "disk"),
+        default="memory",
+        help=(
+            "session observation store: 'memory' (default) keeps samples "
+            "in-process and checkpoints them as JSON snapshots; 'disk' "
+            "(requires --state-dir) appends them to per-session columnar "
+            "segment logs with mmap'd invariants, making checkpoints a "
+            "segment seal and restart an O(1) attach"
+        ),
+    )
+    serve.add_argument(
         "--max-inflight",
         type=int,
         default=None,
@@ -302,6 +314,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(BACKENDS),
         help="execution backend *inside* each worker (default: serial -- "
         "the cluster parallelizes across workers instead)",
+    )
+    cluster.add_argument(
+        "--store",
+        choices=("memory", "disk"),
+        default="memory",
+        help="per-worker observation store (see 'serve --store'); "
+        "migrations between disk-backed workers stream sealed segment "
+        "files instead of JSON snapshots",
     )
 
     return parser
@@ -535,6 +555,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_size,
         state_dir=args.state_dir,
         wal_fsync=args.wal_fsync,
+        store=args.store,
         max_inflight=args.max_inflight,
     )
 
@@ -555,6 +576,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         cache_entries=args.cache_size,
         max_inflight=args.max_inflight,
         backend=args.backend,
+        store=args.store,
     )
 
 

@@ -59,6 +59,7 @@ __all__ = [
     "WorkerUnavailableError",
     "worker_request",
     "worker_request_json",
+    "worker_stream",
 ]
 
 #: How long to wait for a worker's READY line / readyz before giving up.
@@ -111,6 +112,37 @@ def worker_request(
         connection.close()
 
 
+def worker_stream(
+    base: str,
+    method: str,
+    path: str,
+    body: Any = None,
+    *,
+    headers: "dict[str, str] | None" = None,
+    timeout: float = 60.0,
+) -> "tuple[int, Any, http.client.HTTPConnection]":
+    """Open a request without buffering; returns ``(status, response, conn)``.
+
+    The streaming sibling of :func:`worker_request`, for bodies too big
+    to hold in memory (store archives).  The caller reads the response
+    incrementally (``response.read(n)``) and **must** close the returned
+    connection when done.  ``body`` may be bytes or a file-like object
+    with ``read`` -- pass an explicit ``Content-Length`` header with a
+    file-like body so http.client streams it instead of chunking.
+    """
+    host, _, port = base.rpartition("://")[2].partition(":")
+    connection = http.client.HTTPConnection(host, int(port), timeout=timeout)
+    try:
+        connection.request(method, path, body=body, headers=dict(headers or {}))
+        response = connection.getresponse()
+        return response.status, response, connection
+    except (ConnectionError, http.client.HTTPException, TimeoutError, OSError) as exc:
+        connection.close()
+        raise WorkerUnavailableError(
+            f"worker at {base} is unavailable: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def worker_request_json(
     base: str,
     method: str,
@@ -156,6 +188,7 @@ class Worker:
         cache_entries: "int | None" = None,
         max_inflight: "int | None" = None,
         backend: "str | None" = None,
+        store: "str | None" = None,
     ) -> None:
         if mode not in ("process", "thread"):
             raise ReproError(f"unknown worker mode {mode!r}")
@@ -166,6 +199,7 @@ class Worker:
         self.cache_entries = cache_entries
         self.max_inflight = max_inflight
         self.backend = backend
+        self.store = store
         self.base: "str | None" = None
         self.restarts = -1  # first start() brings this to 0
         self.ready = False
@@ -211,6 +245,8 @@ class Worker:
             args += ["--max-inflight", str(self.max_inflight)]
         if self.backend is not None:
             args += ["--backend", self.backend]
+        if self.store is not None:
+            args += ["--store", self.store]
         return args
 
     def _start_process(self) -> None:
@@ -262,6 +298,7 @@ class Worker:
             cache_entries=self.cache_entries,
             max_inflight=self.max_inflight,
             backend=self.backend,
+            store=self.store,
         )
         self._serve_thread = threading.Thread(
             target=self._server.serve_forever, name=f"{self.name}-serve", daemon=True
@@ -347,6 +384,7 @@ class Fleet:
         cache_entries: "int | None" = None,
         worker_max_inflight: "int | None" = None,
         backend: "str | None" = None,
+        store: "str | None" = None,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.mode = mode
@@ -356,6 +394,7 @@ class Fleet:
             "cache_entries": cache_entries,
             "max_inflight": worker_max_inflight,
             "backend": backend,
+            "store": store,
         }
         self._workers: dict[str, Worker] = {}
         self._lock = threading.Lock()

@@ -44,15 +44,42 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.cluster.fleet import worker_request, worker_request_json
+from repro.cluster.fleet import worker_request, worker_request_json, worker_stream
 from repro.resilience.faults import fault_point
 from repro.utils.exceptions import ReproError
 
 __all__ = ["MigrationError", "fetch_snapshot", "migrate_session"]
 
+#: The archive's header line must fit in this (mirrors the storage
+#: layer's own bound); anything bigger is a corrupt or hostile stream.
+_MAX_HEADER_BYTES = 8 * 1024 * 1024
+
 
 class MigrationError(ReproError):
     """A migration step failed; the source copy remains authoritative."""
+
+
+class _PrefixedReader:
+    """File-like view over ``prefix + stream`` for streamed HTTP sends.
+
+    The transfer peeks at the archive's header line to learn the fenced
+    ``state_version``, then must still send those consumed bytes to the
+    destination; this splices them back in front of the live stream so
+    http.client can send ``Content-Length`` bytes without buffering.
+    """
+
+    def __init__(self, prefix: bytes, stream: Any) -> None:
+        self._prefix = prefix
+        self._stream = stream
+
+    def read(self, n: int = -1) -> bytes:
+        if self._prefix:
+            if n is None or n < 0:
+                block, self._prefix = self._prefix, b""
+                return block + self._stream.read()
+            block, self._prefix = self._prefix[:n], self._prefix[n:]
+            return block
+        return self._stream.read(n)
 
 
 def fetch_snapshot(base: str, name: str, *, timeout: float = 60.0) -> dict[str, Any]:
@@ -66,6 +93,114 @@ def fetch_snapshot(base: str, name: str, *, timeout: float = 60.0) -> dict[str, 
             f"{payload[:200]!r}"
         )
     return json.loads(payload)
+
+
+def _transfer_snapshot(
+    name: str, source_base: str, dest_base: str, *, timeout: float
+) -> int:
+    """The JSON-envelope transfer leg; returns the fenced version."""
+    envelope = fetch_snapshot(source_base, name, timeout=timeout)
+    version = int(envelope["state_version"])
+    fault_point("cluster.before_transfer")
+    status, restored = worker_request_json(
+        dest_base,
+        "POST",
+        f"/sessions/{name}/restore",
+        envelope,
+        timeout=timeout,
+    )
+    if status not in (200, 201):
+        raise MigrationError(
+            f"restore of {name!r} on {dest_base} failed with HTTP {status}: "
+            f"{restored!r}"
+        )
+    _check_fence(name, dest_base, restored, version)
+    return version
+
+
+def _transfer_store(
+    name: str, source_base: str, dest_base: str, *, timeout: float
+) -> "int | None":
+    """The streamed store-archive transfer leg.
+
+    Returns the fenced version, or ``None`` when the source answers
+    anything but 200 for ``GET /sessions/<name>/store`` -- a memory
+    -backed session (HTTP 400) or a worker predating the route (404)
+    -- in which case the caller falls back to the snapshot path (where
+    a genuinely missing session still fails loudly).
+    """
+    status, response, connection = worker_stream(
+        source_base, "GET", f"/sessions/{name}/store", timeout=timeout
+    )
+    try:
+        if status != 200:
+            response.read()
+            return None
+        length = int(response.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise MigrationError(
+                f"store archive of {name!r} on {source_base} came without "
+                "a Content-Length"
+            )
+        # Peek the archive's own header line for the fenced version (the
+        # X-Repro-State-Version response header carries the same value,
+        # but the in-band copy is what the destination unpacks).
+        prefix = b""
+        while b"\n" not in prefix:
+            block = response.read(4096)
+            if not block:
+                raise MigrationError(
+                    f"store archive of {name!r} ended before its header line"
+                )
+            prefix += block
+            if len(prefix) > _MAX_HEADER_BYTES:
+                raise MigrationError(
+                    f"store archive of {name!r} has an oversized header line"
+                )
+        try:
+            header = json.loads(prefix.split(b"\n", 1)[0])
+            version = int(header["state_version"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise MigrationError(
+                f"store archive of {name!r} has a malformed header: {exc}"
+            ) from exc
+        fault_point("cluster.before_transfer")
+        status, payload, _ = worker_request(
+            dest_base,
+            "POST",
+            f"/sessions/{name}/restore-store",
+            _PrefixedReader(prefix, response),
+            headers={
+                "Content-Type": "application/octet-stream",
+                "Content-Length": str(length),
+            },
+            timeout=timeout,
+        )
+    finally:
+        connection.close()
+    try:
+        restored = json.loads(payload) if payload else {}
+    except json.JSONDecodeError:
+        restored = {}
+    if status not in (200, 201):
+        raise MigrationError(
+            f"store restore of {name!r} on {dest_base} failed with HTTP "
+            f"{status}: {restored or payload[:200]!r}"
+        )
+    _check_fence(name, dest_base, restored, version)
+    return version
+
+
+def _check_fence(
+    name: str, dest_base: str, restored: "dict[str, Any]", version: int
+) -> None:
+    fenced = int(restored.get("state_version", -1))
+    if fenced != version:
+        raise MigrationError(
+            f"migration fence failed for {name!r}: transferred "
+            f"state_version {version} but {dest_base} reports {fenced}; "
+            "the source copy remains authoritative"
+        )
 
 
 def migrate_session(
@@ -82,29 +217,16 @@ def migrate_session(
     reaching either worker for it).  ``keep_source=True`` skips the
     delete -- used when the source copy should live on as a read
     replica.  Returns a summary with the fenced ``state_version``.
+
+    Disk-backed sessions transfer as a streamed store archive (sealed
+    segment files + manifest -- no JSON re-encode of the sample);
+    memory-backed sessions (or a source predating the store routes)
+    fall back to the snapshot-envelope path.  Both end at the same
+    fence: the destination must report exactly the transferred version.
     """
-    envelope = fetch_snapshot(source_base, name, timeout=timeout)
-    version = int(envelope["state_version"])
-    fault_point("cluster.before_transfer")
-    status, restored = worker_request_json(
-        dest_base,
-        "POST",
-        f"/sessions/{name}/restore",
-        envelope,
-        timeout=timeout,
-    )
-    if status not in (200, 201):
-        raise MigrationError(
-            f"restore of {name!r} on {dest_base} failed with HTTP {status}: "
-            f"{restored!r}"
-        )
-    fenced = int(restored.get("state_version", -1))
-    if fenced != version:
-        raise MigrationError(
-            f"migration fence failed for {name!r}: transferred "
-            f"state_version {version} but {dest_base} reports {fenced}; "
-            "the source copy remains authoritative"
-        )
+    version = _transfer_store(name, source_base, dest_base, timeout=timeout)
+    if version is None:
+        version = _transfer_snapshot(name, source_base, dest_base, timeout=timeout)
     fault_point("cluster.before_resume")
     if not keep_source:
         status, payload, _ = worker_request(

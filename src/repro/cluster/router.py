@@ -66,6 +66,7 @@ from repro.cluster.fleet import (
     WorkerUnavailableError,
     worker_request,
     worker_request_json,
+    worker_stream,
 )
 from repro.cluster.hashring import HashRing
 from repro.cluster.migration import MigrationError, fetch_snapshot, migrate_session
@@ -76,6 +77,13 @@ __all__ = ["ClusterRouter", "RouterServer", "SessionMigratingError"]
 #: Request bodies beyond this are refused at the router (mirrors the
 #: worker-side bound so the router never relays what a worker would 413).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Store-archive bodies get the worker-side larger bound; they are
+#: streamed through the router, never buffered.
+MAX_STORE_ARCHIVE_BYTES = 4 * 1024 * 1024 * 1024
+
+#: Streaming granularity of the proxy legs.
+IO_CHUNK_BYTES = 64 * 1024
 
 #: Retry-After hint for shed requests (migration window / dead worker).
 SHED_RETRY_AFTER = 1.0
@@ -319,6 +327,7 @@ class ClusterRouter:
         method: str,
         path: str,
         body: "bytes | None" = None,
+        headers: "dict[str, str] | None" = None,
     ) -> "tuple[int, bytes, dict[str, str]]":
         worker = self.fleet.worker(worker_name)
         base = worker.base
@@ -326,7 +335,24 @@ class ClusterRouter:
             raise WorkerUnavailableError(
                 f"worker {worker_name} is restarting; retry shortly"
             )
-        return worker_request(base, method, path, body)
+        return worker_request(base, method, path, body, headers=headers)
+
+    def forward_stream(
+        self,
+        worker_name: str,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: "dict[str, str] | None" = None,
+    ):
+        """The streaming leg (store archives): ``(status, response, conn)``."""
+        worker = self.fleet.worker(worker_name)
+        base = worker.base
+        if base is None or not worker.ready:
+            raise WorkerUnavailableError(
+                f"worker {worker_name} is restarting; retry shortly"
+            )
+        return worker_stream(base, method, path, body, headers=headers)
 
     # ------------------------------------------------------------------ #
     # Replication (primary snapshot -> replicas)
@@ -635,6 +661,28 @@ def _retry_after_header(seconds: float) -> "tuple[str, str]":
     return ("Retry-After", str(max(1, math.ceil(seconds))))
 
 
+class _BoundedReader:
+    """File-like reading at most ``length`` bytes from a socket file.
+
+    Handed to http.client as a streamed request body: the proxy leg
+    sends exactly the client's Content-Length bytes without ever
+    holding the archive in memory.
+    """
+
+    def __init__(self, raw: Any, length: int) -> None:
+        self._raw = raw
+        self._remaining = int(length)
+
+    def read(self, n: int = -1) -> bytes:
+        if self._remaining <= 0:
+            return b""
+        if n is None or n < 0 or n > self._remaining:
+            n = self._remaining
+        block = self._raw.read(min(n, IO_CHUNK_BYTES))
+        self._remaining -= len(block)
+        return block
+
+
 class _RouterHandler(BaseHTTPRequestHandler):
     server_version = "repro-cluster-router/1"
     protocol_version = "HTTP/1.1"
@@ -749,6 +797,21 @@ class _RouterHandler(BaseHTTPRequestHandler):
         name = parts[1]
         action = parts[2] if len(parts) == 3 else None
         path = split.path + (f"?{split.query}" if split.query else "")
+        # Store archives are streamed through the proxy, never buffered.
+        if method == "GET" and action == "store":
+            router.table.begin(name)
+            try:
+                self._proxy_store_get(name, path)
+            finally:
+                router.table.end(name)
+            return
+        if method == "POST" and action == "restore-store":
+            router.table.begin(name)
+            try:
+                self._proxy_store_post(name, path)
+            finally:
+                router.table.end(name)
+            return
         body = self._read_body() if method in ("POST",) else None
         router.table.begin(name)
         try:
@@ -765,7 +828,11 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 ("POST", "restore"),
             ):
                 status, payload, headers = router.forward(
-                    router.table.primary(name), method, path, body
+                    router.table.primary(name),
+                    method,
+                    path,
+                    body,
+                    headers=self._proxy_headers(with_body=body is not None),
                 )
                 if action == "ingest" and status == 200:
                     try:
@@ -806,6 +873,74 @@ class _RouterHandler(BaseHTTPRequestHandler):
         router.table.forget(name)
         self._relay(status, payload, headers)
 
+    def _proxy_store_get(self, name: str, path: str) -> None:
+        """Stream a store archive from the primary to the client."""
+        router = self.server.router
+        status, response, connection = router.forward_stream(
+            router.table.primary(name), "GET", path
+        )
+        try:
+            passthrough = [
+                (key, value)
+                for key, value in response.getheaders()
+                if key.lower()
+                in (
+                    "content-type",
+                    "content-length",
+                    "x-repro-state-version",
+                    "retry-after",
+                )
+            ]
+            self.send_response(status)
+            for key, value in passthrough:
+                self.send_header(key, value)
+            if status >= 400 or response.headers.get("Content-Length") is None:
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            while True:
+                block = response.read(IO_CHUNK_BYTES)
+                if not block:
+                    break
+                self.wfile.write(block)
+        finally:
+            connection.close()
+
+    def _proxy_store_post(self, name: str, path: str) -> None:
+        """Stream a store archive from the client to the primary."""
+        router = self.server.router
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ValidationError(
+                "Content-Length header is not an integer"
+            ) from None
+        if length <= 0:
+            raise ValidationError("restore-store requires a store-archive body")
+        if length > MAX_STORE_ARCHIVE_BYTES:
+            raise ValidationError(
+                f"store archive exceeds {MAX_STORE_ARCHIVE_BYTES} bytes"
+            )
+        status, payload, headers = router.forward(
+            router.table.primary(name),
+            "POST",
+            path,
+            _BoundedReader(self.rfile, length),
+            headers={
+                "Content-Type": "application/octet-stream",
+                "Content-Length": str(length),
+            },
+        )
+        if status == 200:
+            try:
+                router.table.record_primary(
+                    name, int(json.loads(payload)["state_version"])
+                )
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                pass
+            router.schedule_replication(name)
+        self._relay(status, payload, headers)
+
     def _read_fanout(self, name: str, path: str) -> None:
         router = self.server.router
         chosen, fallbacks = router.table.read_target(name)
@@ -813,7 +948,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
         for index, worker_name in enumerate([chosen, *fallbacks]):
             try:
                 status, payload, headers = router.forward(
-                    worker_name, "GET", path
+                    worker_name, "GET", path, headers=self._proxy_headers()
                 )
             except WorkerUnavailableError:
                 if index == len(fallbacks):
@@ -880,7 +1015,36 @@ class _RouterHandler(BaseHTTPRequestHandler):
             return None
         if length > MAX_BODY_BYTES:
             raise ValidationError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        return self.rfile.read(length)
+        # Bounded-chunk reads; a gzip body is relayed verbatim (the
+        # Content-Encoding header travels with it), never inflated here.
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            block = self.rfile.read(min(IO_CHUNK_BYTES, remaining))
+            if not block:
+                raise ValidationError(
+                    "request body ended before Content-Length bytes arrived"
+                )
+            chunks.append(block)
+            remaining -= len(block)
+        return b"".join(chunks)
+
+    def _proxy_headers(self, *, with_body: bool = False) -> dict[str, str]:
+        """Client headers forwarded to the worker leg.
+
+        ``Accept-Encoding`` rides through so the worker compresses for
+        gzip-speaking clients; with a body, its ``Content-Encoding``
+        rides through so the worker (not the router) inflates it.
+        """
+        forwarded = {}
+        accept = self.headers.get("Accept-Encoding")
+        if accept:
+            forwarded["Accept-Encoding"] = accept
+        if with_body:
+            encoding = self.headers.get("Content-Encoding")
+            if encoding:
+                forwarded["Content-Encoding"] = encoding
+        return forwarded
 
     def _relay(
         self, status: int, payload: bytes, headers: "dict[str, str]"
@@ -889,7 +1053,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
         passthrough = [
             (key, value)
             for key, value in headers.items()
-            if key.lower() in ("retry-after",)
+            if key.lower() in ("retry-after", "content-encoding", "vary")
         ]
         self._send_bytes(status, payload, headers=passthrough)
 

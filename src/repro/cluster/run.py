@@ -34,6 +34,7 @@ def make_cluster(
     cache_entries: "int | None" = None,
     max_inflight: "int | None" = None,
     backend: "str | None" = None,
+    store: "str | None" = None,
 ) -> "tuple[RouterServer, ClusterRouter, Fleet]":
     """Boot fleet + router and bind the router socket (not yet serving).
 
@@ -55,6 +56,7 @@ def make_cluster(
         cache_entries=cache_entries,
         worker_max_inflight=max_inflight,
         backend=backend,
+        store=store,
     )
     fleet.start(workers)
     fleet._scratch_dir = scratch  # noqa: SLF001 - lifetime anchor only
@@ -75,6 +77,7 @@ def run_cluster(
     cache_entries: "int | None" = None,
     max_inflight: "int | None" = None,
     backend: "str | None" = None,
+    store: "str | None" = None,
 ) -> int:
     """Serve the cluster until SIGINT/SIGTERM, then stop workers gracefully.
 
@@ -96,6 +99,7 @@ def run_cluster(
         cache_entries=cache_entries,
         max_inflight=max_inflight,
         backend=backend,
+        store=store,
     )
     stop = threading.Event()
     previous_handlers = {}

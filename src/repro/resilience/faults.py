@@ -13,6 +13,9 @@ instrumented call sites inside the durability-critical code paths::
     fault_point("http.before_response")     # before any response bytes
     fault_point("cluster.before_transfer")  # migration: snapshot taken, not sent
     fault_point("cluster.before_resume")    # migration: fenced, source not dropped
+    fault_point("storage.after_frame")      # segment frame flushed, invariants not yet applied
+    fault_point("storage.before_seal")      # active segment fsynced, not yet renamed
+    fault_point("storage.after_seal")       # segment sealed, manifest not yet written
 
 armed through the ``REPRO_FAULTS`` environment variable (or :func:`arm`
 for in-process tests) with specs of the form::
@@ -78,6 +81,9 @@ FAULT_POINTS = frozenset(
         "http.before_response",
         "cluster.before_transfer",
         "cluster.before_resume",
+        "storage.after_frame",
+        "storage.before_seal",
+        "storage.after_seal",
     }
 )
 

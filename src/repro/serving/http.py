@@ -19,6 +19,10 @@ Routes::
     GET    /sessions/<name>/snapshot     the session-snapshot envelope
     POST   /sessions/<name>/restore      materialize from a snapshot envelope
                                          (migration/replica push; replace-if-newer)
+    GET    /sessions/<name>/store        stream a disk session's store archive
+                                         (exact Content-Length; disk mode only)
+    POST   /sessions/<name>/restore-store  receive a store archive (the disk
+                                         -mode migration transfer; same fence)
 
 Liveness (``/healthz``) answers 200 from the moment the socket is bound
 -- it means "the process is up", nothing more.  Readiness (``/readyz``)
@@ -51,10 +55,12 @@ then snapshots every session back to the state dir before exiting.
 
 from __future__ import annotations
 
+import gzip
 import json
 import math
 import signal
 import threading
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
@@ -72,6 +78,7 @@ from repro.serving.registry import (
     SessionRegistry,
     UnknownSessionError,
 )
+from repro.storage.transfer import archive_length, iter_archive
 from repro.utils.exceptions import InsufficientDataError, ReproError, ValidationError
 
 __all__ = ["ReproServer", "dumps_result", "make_server", "run_server"]
@@ -79,6 +86,17 @@ __all__ = ["ReproServer", "dumps_result", "make_server", "run_server"]
 #: Request bodies beyond this are refused (64 MiB of observations is far
 #: outside one ingest chunk; it protects the server, not a workload).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Store-archive bodies (a whole session's segment files) get a larger
+#: bound than JSON requests.
+MAX_STORE_ARCHIVE_BYTES = 4 * 1024 * 1024 * 1024
+
+#: Responses below this are not worth a gzip member's ~20-byte overhead
+#: (plus a deflate pass) even when the client advertises gzip.
+GZIP_MIN_BYTES = 512
+
+#: Read/write granularity for request bodies and streamed responses.
+IO_CHUNK_BYTES = 64 * 1024
 
 
 def dumps_result(payload: Any) -> bytes:
@@ -231,6 +249,8 @@ class _Handler(BaseHTTPRequestHandler):
                 ("POST", "query"): self._post_query,
                 ("GET", "snapshot"): self._get_snapshot,
                 ("POST", "restore"): self._post_restore,
+                ("GET", "store"): self._get_store,
+                ("POST", "restore-store"): self._post_restore_store,
             }
             return session_routes.get(action)
         return None
@@ -355,6 +375,58 @@ class _Handler(BaseHTTPRequestHandler):
         served = self.server.registry.restore_session(parts[1], body)
         self._send_json(200, served.info())
 
+    def _get_store(self, parts, query) -> None:
+        # The sending half of a disk-mode migration: the body is the raw
+        # store archive (header line + file contents), streamed with an
+        # exact Content-Length so the receiver knows when it has it all.
+        # The session's write lock is held for the whole send; the
+        # migration protocol has quiesced the session already.
+        served = self.server.registry.get(parts[1])
+        with served.store_archive() as (header, files, version):
+            fault_point("http.before_response")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(archive_length(header, files)))
+            self.send_header("X-Repro-State-Version", str(version))
+            self.end_headers()
+            try:
+                for chunk in iter_archive(header, files):
+                    self.wfile.write(chunk)
+            except BrokenPipeError:
+                self.close_connection = True
+
+    def _post_restore_store(self, parts, query) -> None:
+        # The receiving half of a disk-mode migration; same fence
+        # contract as /restore, but the body is the raw store archive.
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ValidationError(
+                "Content-Length header is not an integer"
+            ) from None
+        if length <= 0:
+            raise ValidationError("restore-store requires a store-archive body")
+        if length > MAX_STORE_ARCHIVE_BYTES:
+            raise _RouteError(
+                413, f"store archive exceeds {MAX_STORE_ARCHIVE_BYTES} bytes"
+            )
+        remaining = length
+
+        def read(n: int) -> bytes:
+            nonlocal remaining
+            n = min(int(n), remaining)
+            if n <= 0:
+                return b""
+            block = self.rfile.read(n)
+            remaining -= len(block)
+            return block
+
+        served = self.server.registry.restore_store(parts[1], read)
+        while remaining > 0:  # drain any trailing bytes off the keep-alive
+            if not read(min(IO_CHUNK_BYTES, remaining)):
+                break
+        self._send_json(200, served.info())
+
     # ------------------------------------------------------------------ #
     # Plumbing
     # ------------------------------------------------------------------ #
@@ -370,7 +442,44 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValidationError("request requires a JSON body")
         if length > MAX_BODY_BYTES:
             raise _RouteError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
+        encoding = (self.headers.get("Content-Encoding") or "").strip().lower()
+        if encoding in ("", "identity"):
+            decompressor = None
+        elif encoding in ("gzip", "x-gzip"):
+            decompressor = zlib.decompressobj(16 + zlib.MAX_WBITS)
+        else:
+            raise _RouteError(
+                415, f"unsupported Content-Encoding {encoding!r} (use gzip)"
+            )
+        # Bounded-chunk reads: the body never has to fit the socket
+        # buffer, and MAX_BODY_BYTES bounds the *decompressed* size too
+        # (a gzip bomb trips the 413 before it can expand further).
+        chunks: list[bytes] = []
+        total = 0
+        remaining = length
+        while remaining > 0:
+            block = self.rfile.read(min(IO_CHUNK_BYTES, remaining))
+            if not block:
+                raise ValidationError(
+                    "request body ended before Content-Length bytes arrived"
+                )
+            remaining -= len(block)
+            if decompressor is not None:
+                try:
+                    block = decompressor.decompress(
+                        block, MAX_BODY_BYTES + 1 - total
+                    )
+                except zlib.error as exc:
+                    raise ValidationError(
+                        f"request body is not valid gzip: {exc}"
+                    ) from exc
+            total += len(block)
+            if total > MAX_BODY_BYTES:
+                raise _RouteError(
+                    413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+                )
+            chunks.append(block)
+        raw = b"".join(chunks)
         try:
             body = json.loads(raw)
         except json.JSONDecodeError as exc:
@@ -434,6 +543,24 @@ class _Handler(BaseHTTPRequestHandler):
         except BrokenPipeError:  # pragma: no cover - client already gone
             pass
 
+    def _gzip_accepted(self) -> bool:
+        """Did the client's ``Accept-Encoding`` advertise gzip (q > 0)?"""
+        accept = self.headers.get("Accept-Encoding") or ""
+        for token in accept.split(","):
+            name, _, params = token.partition(";")
+            if name.strip().lower() not in ("gzip", "x-gzip"):
+                continue
+            quality = 1.0
+            for param in params.split(";"):
+                param = param.strip().lower()
+                if param.startswith("q="):
+                    try:
+                        quality = float(param[2:])
+                    except ValueError:
+                        quality = 0.0
+            return quality > 0
+        return False
+
     def _send_bytes(
         self,
         status: int,
@@ -443,13 +570,21 @@ class _Handler(BaseHTTPRequestHandler):
         fault_point("http.before_response")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
+        if len(body) >= GZIP_MIN_BYTES and self._gzip_accepted():
+            # mtime=0 keeps the compressed bytes deterministic, so the
+            # byte-identity contract holds for gzip-speaking clients too
+            # (identical payload -> identical compressed body).
+            body = gzip.compress(body, mtime=0)
+            self.send_header("Content-Encoding", "gzip")
+            self.send_header("Vary", "Accept-Encoding")
         self.send_header("Content-Length", str(len(body)))
         for name, value in headers or ():
             self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
-        self.wfile.write(body)
+        for offset in range(0, len(body), IO_CHUNK_BYTES):
+            self.wfile.write(body[offset : offset + IO_CHUNK_BYTES])
 
 
 class _RouteError(Exception):
@@ -475,6 +610,7 @@ def make_server(
     cache_entries: "int | None" = None,
     state_dir: "str | None" = None,
     wal_fsync: "str | None" = None,
+    store: "str | None" = None,
     max_inflight: "int | None" = None,
     queue_timeout: float = 0.0,
     defer_restore: bool = False,
@@ -503,6 +639,8 @@ def make_server(
             kwargs["state_dir"] = state_dir
         if wal_fsync is not None:
             kwargs["wal_fsync"] = wal_fsync
+        if store is not None:
+            kwargs["store"] = store
         registry = SessionRegistry(**kwargs)
     gate = (
         AdmissionGate(max_inflight, queue_timeout=queue_timeout)
@@ -529,6 +667,7 @@ def run_server(
     cache_entries: "int | None" = None,
     state_dir: "str | None" = None,
     wal_fsync: "str | None" = None,
+    store: "str | None" = None,
     max_inflight: "int | None" = None,
 ) -> int:
     """Serve until SIGINT/SIGTERM, then snapshot sessions to the state dir.
@@ -553,6 +692,7 @@ def run_server(
         cache_entries=cache_entries,
         state_dir=state_dir,
         wal_fsync=wal_fsync,
+        store=store,
         max_inflight=max_inflight,
         defer_restore=True,
     )

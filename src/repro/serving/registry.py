@@ -13,20 +13,33 @@ estimator failure feeding the session's
 process -- creation, lookup, deletion, aggregate statistics -- and the
 state-dir persistence model:
 
-* :meth:`save_state` writes every session's snapshot envelope into one
-  atomically-replaced JSON file (a *checkpoint*), then rotates each
-  session's write-ahead log down to the records the checkpoint does not
-  cover;
+* :meth:`save_state` checkpoints each **dirty** session into its own
+  atomically-replaced JSON file under ``<state_dir>/sessions/``, then
+  rotates that session's write-ahead log down to the records the
+  checkpoint does not cover (clean sessions are skipped entirely);
 * between checkpoints, every committed ingest is journaled to the
   session's WAL (:mod:`repro.resilience.wal`) **before** the session
   mutates, so ungraceful death (SIGKILL, OOM) loses nothing that was
   acknowledged;
-* :meth:`load_state` restores the checkpoint and replays each WAL tail
-  on top -- deduplicated by ``state_version``, so a crash *between* the
+* :meth:`load_state` restores the per-session checkpoints (falling back
+  to a legacy monolithic ``sessions.json``, which is migrated to the
+  per-session layout at the next save) and replays each WAL tail on
+  top -- deduplicated by ``state_version``, so a crash *between* the
   checkpoint replace and the log rotation replays records the snapshot
-  already covers exactly zero times.  Session creations and deletions
-  are journaled too (a ``create`` head record / a ``drop`` tombstone),
-  so the session *set* is as crash-safe as the session contents.
+  already covers exactly zero times.  Session creations are journaled
+  (a ``create`` head record); deletions write a durable
+  ``<name>.tombstone`` file *before* any state is unlinked, so the
+  session *set* is as crash-safe as the session contents.
+
+With ``store="disk"`` new sessions persist through
+:class:`~repro.storage.store.DiskStore`: the segment log -- not the WAL
+-- is the write-ahead copy of the observations, so WAL records shrink
+to slim ``{"op": "ingest", "v": ..., "rows": ...}`` references, a
+checkpoint becomes a segment *seal* plus a small manifest write (sealed
+segments are never rewritten, unlike the JSON snapshot which re-encoded
+the full sample every time), and restart is an O(1) mmap attach instead
+of an O(n) JSON parse.  Served surfaces stay byte-identical across
+store kinds.
 
 The recovery invariant all of this serves: state after crash + replay is
 bit-identical to the never-crashed run -- the same invariant the chunked
@@ -43,10 +56,12 @@ for the same reason).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import json
 import os
 import re
+import shutil
 import threading
 from pathlib import Path
 from typing import Any
@@ -59,6 +74,8 @@ from repro.resilience.wal import WalCorruptionError, WriteAheadLog
 from repro.serving.batcher import CoalescingBatcher
 from repro.serving.cache import DEFAULT_CACHE_ENTRIES, EstimateCache, request_key
 from repro.serving.locks import RWLock
+from repro.storage.store import STORE_KINDS, DiskStore
+from repro.storage.transfer import archive_header, unpack_archive
 from repro.utils.exceptions import ReproError, ValidationError
 
 __all__ = [
@@ -67,18 +84,30 @@ __all__ = [
     "ServedSession",
     "SessionRegistry",
     "STATE_SCHEMA",
+    "SESSION_STATE_SCHEMA",
     "STATE_FILENAME",
     "WAL_DIRNAME",
+    "SESSIONS_DIRNAME",
+    "STORE_DIRNAME",
 ]
 
-#: Envelope identifier of the registry's persisted state file.
+#: Envelope identifier of the registry's persisted state (and /stats).
 STATE_SCHEMA = "repro.serving/v1"
 
-#: File the registry writes under ``--state-dir``.
+#: Envelope identifier of one per-session checkpoint file.
+SESSION_STATE_SCHEMA = "repro.serving-session/v1"
+
+#: Legacy monolithic checkpoint file (read for migration, never written).
 STATE_FILENAME = "sessions.json"
 
 #: Subdirectory of the state dir holding the per-session WALs.
 WAL_DIRNAME = "wal"
+
+#: Subdirectory holding per-session checkpoint and tombstone files.
+SESSIONS_DIRNAME = "sessions"
+
+#: Subdirectory holding per-session disk stores.
+STORE_DIRNAME = "store"
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
@@ -103,26 +132,38 @@ def _served_payload(payload: dict[str, Any]) -> dict[str, Any]:
 # WAL record conventions
 # ---------------------------------------------------------------------- #
 #
-# Three record shapes live in a session's journal:
+# Record shapes living in a session's journal:
 #
 #   {"op": "create", "snapshot": <SessionSnapshot envelope>}
-#       Head record of a session created after the last checkpoint,
-#       carrying the session's state *at registration* (trivial for
-#       ``create``, possibly mid-stream for ``adopt``).  A surviving
-#       create record *overrides* any same-named entry in the checkpoint
+#       Head record of a memory-store session created after the last
+#       checkpoint, carrying the session's state *at registration*
+#       (trivial for ``create``, possibly mid-stream for ``adopt``).  A
+#       surviving create record *overrides* any same-named checkpoint
 #       file: checkpointing removes create records, so one can only
 #       survive when the name was (re)created afterwards.
 #
+#   {"op": "create_store"}
+#       Head record of a disk-store session: the store directory, not
+#       the journal, carries the state.
+#
 #   {"op": "ingest", "v": <post-ingest state_version>,
 #    "observations": [[entity_id, source_id, attributes, sequence], ...]}
-#       One committed ingest chunk.  Replay applies records with
-#       v > the restored session's state_version, in order, and asserts
-#       the version matches after each -- the bit-identity check.
+#       One committed ingest chunk of a memory-store session.  Replay
+#       applies records with v > the restored session's state_version,
+#       in order, and asserts the version matches after each -- the
+#       bit-identity check.
+#
+#   {"op": "ingest", "v": <post-ingest state_version>, "rows": <count>}
+#       Slim reference appended *after* a disk store committed the
+#       chunk (the segment log is the write-ahead copy there).  Replay
+#       only validates: a reference beyond the store's recovered version
+#       means the store lost an acknowledged chunk.
 #
 #   {"op": "drop"}
-#       Tombstone: the whole journal is rewritten to this single record
-#       when a session is deleted, so a crash before the next checkpoint
-#       cannot resurrect it from a stale sessions.json.
+#       Legacy in-file tombstone (pre per-session checkpoint files).
+#       Deletions now write a durable ``<name>.tombstone`` *file*
+#       before unlinking any state; the in-file form is still honored
+#       on load so old state dirs migrate cleanly.
 
 
 def _create_record(session: OpenWorldSession) -> "dict[str, Any] | None":
@@ -212,6 +253,10 @@ class ServedSession:
         self._stats_lock = threading.Lock()
         self._ingest_requests = 0
         self._read_requests = 0
+        # Version covered by the last durable checkpoint of this session
+        # (-1 = never checkpointed, so even an empty session gets its
+        # first per-session checkpoint file written).
+        self.checkpointed_version = -1
 
     # ------------------------------------------------------------------ #
     # Writes
@@ -229,14 +274,32 @@ class ServedSession:
         Old cache entries need no explicit purge: they are keyed by the
         superseded version, unreachable from now on, and will age out of
         the LRU bound.
+
+        A disk-store session inverts the journaling order: the store's
+        segment log *is* the write-ahead copy (names + frame flushed
+        before the state mutates, inside ``session.ingest``), so the WAL
+        only receives a slim ``{"v", "rows"}`` reference afterwards --
+        there is no second full copy of the observations to rewrite on
+        every rotation.
         """
         with self._lock.write_locked():
             chunk = list(self._session.prepare_ingest(observations))
-            if chunk and self._wal is not None:
-                self._wal.append(
-                    _ingest_record(self._session.state_version + 1, chunk)
-                )
-            ingested = self._session.ingest(chunk)
+            if self._session.store_kind == "disk":
+                ingested = self._session.ingest(chunk)
+                if ingested and self._wal is not None:
+                    self._wal.append(
+                        {
+                            "op": "ingest",
+                            "v": self._session.state_version,
+                            "rows": ingested,
+                        }
+                    )
+            else:
+                if chunk and self._wal is not None:
+                    self._wal.append(
+                        _ingest_record(self._session.state_version + 1, chunk)
+                    )
+                ingested = self._session.ingest(chunk)
             with self._stats_lock:
                 self._ingest_requests += 1
             return {
@@ -420,6 +483,48 @@ class ServedSession:
             ]
             self._wal.rewrite(keep)
 
+    @property
+    def dirty(self) -> bool:
+        """True when state has advanced past the last durable checkpoint."""
+        return self._session.state_version > self.checkpointed_version
+
+    def seal_store(self) -> int:
+        """Seal a disk store's active segment (the disk-mode checkpoint).
+
+        Under the write lock, so the sealed version is exact.  Returns
+        the session's ``state_version`` the seal covers.
+        """
+        with self._lock.write_locked():
+            version = self._session.state_version
+            self._session.store.seal()
+            return version
+
+    @contextlib.contextmanager
+    def store_archive(self):
+        """Freeze the session and yield ``(header, files, version)``.
+
+        The disk-mode transfer source: seals the active segment, syncs
+        every store file, and yields the archive header plus the file
+        list (see :func:`repro.storage.transfer.archive_header`).  The
+        write lock is held for the whole ``with`` block, so the files
+        cannot change while the caller streams them -- a migration has
+        quiesced the session anyway, which bounds the lock hold time.
+        """
+        with self._lock.write_locked():
+            store = self._session.store
+            if store.kind != "disk":
+                raise ValidationError(
+                    f"session {self.name!r} is not disk-backed; transfer it "
+                    "with the snapshot envelope (GET .../snapshot) instead"
+                )
+            version = self._session.state_version
+            store.seal()
+            store.sync()
+            header, files = archive_header(
+                store.directory, session=self.name, state_version=version
+            )
+            yield header, files, version
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -437,7 +542,7 @@ class ServedSession:
                 "n": session.n,
                 "c": session.c,
                 "n_ingested": session.n_ingested,
-                "sources": len(session.source_sizes),
+                "sources": session.n_sources,
                 "state_version": session.state_version,
             }
 
@@ -452,6 +557,10 @@ class ServedSession:
             out["circuit_breaker"] = self._breaker.stats()
         if self._wal is not None:
             out["wal"] = self._wal.stats()
+        if self._session.store_kind != "memory":
+            # Memory sessions stay byte-identical to the pre-storage
+            # /stats surface; only non-default stores add their block.
+            out["store"] = self._session.store.stats()
         return out
 
     def _canonical_spec(self, spec: "str | None") -> str:
@@ -477,11 +586,18 @@ class SessionRegistry:
         LRU bound of the shared answer cache.
     state_dir:
         Enables crash-safe persistence: per-session write-ahead logs
-        under ``<state_dir>/wal/`` plus the ``sessions.json`` checkpoint
-        written by :meth:`save_state`.  Without it the registry is
-        memory-only (the pre-WAL behavior); :meth:`save_state` /
-        :meth:`load_state` may still be called with an explicit
-        directory for snapshot-only persistence.
+        under ``<state_dir>/wal/`` plus the per-session checkpoint
+        files under ``<state_dir>/sessions/`` written by
+        :meth:`save_state`.  Without it the registry is memory-only
+        (the pre-WAL behavior); :meth:`save_state` / :meth:`load_state`
+        may still be called with an explicit directory for
+        snapshot-only persistence.
+    store:
+        State store of newly created sessions: ``"memory"`` (default)
+        or ``"disk"`` (requires ``state_dir``; stores live under
+        ``<state_dir>/store/<name>/``).  Sessions recovered by
+        :meth:`load_state` keep whatever store their on-disk state
+        says, regardless of this setting.
     wal_fsync / wal_batch_every:
         Durability policy of the WALs (see :class:`WriteAheadLog`).
     breaker_threshold / breaker_cooldown:
@@ -497,14 +613,25 @@ class SessionRegistry:
         workers: "int | None" = None,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
         state_dir: "str | os.PathLike[str] | None" = None,
+        store: str = "memory",
         wal_fsync: str = "batch",
         wal_batch_every: "int | None" = None,
         breaker_threshold: int = 5,
         breaker_cooldown: float = 30.0,
         breaker_clock: Any = None,
     ) -> None:
+        if store not in STORE_KINDS:
+            raise ValidationError(
+                f"unknown store kind {store!r}; expected one of "
+                f"{', '.join(STORE_KINDS)}"
+            )
+        if store == "disk" and state_dir is None:
+            raise ValidationError(
+                "store='disk' requires a state_dir to hold the stores"
+            )
         self._backend = backend
         self._workers = workers
+        self._store = store
         self.cache = EstimateCache(cache_entries)
         self.batcher = CoalescingBatcher(
             "thread" if backend == "process" else (backend or "serial"), workers
@@ -520,6 +647,33 @@ class SessionRegistry:
         self._breaker_clock = breaker_clock
         self._phase = "ready"
         self._phase_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # State-dir paths
+    # ------------------------------------------------------------------ #
+
+    @property
+    def store_mode(self) -> str:
+        """Store kind of newly created sessions ("memory" or "disk")."""
+        return self._store
+
+    def store_path(self, name: str) -> Path:
+        """Directory of ``name``'s disk store (requires a state dir)."""
+        if self._state_dir is None:
+            raise ValidationError("disk stores require a state_dir")
+        return self._state_dir / STORE_DIRNAME / name
+
+    def _sessions_dir(self, directory: "Path | None" = None) -> Path:
+        base = directory if directory is not None else self._state_dir
+        if base is None:
+            raise ValidationError("no state directory configured")
+        return Path(base) / SESSIONS_DIRNAME
+
+    def _checkpoint_path(self, name: str, directory: "Path | None" = None) -> Path:
+        return self._sessions_dir(directory) / f"{name}.json"
+
+    def _tombstone_path(self, name: str, directory: "Path | None" = None) -> Path:
+        return self._sessions_dir(directory) / f"{name}.tombstone"
 
     # ------------------------------------------------------------------ #
     # Readiness
@@ -560,8 +714,31 @@ class SessionRegistry:
             table_name=table_name,
             estimator=estimator,
             count_method=count_method,
+            store=self._new_store(name),
         )
-        return self._register(name, session, journal_create=True)
+        try:
+            return self._register(name, session, journal_create=True)
+        except DuplicateSessionError:
+            session.close()
+            raise
+
+    def _new_store(self, name: str):
+        """A fresh store for a new session ``name`` (None = memory default)."""
+        if self._store != "disk":
+            return None
+        with self._lock:
+            registered = name in self._sessions
+        path = self.store_path(name)
+        if not registered and path.exists():
+            # Leftover store of a dead incarnation (a crash between the
+            # durable tombstone and the directory unlink): the tombstone
+            # made the deletion authoritative, so this is garbage.
+            shutil.rmtree(path)
+        return DiskStore(path, fsync=self._wal_fsync, **(
+            {"batch_every": self._wal_batch_every}
+            if self._wal_batch_every is not None
+            else {}
+        ))
 
     def adopt(self, name: str, session: OpenWorldSession) -> ServedSession:
         """Register an existing session object under ``name``."""
@@ -590,6 +767,8 @@ class SessionRegistry:
         exactly when this worker now holds the transferred state.
         """
         self._validated_name(name)
+        if self._store == "disk":
+            return self._restore_session_disk(name, payload)
         session = OpenWorldSession.restore(payload)
         with self._lock:
             existing = self._sessions.get(name)
@@ -601,6 +780,93 @@ class SessionRegistry:
             self.remove(name)
         return self._register(name, session, journal_create=True)
 
+    def _restore_session_disk(
+        self, name: str, payload: "dict[str, Any]"
+    ) -> ServedSession:
+        """Disk-mode snapshot restore: seed an incoming store, promote it.
+
+        The store is built in ``store/.incoming-<name>`` and only moved
+        to its final path once fully seeded, so a crash mid-restore can
+        never leave a half-written store under the live name; the boot
+        scavenger (:meth:`_scavenge_store_dir`) discards interrupted
+        promotions -- they were never acknowledged, so the sender
+        retries them.
+        """
+        incoming = self.store_path(f".incoming-{name}")
+        if incoming.exists():
+            shutil.rmtree(incoming)
+        store = DiskStore(incoming, fsync=self._wal_fsync)
+        try:
+            session = OpenWorldSession.restore(payload, store=store)
+            store.sync()
+            (incoming / ".complete").touch()
+        except BaseException:
+            store.close()
+            shutil.rmtree(incoming, ignore_errors=True)
+            raise
+        version = session.state_version
+        session.close()
+        return self._promote_incoming(name, incoming, version)
+
+    def restore_store(self, name: str, read) -> ServedSession:
+        """Receive a streamed store archive (the disk-mode migration body).
+
+        ``read(n)`` supplies the raw archive bytes (header line + file
+        contents, see :mod:`repro.storage.transfer`).  The archive is
+        unpacked into ``store/.incoming-<name>`` and attached there to
+        validate its integrity before promotion; the replace-if-newer
+        and fencing semantics are exactly those of
+        :meth:`restore_session`.
+        """
+        self._validated_name(name)
+        if self._store != "disk":
+            raise ValidationError(
+                "this server keeps sessions in memory (--store memory); "
+                "push a snapshot envelope to .../restore instead"
+            )
+        incoming = self.store_path(f".incoming-{name}")
+        if incoming.exists():
+            shutil.rmtree(incoming)
+        try:
+            unpack_archive(read, incoming)
+            store = DiskStore(incoming, fsync=self._wal_fsync)
+            session = OpenWorldSession.attach(store)
+        except BaseException:
+            shutil.rmtree(incoming, ignore_errors=True)
+            raise
+        version = session.state_version
+        session.close()
+        return self._promote_incoming(name, incoming, version)
+
+    def _promote_incoming(
+        self, name: str, incoming: Path, version: int
+    ) -> ServedSession:
+        """Make a fully-seeded incoming store the live one for ``name``.
+
+        Replace-if-newer against any current session, then a single
+        ``os.rename`` flips the directory into place and the session is
+        re-attached from disk -- reopening after the rename is cheaper
+        to reason about than proving every held fd survives it.
+        """
+        with self._lock:
+            existing = self._sessions.get(name)
+        if existing is not None:
+            with existing._lock.read_locked():
+                current_version = existing._session.state_version
+            if current_version >= version:
+                shutil.rmtree(incoming, ignore_errors=True)
+                return existing
+            self.remove(name)  # durable tombstone + store dir removal
+        final = self.store_path(name)
+        if final.exists():  # pragma: no cover - remove() already purged it
+            shutil.rmtree(final)
+        (incoming / ".complete").unlink(missing_ok=True)
+        os.rename(incoming, final)
+        attached = OpenWorldSession.attach(
+            DiskStore(final, fsync=self._wal_fsync)
+        )
+        return self._register(name, attached, journal_create=True)
+
     def _register(
         self,
         name: str,
@@ -610,13 +876,20 @@ class SessionRegistry:
         wal: "WriteAheadLog | None" = None,
     ) -> ServedSession:
         if wal is None and self._state_dir is not None:
-            create = _create_record(session)
+            if session.store_kind == "disk":
+                create: "dict[str, Any] | None" = {"op": "create_store"}
+            else:
+                create = _create_record(session)
             if create is not None:
+                # A durable tombstone of a deleted previous incarnation
+                # is superseded by this (re)creation.
+                if journal_create:
+                    self._tombstone_path(name).unlink(missing_ok=True)
                 wal = self._open_wal(name)
                 if journal_create:
-                    # rewrite (not append): the file may hold a drop
-                    # tombstone or stale records of a deleted previous
-                    # incarnation of this name.
+                    # rewrite (not append): the file may hold stale
+                    # records of a deleted previous incarnation of this
+                    # name.
                     wal.rewrite([create])
         breaker = (
             CircuitBreaker(
@@ -672,10 +945,13 @@ class SessionRegistry:
     def remove(self, name: str) -> None:
         """Forget the session called ``name`` (404 when absent).
 
-        With a WAL, the journal is rewritten to a single ``drop``
-        tombstone: a crash before the next checkpoint must not resurrect
-        the session from the stale ``sessions.json``.  The tombstone
-        file itself is purged at the next :meth:`save_state`.
+        With a state dir, a durable ``<name>.tombstone`` file is written
+        **before** any state is unlinked: a crash at any point after it
+        cannot resurrect the session (load honors the tombstone and
+        finishes the cleanup), and a crash before it leaves the session
+        fully intact -- deletion is atomic at the tombstone write.  The
+        WAL, checkpoint file and (for disk sessions) the store directory
+        are then removed.
 
         Its cache entries become unreachable and age out of the LRU bound
         like superseded versions do: keys carry the instance's unique
@@ -686,13 +962,31 @@ class SessionRegistry:
             served = self._sessions.pop(name, None)
         if served is None:
             raise UnknownSessionError(f"unknown session {name!r}")
-        if served._wal is not None:
-            # Under the session's write lock: an in-flight ingest that
-            # grabbed the served object before the pop must not append
-            # behind the tombstone.
-            with served._lock.write_locked():
-                served._wal.rewrite([{"op": "drop"}])
+        if self._state_dir is None:
+            served._session.close()
+            return
+        # Under the session's write lock: an in-flight ingest that
+        # grabbed the served object before the pop must not append
+        # behind the deletion.
+        with served._lock.write_locked():
+            self._write_tombstone(name)
+            if served._wal is not None:
                 served._wal.close()
+            (self._state_dir / WAL_DIRNAME / f"{name}.wal").unlink(missing_ok=True)
+            self._checkpoint_path(name).unlink(missing_ok=True)
+            served._session.close()
+            if served._session.store_kind == "disk":
+                shutil.rmtree(self.store_path(name), ignore_errors=True)
+
+    def _write_tombstone(self, name: str) -> None:
+        sessions_dir = self._sessions_dir()
+        sessions_dir.mkdir(parents=True, exist_ok=True)
+        path = self._tombstone_path(name)
+        with open(path, "wb") as handle:
+            handle.write(b"{}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._fsync_directory(sessions_dir)
 
     def names(self) -> list[str]:
         """Registered session names, sorted."""
@@ -741,39 +1035,104 @@ class SessionRegistry:
     def save_state(
         self, state_dir: "str | os.PathLike[str] | None" = None
     ) -> Path:
-        """Checkpoint every session's snapshot to ``state_dir`` atomically.
+        """Checkpoint every **dirty** session under ``state_dir/sessions/``.
 
-        The file is written next to its final location, fsynced, and
-        moved into place with :func:`os.replace`, so a crash mid-write
-        leaves the previous state intact, never a torn file.  Once the
-        replace has happened the per-session WALs are rotated down to
-        the (usually zero) records the checkpoint does not cover, and
-        tombstone/orphan journals of deleted sessions are purged.
+        Each session gets its own checkpoint file, written next to its
+        final location, fsynced, and moved into place with
+        :func:`os.replace` -- so a crash mid-write leaves that session's
+        previous checkpoint intact, never a torn file, and a large
+        session set no longer rewrites one monolithic JSON on every
+        save.  Sessions whose ``state_version`` has not advanced since
+        their last checkpoint are skipped entirely.
+
+        Memory-store sessions checkpoint their full snapshot envelope;
+        disk-store sessions *seal* their active segment (the manifest
+        write inside the store is the durability point -- sealed
+        segments are never rewritten) and the checkpoint file holds just
+        the covered version.  Either way the session's WAL is then
+        rotated down to the records the checkpoint does not cover, and
+        leftovers of deleted sessions (tombstones whose state is gone,
+        orphan journals) are purged.
+
+        Returns the ``sessions/`` directory.
         """
         directory = self._resolved_state_dir(state_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        sessions = self.sessions()
-        snapshots: dict[str, dict[str, Any]] = {}
-        versions: dict[str, int] = {}
-        for served in sessions:
-            payload = served.snapshot_payload()
-            snapshots[served.name] = payload
-            versions[served.name] = int(payload["state_version"])
-        payload = {"schema": STATE_SCHEMA, "sessions": snapshots}
-        target = directory / STATE_FILENAME
-        scratch = directory / (STATE_FILENAME + ".tmp")
+        sessions_dir = self._sessions_dir(directory)
+        sessions_dir.mkdir(parents=True, exist_ok=True)
+        legacy = directory / STATE_FILENAME
+        for served in self.sessions():
+            if not served.dirty:
+                continue
+            if served._session.default_spec is None:
+                continue  # estimator-instance sessions are memory-only
+            if served._session.store_kind == "disk":
+                version = served.seal_store()
+                payload: dict[str, Any] = {
+                    "schema": SESSION_STATE_SCHEMA,
+                    "store": "disk",
+                    "state_version": version,
+                }
+            else:
+                snapshot = served.snapshot_payload()
+                version = int(snapshot["state_version"])
+                payload = {
+                    "schema": SESSION_STATE_SCHEMA,
+                    "store": "memory",
+                    "snapshot": snapshot,
+                }
+            self._write_checkpoint_file(
+                self._checkpoint_path(served.name, directory), payload
+            )
+            # The checkpoint is durable; rotate the journal behind it.
+            served.checkpoint_wal(version)
+            served.checkpointed_version = max(
+                served.checkpointed_version, version
+            )
+        # Every live session now has its own file; the legacy monolithic
+        # checkpoint (if this state dir predates the split) is stale the
+        # moment any per-session file supersedes it, so drop it.
+        if legacy.exists():
+            legacy.unlink()
+            self._fsync_directory(directory)
+        self._purge_orphan_wals(directory)
+        self._purge_dead_state(directory)
+        return sessions_dir
+
+    @staticmethod
+    def _write_checkpoint_file(path: Path, payload: "dict[str, Any]") -> None:
+        scratch = path.with_suffix(path.suffix + ".tmp")
         with open(scratch, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(payload, indent=2, allow_nan=False) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
         fault_point("registry.before_replace")
-        os.replace(scratch, target)
-        self._fsync_directory(directory)
-        # The checkpoint is durable; rotate the journals behind it.
-        for served in sessions:
-            served.checkpoint_wal(versions[served.name])
-        self._purge_orphan_wals(directory)
-        return target
+        os.replace(scratch, path)
+        SessionRegistry._fsync_directory(path.parent)
+
+    def _purge_dead_state(self, directory: Path) -> None:
+        """Clean up leftovers of deleted sessions (idempotent, crash-safe).
+
+        A tombstone file is only unlinked once every trace of its
+        session (journal, checkpoint, store directory) is gone, so a
+        crash in the middle of this sweep re-runs it harmlessly.
+        """
+        sessions_dir = self._sessions_dir(directory)
+        with self._lock:
+            live = set(self._sessions)
+        if sessions_dir.is_dir():
+            for path in sessions_dir.glob("*.tombstone"):
+                name = path.name[: -len(".tombstone")]
+                if name in live:
+                    continue  # recreated name; _register clears it
+                (directory / WAL_DIRNAME / f"{name}.wal").unlink(missing_ok=True)
+                (sessions_dir / f"{name}.json").unlink(missing_ok=True)
+                store_dir = directory / STORE_DIRNAME / name
+                if store_dir.exists():
+                    shutil.rmtree(store_dir, ignore_errors=True)
+                path.unlink(missing_ok=True)
+            for path in sessions_dir.glob("*.json"):
+                if path.stem not in live:
+                    path.unlink(missing_ok=True)
 
     def _purge_orphan_wals(self, directory: Path) -> None:
         wal_dir = directory / WAL_DIRNAME
@@ -822,15 +1181,42 @@ class SessionRegistry:
         return restored
 
     def _load_state(self, directory: Path) -> list[str]:
+        self._scavenge_store_dir(directory)
+        # Legacy monolithic checkpoint (pre per-session files): read it,
+        # treat every entry as never-checkpointed so the next save_state
+        # migrates it to the per-session layout and unlinks it.
         target = directory / STATE_FILENAME
-        snapshots: dict[str, Any] = {}
+        legacy: dict[str, Any] = {}
         if target.exists():
             payload = json.loads(target.read_text())
             if not isinstance(payload, dict) or payload.get("schema") != STATE_SCHEMA:
                 raise ValidationError(
                     f"{target} is not a {STATE_SCHEMA!r} state file"
                 )
-            snapshots = payload.get("sessions", {})
+            legacy = payload.get("sessions", {})
+        checkpoints: dict[str, dict[str, Any]] = {}
+        tombstones: set[str] = set()
+        sessions_dir = self._sessions_dir(directory)
+        if sessions_dir.is_dir():
+            for path in sorted(sessions_dir.glob("*.tombstone")):
+                tombstones.add(path.name[: -len(".tombstone")])
+            for path in sorted(sessions_dir.glob("*.json")):
+                payload = json.loads(path.read_text())
+                if (
+                    not isinstance(payload, dict)
+                    or payload.get("schema") != SESSION_STATE_SCHEMA
+                ):
+                    raise ValidationError(
+                        f"{path} is not a {SESSION_STATE_SCHEMA!r} checkpoint"
+                    )
+                checkpoints[path.stem] = payload
+        stores: dict[str, Path] = {}
+        store_root = directory / STORE_DIRNAME
+        if store_root.is_dir():
+            for path in sorted(store_root.iterdir()):
+                if path.is_dir() and not path.name.startswith("."):
+                    if (path / "manifest.json").is_file():
+                        stores[path.name] = path
         journals: dict[str, tuple[WriteAheadLog, list[dict[str, Any]]]] = {}
         if self._state_dir is not None and directory == self._state_dir:
             wal_dir = directory / WAL_DIRNAME
@@ -839,28 +1225,104 @@ class SessionRegistry:
                     wal = self._open_wal(path.stem)
                     journals[path.stem] = (wal, wal.recover())
         restored = []
-        for name in sorted(set(snapshots) | set(journals)):
+        names = set(legacy) | set(checkpoints) | set(stores) | set(journals)
+        for name in sorted(names | tombstones):
             wal, records = journals.get(name, (None, []))
-            if records and records[0].get("op") == "drop":
+            if name in tombstones:
+                # Deleted: the durable tombstone is authoritative over
+                # any trace a crash left behind.  Finish the cleanup.
                 if wal is not None:
                     wal.close()
-                continue  # tombstoned after the last checkpoint
+                (directory / WAL_DIRNAME / f"{name}.wal").unlink(missing_ok=True)
+                self._checkpoint_path(name, directory).unlink(missing_ok=True)
+                if name in stores:
+                    shutil.rmtree(stores[name], ignore_errors=True)
+                self._tombstone_path(name, directory).unlink(missing_ok=True)
+                continue
+            if records and records[0].get("op") == "drop":
+                # Legacy in-file tombstone.
+                wal.close()
+                (directory / WAL_DIRNAME / f"{name}.wal").unlink(missing_ok=True)
+                continue
             create_head = records[0] if records and records[0].get("op") == "create" else None
+            checkpointed = -1
             if create_head is not None:
                 # Created (or recreated) after the last checkpoint: the
-                # journal, not the stale snapshot entry, is authoritative.
+                # journal, not a stale checkpoint entry, is authoritative.
                 session = OpenWorldSession.restore(create_head["snapshot"])
-            elif name in snapshots:
-                session = OpenWorldSession.restore(snapshots[name])
+                self._replay(name, session, records)
+            elif name in stores:
+                session = self._attach_store_session(name, stores[name], records)
+                entry = checkpoints.get(name)
+                if entry is not None and entry.get("store") == "disk":
+                    checkpointed = int(entry.get("state_version", -1))
+            elif name in checkpoints:
+                entry = checkpoints[name]
+                if entry.get("store") == "disk":
+                    raise WalCorruptionError(
+                        f"checkpoint for {name!r} references a disk store "
+                        f"but {store_root / name} holds none"
+                    )
+                session = OpenWorldSession.restore(entry["snapshot"])
+                checkpointed = session.state_version
+                self._replay(name, session, records)
+            elif name in legacy:
+                session = OpenWorldSession.restore(legacy[name])
+                self._replay(name, session, records)
             else:
                 raise WalCorruptionError(
                     f"journal {name!r} has no create record and no "
                     "checkpoint entry; cannot reconstruct the session"
                 )
-            self._replay(name, session, records)
-            self._register(name, session, wal=wal)
+            served = self._register(name, session, wal=wal)
+            served.checkpointed_version = checkpointed
             restored.append(name)
         return restored
+
+    def _attach_store_session(
+        self,
+        name: str,
+        store_dir: Path,
+        records: "list[dict[str, Any]]",
+    ) -> OpenWorldSession:
+        """O(1) re-attach of a disk store, validating the WAL references.
+
+        The store's segment log was the write-ahead copy, so nothing is
+        replayed from the WAL; its slim references only cross-check that
+        the store recovered everything it acknowledged.
+        """
+        store = DiskStore(store_dir, fsync=self._wal_fsync, **(
+            {"batch_every": self._wal_batch_every}
+            if self._wal_batch_every is not None
+            else {}
+        ))
+        session = OpenWorldSession.attach(store)
+        for record in records:
+            if record.get("op") != "ingest":
+                continue
+            version = int(record.get("v", 0))
+            if version > session.state_version:
+                raise WalCorruptionError(
+                    f"journal {name!r} references state_version {version} "
+                    f"but the store recovered only {session.state_version}; "
+                    "the store lost an acknowledged chunk"
+                )
+        return session
+
+    def _scavenge_store_dir(self, directory: Path) -> None:
+        """Discard interrupted store promotions (crash mid snapshot-restore).
+
+        ``.incoming-<name>`` directories are only renamed into place
+        *before* the restored session is registered and acknowledged, so
+        any still present at boot belongs to an unacknowledged transfer
+        the sender will retry -- discard, never adopt.
+        """
+        store_root = directory / STORE_DIRNAME
+        if not store_root.is_dir():
+            return
+        for path in store_root.iterdir():
+            if path.is_dir() and path.name.startswith(".incoming-"):
+                shutil.rmtree(path, ignore_errors=True)
 
     @staticmethod
     def _replay(name: str, session: OpenWorldSession, records: list) -> None:

@@ -1,0 +1,76 @@
+"""Per-session disk storage: segment log, name dictionaries, invariants.
+
+The package behind ``OpenWorldSession(store=...)`` and ``repro.cli
+serve --store disk``: an append-only columnar segment log for
+observations, memory-mapped persistent invariants for O(1) restart, and
+streaming readers for progressive replay.  See DESIGN.md ("Storage
+layer") for the format specification and the crash-consistency
+argument.
+"""
+
+from repro.storage.invariants import InvariantStore
+from repro.storage.layout import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    StorageError,
+    StoreLayout,
+    write_json_atomic,
+)
+from repro.storage.names import NameCorruptionError, NameLog
+from repro.storage.segments import (
+    FRAME_OBSERVATIONS,
+    FRAME_SEED,
+    Frame,
+    SegmentCorruptionError,
+    SegmentLog,
+    encode_frame,
+    encode_seed_frame,
+    read_frames,
+    scan_frames,
+    segment_name,
+)
+from repro.storage.store import (
+    STORE_KINDS,
+    DiskStore,
+    MemoryStore,
+    open_store,
+)
+from repro.storage.stream import SegmentObservationReader
+from repro.storage.transfer import (
+    ARCHIVE_SCHEMA,
+    archive_header,
+    archive_length,
+    iter_archive,
+    unpack_archive,
+)
+
+__all__ = [
+    "ARCHIVE_SCHEMA",
+    "DiskStore",
+    "FRAME_OBSERVATIONS",
+    "FRAME_SEED",
+    "Frame",
+    "InvariantStore",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "MemoryStore",
+    "NameCorruptionError",
+    "NameLog",
+    "STORE_KINDS",
+    "SegmentCorruptionError",
+    "SegmentLog",
+    "SegmentObservationReader",
+    "StorageError",
+    "StoreLayout",
+    "archive_header",
+    "archive_length",
+    "encode_frame",
+    "encode_seed_frame",
+    "iter_archive",
+    "open_store",
+    "read_frames",
+    "scan_frames",
+    "segment_name",
+    "unpack_archive",
+    "write_json_atomic",
+]

@@ -221,9 +221,50 @@ class TestStatePersistence:
         target = registry.save_state(tmp_path)
         registry.get("s").ingest(make_observations([("z", "s9", 5.0)]))
         registry.save_state(tmp_path)
-        payload = json.loads(target.read_text())
-        assert payload["sessions"]["s"]["state_version"] == 2
-        assert not (tmp_path / (target.name + ".tmp")).exists()
+        payload = json.loads((target / "s.json").read_text())
+        assert payload["store"] == "memory"
+        assert payload["snapshot"]["state_version"] == 2
+        assert not (target / "s.json.tmp").exists()
+
+    def test_legacy_monolithic_checkpoint_migrates(self, tmp_path):
+        """A pre-split sessions.json loads, then migrates on the next save."""
+        from repro.serving.registry import STATE_FILENAME, STATE_SCHEMA
+
+        registry, served = registry_with_session()
+        legacy = {
+            "schema": STATE_SCHEMA,
+            "sessions": {"s": served.snapshot_payload()},
+        }
+        (tmp_path / STATE_FILENAME).write_text(json.dumps(legacy))
+        restored = SessionRegistry()
+        assert restored.load_state(tmp_path) == ["s"]
+        assert restored.get("s").snapshot_payload() == served.snapshot_payload()
+        restored.save_state(tmp_path)
+        assert not (tmp_path / STATE_FILENAME).exists()
+        assert (tmp_path / "sessions" / "s.json").exists()
+
+    def test_clean_sessions_are_skipped_on_save(self, tmp_path):
+        registry, _ = registry_with_session()
+        target = registry.save_state(tmp_path)
+        first_mtime = (target / "s.json").stat().st_mtime_ns
+        registry.save_state(tmp_path)  # nothing dirty: no rewrite
+        assert (target / "s.json").stat().st_mtime_ns == first_mtime
+        registry.get("s").ingest(make_observations([("z", "s9", 5.0)]))
+        registry.save_state(tmp_path)
+        assert (target / "s.json").stat().st_mtime_ns > first_mtime
+
+    def test_remove_leaves_durable_tombstone(self, tmp_path):
+        registry = SessionRegistry(state_dir=tmp_path)
+        registry.create("s", "value").ingest(
+            make_observations([("a", "s1", 1.0)])
+        )
+        registry.save_state()
+        registry.remove("s")
+        assert (tmp_path / "sessions" / "s.tombstone").exists()
+        assert not (tmp_path / "sessions" / "s.json").exists()
+        assert SessionRegistry(state_dir=tmp_path).load_state() == []
+        # load finished the cleanup: the tombstone itself is purged
+        assert not (tmp_path / "sessions" / "s.tombstone").exists()
 
 
 class TestSessionRecreation:

@@ -1,0 +1,208 @@
+"""SIGKILL the storage layer at its fault points; recovery must be exact.
+
+The matrix each case walks: a real subprocess ingests ~10^5
+observations through a :class:`~repro.serving.registry.SessionRegistry`
+with an armed ``REPRO_FAULTS`` crash, dies by SIGKILL, and a fresh
+registry on the same state directory must recover, reconcile the
+unacknowledged tail the way a retrying client would (resend everything
+past the recovered ``state_version``), and then serve **byte-identical**
+estimate and snapshot payloads to an in-memory facade registry that
+ingested the same stream without ever crashing.
+
+Store-specific windows under test:
+
+``storage.after_frame`` (disk)
+    Dies mid-ingest: the frame is durable, the invariant arrays never
+    absorbed it.  Attach replays the segment tail, so the chunk counts
+    as acknowledged-and-kept and must **not** be resent.
+``storage.before_seal`` (disk)
+    Dies inside the checkpoint before the active segment is renamed:
+    every frame still sits in ``active.seg``.
+``storage.after_seal`` (disk)
+    Dies after the rename but before the manifest write: the sealed
+    segment is an *orphan* the next attach adopts by directory scan.
+``registry.before_replace`` (memory)
+    The pre-storage checkpoint window, kept in the same matrix as the
+    cross-backend control: the WAL alone recovers everything.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import lifecycle_driver as driver
+from repro.serving.http import dumps_result
+from repro.serving.registry import SessionRegistry
+
+DRIVER = Path(driver.__file__).resolve()
+
+
+def run_driver_until_killed(state_dir, store, faults):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath("src"), env.get("PYTHONPATH")) if p
+    )
+    env.pop("REPRO_FAULTS_STAMP_DIR", None)
+    env["REPRO_FAULTS"] = faults
+    proc = subprocess.run(
+        [sys.executable, str(DRIVER), str(state_dir), store],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.returncode
+    assert "DONE" not in proc.stdout, "armed fault never fired"
+    return proc.stdout
+
+
+def never_crashed_facade():
+    """A memory-only registry that ingested the full stream, no crashes."""
+    registry = SessionRegistry()
+    served = registry.create(
+        driver.SESSION, driver.ATTRIBUTE, estimator=driver.ESTIMATOR
+    )
+    for index in range(driver.N_CHUNKS):
+        served.ingest(driver.observations(index))
+    return served
+
+
+def reconcile(served):
+    """Resend whatever the recovered ``state_version`` does not cover."""
+    version = served.info()["state_version"]
+    assert 0 <= version <= driver.N_CHUNKS
+    for index in range(version, driver.N_CHUNKS):
+        served.ingest(driver.observations(index))
+    return version
+
+
+def assert_bit_identical(served, facade):
+    assert dumps_result(served.estimate_payload()) == dumps_result(
+        facade.estimate_payload()
+    )
+    assert dumps_result(served.snapshot_payload()) == dumps_result(
+        facade.snapshot_payload()
+    )
+
+
+@pytest.mark.parametrize(
+    ("store", "faults", "min_recovered"),
+    [
+        # Mid-stream: the 57th frame reaches the log, the arrays never
+        # absorb it -- attach must replay it from the segment tail.
+        pytest.param(
+            "disk", "storage.after_frame:crash@57", 57, id="disk-after-frame"
+        ),
+        # Checkpoint windows: every chunk was ingested and acknowledged
+        # before the crash, so recovery must find all of them.
+        pytest.param(
+            "disk",
+            "storage.before_seal:crash@1",
+            driver.N_CHUNKS,
+            id="disk-before-seal",
+        ),
+        pytest.param(
+            "disk",
+            "storage.after_seal:crash@1",
+            driver.N_CHUNKS,
+            id="disk-after-seal",
+        ),
+        pytest.param(
+            "memory",
+            "registry.before_replace:crash@1",
+            driver.N_CHUNKS,
+            id="memory-before-replace",
+        ),
+    ],
+)
+def test_sigkill_recovers_bit_identical(tmp_path, store, faults, min_recovered):
+    state = tmp_path / "state"
+    run_driver_until_killed(state, store, faults)
+
+    registry = SessionRegistry(state_dir=state, store=store, wal_fsync="batch")
+    assert registry.load_state() == [driver.SESSION]
+    served = registry.get(driver.SESSION)
+    recovered = reconcile(served)
+    # Nothing acknowledged is ever lost: the recovered version floors at
+    # the last chunk that durably committed before the fault fired.
+    assert recovered >= min_recovered
+    facade = never_crashed_facade()
+    assert_bit_identical(served, facade)
+
+    # A clean checkpoint + reload on top of the recovered state must
+    # come back with nothing to resend and the same bytes.
+    registry.save_state()
+    reloaded = SessionRegistry(state_dir=state, store=store, wal_fsync="batch")
+    assert reloaded.load_state() == [driver.SESSION]
+    served = reloaded.get(driver.SESSION)
+    assert reconcile(served) == driver.N_CHUNKS
+    assert_bit_identical(served, facade)
+
+
+def small_chunks():
+    return [driver.observations(index)[:20] for index in range(5)]
+
+
+def small_facade(n_chunks=5):
+    registry = SessionRegistry()
+    served = registry.create(
+        driver.SESSION, driver.ATTRIBUTE, estimator=driver.ESTIMATOR
+    )
+    for chunk in small_chunks()[:n_chunks]:
+        served.ingest(chunk)
+    return served
+
+
+def ingest_small_disk_registry(state):
+    registry = SessionRegistry(state_dir=state, store="disk", wal_fsync="batch")
+    served = registry.create(
+        driver.SESSION, driver.ATTRIBUTE, estimator=driver.ESTIMATOR
+    )
+    for chunk in small_chunks():
+        served.ingest(chunk)
+    return registry
+
+
+def test_torn_tail_after_power_loss_recovers_the_durable_prefix(tmp_path):
+    """Tear the segment tail AND the WAL tail AND drop the invariant meta
+    (the power-loss ordering where nothing past the last barrier
+    survived): the final chunk is lost cleanly, resent by the client,
+    and the result is still bit-exact."""
+    state = tmp_path / "state"
+    ingest_small_disk_registry(state)
+    active = state / "store" / driver.SESSION / "segments" / "active.seg"
+    active.write_bytes(active.read_bytes()[:-5])
+    os.unlink(state / "store" / driver.SESSION / "invariants" / "meta.bin")
+    wal = state / "wal" / f"{driver.SESSION}.wal"
+    wal.write_bytes(wal.read_bytes()[:-5])
+
+    registry = SessionRegistry(state_dir=state, store="disk", wal_fsync="batch")
+    assert registry.load_state() == [driver.SESSION]
+    served = registry.get(driver.SESSION)
+    assert served.info()["state_version"] == 4  # exactly the torn chunk lost
+    assert_bit_identical(served, small_facade(4))
+    served.ingest(small_chunks()[4])
+    assert_bit_identical(served, small_facade())
+
+
+def test_torn_tail_with_acknowledged_wal_reference_fails_loudly(tmp_path):
+    """If the store lost a chunk the WAL proves was acknowledged, boot
+    must refuse rather than silently serve the shrunken state."""
+    from repro.resilience.wal import WalCorruptionError
+
+    state = tmp_path / "state"
+    ingest_small_disk_registry(state)
+    active = state / "store" / driver.SESSION / "segments" / "active.seg"
+    active.write_bytes(active.read_bytes()[:-5])
+    os.unlink(state / "store" / driver.SESSION / "invariants" / "meta.bin")
+
+    registry = SessionRegistry(state_dir=state, store="disk", wal_fsync="batch")
+    with pytest.raises(WalCorruptionError, match="lost an acknowledged chunk"):
+        registry.load_state()

@@ -1,0 +1,110 @@
+"""The segment observation reader: lazy, prefix-stable, ingest-order exact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.progressive import ProgressiveIntegrator
+from storage_helpers import CHUNKS, disk_session, memory_session, observations
+
+
+def flat_rows(chunks=CHUNKS):
+    return [obs for chunk in chunks for obs in observations(chunk)]
+
+
+def sealed_and_active_session(tmp_path):
+    """A disk session whose rows span a sealed segment and the active one."""
+    session = disk_session(tmp_path / "store", CHUNKS[:2])
+    session.store.seal()
+    for chunk in CHUNKS[2:]:
+        session.ingest(observations(chunk))
+    return session
+
+
+class TestReader:
+    def test_rows_match_the_ingest_stream_exactly(self, tmp_path):
+        session = sealed_and_active_session(tmp_path)
+        reader = session.store.observation_reader()
+        expected = flat_rows()
+        assert len(reader) == len(expected)
+        for got, want in zip(reader, expected):
+            assert got.entity_id == want.entity_id
+            assert got.source_id == want.source_id
+            assert got.attributes == want.attributes
+            assert got.sequence == want.sequence
+
+    def test_slicing_and_negative_indexing(self, tmp_path):
+        session = sealed_and_active_session(tmp_path)
+        reader = session.store.observation_reader()
+        expected = flat_rows()
+        assert [o.entity_id for o in reader[2:5]] == [
+            o.entity_id for o in expected[2:5]
+        ]
+        assert reader[-1].entity_id == expected[-1].entity_id
+        with pytest.raises(IndexError):
+            reader[len(expected)]
+
+    def test_reader_is_a_stable_prefix_while_ingesting(self, tmp_path):
+        session = disk_session(tmp_path / "store", CHUNKS[:2])
+        reader = session.store.observation_reader()
+        frozen = len(reader)
+        assert frozen == sum(len(c) for c in CHUNKS[:2])
+        for chunk in CHUNKS[2:]:
+            session.ingest(observations(chunk))
+        # The old reader still covers exactly its construction-time rows.
+        assert len(reader) == frozen
+        expected = flat_rows(CHUNKS[:2])
+        assert [o.entity_id for o in reader] == [o.entity_id for o in expected]
+        # A fresh reader sees everything.
+        assert len(session.store.observation_reader()) == len(flat_rows())
+
+    def test_reader_covers_reattached_stores(self, tmp_path):
+        session = sealed_and_active_session(tmp_path)
+        session.close()
+        from repro.api.session import OpenWorldSession
+        from repro.storage.store import DiskStore
+
+        attached = OpenWorldSession.attach(DiskStore(tmp_path / "store"))
+        reader = attached.store.observation_reader()
+        assert [o.entity_id for o in reader] == [
+            o.entity_id for o in flat_rows()
+        ]
+
+    def test_attributeless_rows_roundtrip_as_empty_dicts(self, tmp_path):
+        session = disk_session(tmp_path / "store", CHUNKS)
+        reader = session.store.observation_reader()
+        expected = flat_rows()
+        empties = [i for i, o in enumerate(expected) if not o.attributes]
+        assert empties  # the fixture stream must exercise flags=0
+        for index in empties:
+            assert reader[index].attributes == {}
+
+
+class TestProgressiveReplay:
+    def test_prefix_replay_matches_in_memory_prefixes(self, tmp_path):
+        session = sealed_and_active_session(tmp_path)
+        reader = session.store.observation_reader()
+        total = len(reader)
+        rows = flat_rows()
+        for prefix in (0, 1, total // 2, total):
+            replayed = memory_session()
+            if prefix:
+                replayed.ingest(reader[:prefix])
+            oracle = memory_session()
+            if prefix:
+                oracle.ingest(rows[:prefix])
+            assert replayed.store.state.counts == oracle.store.state.counts
+            assert replayed.store.state.per_source == oracle.store.state.per_source
+
+    def test_progressive_integrator_streams_from_disk(self, tmp_path):
+        session = sealed_and_active_session(tmp_path)
+        reader = session.store.observation_reader()
+        rows = flat_rows()
+        integrator = ProgressiveIntegrator(reader, "value")
+        oracle = ProgressiveIntegrator(rows, "value")
+        for prefix in (1, len(rows) // 2, len(rows)):
+            integrator.advance_to(prefix)
+            oracle.advance_to(prefix)
+            ours, theirs = integrator.snapshot(), oracle.snapshot()
+            assert ours.counts == theirs.counts
+            assert ours.source_sizes == theirs.source_sizes

@@ -1,0 +1,159 @@
+"""The store-archive wire format: exact lengths, safe unpack, hard failures."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.api.session import OpenWorldSession
+from repro.storage.layout import StorageError
+from repro.storage.store import DiskStore
+from repro.storage.transfer import (
+    ARCHIVE_SCHEMA,
+    archive_header,
+    archive_length,
+    iter_archive,
+    unpack_archive,
+)
+from storage_helpers import CHUNKS, assert_same_surfaces, disk_session, memory_session
+
+
+def archived_store(tmp_path):
+    """A sealed, synced store plus its archive header and file list."""
+    session = disk_session(tmp_path / "src", CHUNKS)
+    session.store.seal()
+    session.store.sync()
+    header, files = archive_header(
+        session.store.directory, session="s", state_version=session.state_version
+    )
+    return session, header, files
+
+
+def stream_reader(body: bytes):
+    stream = io.BytesIO(body)
+    return stream.read
+
+
+class TestArchive:
+    def test_length_is_exact(self, tmp_path):
+        _, header, files = archived_store(tmp_path)
+        body = b"".join(iter_archive(header, files))
+        assert len(body) == archive_length(header, files)
+
+    def test_header_line_is_parseable_and_manifest_is_last(self, tmp_path):
+        _, header, files = archived_store(tmp_path)
+        line, newline, _ = header.partition(b"\n")
+        assert newline == b"\n"
+        parsed = json.loads(line)
+        assert parsed["schema"] == ARCHIVE_SCHEMA
+        assert parsed["session"] == "s"
+        assert parsed["state_version"] == len(CHUNKS)
+        listed = [entry["path"] for entry in parsed["files"]]
+        assert listed[-1] == "manifest.json"
+        assert listed == [rel for _, rel, _ in files]
+        assert [entry["size"] for entry in parsed["files"]] == [
+            size for _, _, size in files
+        ]
+
+    def test_roundtrip_attaches_byte_identical(self, tmp_path):
+        session, header, files = archived_store(tmp_path)
+        body = b"".join(iter_archive(header, files))
+        parsed = unpack_archive(stream_reader(body), tmp_path / "dst")
+        assert parsed["state_version"] == session.state_version
+        attached = OpenWorldSession.attach(DiskStore(tmp_path / "dst"))
+        assert attached.state_version == session.state_version
+        assert_same_surfaces(attached, memory_session(CHUNKS))
+
+    def test_unsealed_tail_ships_too(self, tmp_path):
+        # Archive without an explicit seal first: the serving layer always
+        # seals before archiving, but the format itself must still carry
+        # the active segment byte-exactly.
+        session = disk_session(tmp_path / "src", CHUNKS)
+        session.store.sync()
+        header, files = archive_header(
+            session.store.directory, session="s", state_version=session.state_version
+        )
+        body = b"".join(iter_archive(header, files))
+        unpack_archive(stream_reader(body), tmp_path / "dst")
+        attached = OpenWorldSession.attach(DiskStore(tmp_path / "dst"))
+        assert_same_surfaces(attached, memory_session(CHUNKS))
+
+    def test_streaming_file_shrink_fails_loudly(self, tmp_path):
+        session, header, files = archived_store(tmp_path)
+        victim = next(path for path, rel, size in files if size > 4)
+        victim.write_bytes(victim.read_bytes()[:2])
+        with pytest.raises(StorageError, match="shrank"):
+            b"".join(iter_archive(header, files))
+
+
+class TestUnpackSafety:
+    def test_truncation_inside_a_file_raises_and_leaves_no_store(self, tmp_path):
+        _, header, files = archived_store(tmp_path)
+        body = b"".join(iter_archive(header, files))
+        with pytest.raises(StorageError, match="truncated inside"):
+            unpack_archive(stream_reader(body[: len(header) + 10]), tmp_path / "dst")
+        # The manifest travels last, so a torn transfer never yields a
+        # directory that attaches as a complete store.
+        assert not (tmp_path / "dst" / "manifest.json").exists()
+        from repro.storage.segments import SegmentCorruptionError
+
+        with pytest.raises((StorageError, SegmentCorruptionError)):
+            OpenWorldSession.attach(DiskStore(tmp_path / "dst"))
+
+    def test_truncation_inside_the_manifest_refuses_attach(self, tmp_path):
+        _, header, files = archived_store(tmp_path)
+        body = b"".join(iter_archive(header, files))
+        with pytest.raises(StorageError, match="truncated inside"):
+            unpack_archive(stream_reader(body[:-4]), tmp_path / "dst")
+        # The partially written manifest is invalid JSON: attach must
+        # refuse rather than serve from a half-transferred store.
+        with pytest.raises(StorageError):
+            DiskStore(tmp_path / "dst")
+
+    def test_eof_before_header_line(self, tmp_path):
+        with pytest.raises(StorageError, match="before its header"):
+            unpack_archive(stream_reader(b'{"schema":'), tmp_path / "dst")
+
+    def test_non_json_header_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="not valid JSON"):
+            unpack_archive(stream_reader(b"not json\n"), tmp_path / "dst")
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        body = json.dumps({"schema": "other/v9", "files": []}).encode() + b"\n"
+        with pytest.raises(StorageError, match="has schema"):
+            unpack_archive(stream_reader(body), tmp_path / "dst")
+
+    @pytest.mark.parametrize(
+        "path", ["../evil", "/etc/evil", "a/../../evil", ""]
+    )
+    def test_path_traversal_rejected(self, tmp_path, path):
+        header = {
+            "schema": ARCHIVE_SCHEMA,
+            "session": "s",
+            "state_version": 1,
+            "files": [{"path": path, "size": 1}],
+        }
+        body = json.dumps(header).encode() + b"\nx"
+        with pytest.raises(StorageError, match="unsafe path"):
+            unpack_archive(stream_reader(body), tmp_path / "dst")
+        assert not (tmp_path / "evil").exists()
+        assert not (tmp_path.parent / "evil").exists()
+
+    def test_negative_size_rejected(self, tmp_path):
+        header = {
+            "schema": ARCHIVE_SCHEMA,
+            "session": "s",
+            "state_version": 1,
+            "files": [{"path": "a", "size": -1}],
+        }
+        body = json.dumps(header).encode() + b"\n"
+        with pytest.raises(StorageError, match="negative size"):
+            unpack_archive(stream_reader(body), tmp_path / "dst")
+
+    def test_max_bytes_bound_enforced(self, tmp_path):
+        _, header, files = archived_store(tmp_path)
+        body = b"".join(iter_archive(header, files))
+        with pytest.raises(StorageError, match="transfer limit"):
+            unpack_archive(stream_reader(body), tmp_path / "dst", max_bytes=16)
