@@ -12,8 +12,11 @@ clients would:
    first request per state version computes, duplicates in flight fold
    into that one computation (coalescing), and repeats are answered
    from the version-keyed cache without touching the estimator,
-4. read ``GET /stats`` to see the hits/misses/coalescing ledger,
-5. snapshot the session -- byte-identical to the in-process facade.
+4. subscribe with ``GET .../subscribe`` (Server-Sent Events): the server
+   *pushes* a fresh envelope on every ``state_version`` bump,
+   byte-identical to what a polled ``GET .../estimate`` returns,
+5. read ``GET /stats`` to see the hits/misses/coalescing ledger,
+6. snapshot the session -- byte-identical to the in-process facade.
 
 Run with::
 
@@ -182,6 +185,47 @@ def main() -> None:
                      {"sql": "SELECT AVG(employees) FROM data"})
     print(f"   AVG observed {answer['observed']:,.1f} -> corrected {answer['corrected']:,.1f}")
 
+    print("\n== subscribe: the server pushes, clients stop polling")
+    # GET .../subscribe is a Server-Sent Events stream: the current state
+    # is pushed on connect, then one repro.result/v1 envelope per
+    # state_version bump -- byte-identical to a polled GET .../estimate
+    # at the same version.
+    events: list[tuple[int, str]] = []
+    stream_done = threading.Event()
+
+    def subscriber() -> None:
+        req = urllib.request.Request(
+            base + "/sessions/employees/subscribe?max_events=2&heartbeat_ms=500"
+        )
+        with urllib.request.urlopen(req, timeout=60) as response:
+            event_id, data = None, []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith("id: "):
+                    event_id = int(line[4:])
+                elif line.startswith("data: "):
+                    data.append(line[6:])
+                elif line.startswith("data:"):
+                    data.append(line[5:])
+                elif line == "" and event_id is not None:
+                    events.append((event_id, "\n".join(data)))
+                    event_id, data = None, []
+        stream_done.set()
+
+    stream = threading.Thread(target=subscriber, daemon=True)
+    stream.start()
+    while not events:
+        time.sleep(0.02)
+    print(f"   on connect: state_version {events[0][0]} pushed immediately")
+    request(base, "POST", "/sessions/employees/ingest", {"observations": [
+        {"entity_id": "F", "source_id": "late-1", "attributes": {"employees": 1200.0}},
+    ]})
+    stream_done.wait(timeout=60)
+    version, body = events[1]
+    polled = request(base, "GET", "/sessions/employees/estimate")
+    assert json.loads(body) == polled
+    print(f"   after ingest: version {version} pushed; body == a polled GET")
+
     print("\n== the /stats ledger")
     stats = request(base, "GET", "/stats")
     if stats.get("schema") == "repro.cluster/v1":
@@ -209,6 +253,7 @@ def main() -> None:
               f"{RETRIES['count']} shed responses retried with jittered backoff")
         session_block = stats["sessions"][0]
         print(f"   estimator cache: {session_block['estimator_cache']}")
+        print(f"   subscribers: {session_block['subscribers']}")
 
     print("\n== snapshot for replay or migration")
     snapshot = request(base, "GET", "/sessions/employees/snapshot")

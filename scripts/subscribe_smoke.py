@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Subscribe smoke driver: pushed SSE bodies vs polled GETs, via cmp.
+
+Drives a real ``repro.cli serve`` subprocess with a streaming client:
+
+1. create a session and ingest the first chunk,
+2. open ``GET /sessions/<name>/subscribe`` (Server-Sent Events) on a
+   client thread,
+3. ingest further chunks -- each commit bumps ``state_version`` and the
+   server *pushes* a fresh ``repro.result/v1`` envelope,
+4. after every push, poll ``GET .../estimate`` while the version is
+   still current and write both bodies to ``<outdir>/push_v<N>.json`` /
+   ``<outdir>/poll_v<N>.json``.
+
+The CI subscribe-smoke job then asserts ``cmp push_v<N>.json
+poll_v<N>.json`` for every version -- the acceptance criterion that a
+pushed envelope is byte-identical to a cold ``GET .../estimate`` at the
+same ``state_version``, checked end to end through a real socket.  The
+driver also exercises the ``?wait_version=`` long-poll (a parked GET
+released by the next ingest) and the ``?mode=delta`` path (byte-equal
+to the batch oracle).
+
+The script self-verifies (exit 1 on any byte difference), so it doubles
+as a local pre-push check::
+
+    PYTHONPATH=src python scripts/subscribe_smoke.py --outdir /tmp/subsmoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import urllib.request
+from pathlib import Path
+
+from serving_smoke import (
+    ATTRIBUTE,
+    CHUNKS,
+    ESTIMATOR,
+    ServerProcess,
+    StepRecorder,
+    to_bodies,
+)
+
+
+def read_events(base: str, path: str, events: list, done: threading.Event) -> None:
+    """Collect ``(id, body_bytes)`` pairs from one SSE subscription.
+
+    Joining the ``data:`` values of one event with a newline rebuilds
+    the exact bytes the equivalent ``GET .../estimate`` serves -- the
+    framing contract of :mod:`repro.serving.http`.
+    """
+    request = urllib.request.Request(base + path)
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            content_type = response.headers.get("Content-Type", "")
+            assert content_type.startswith("text/event-stream"), content_type
+            event_id, data = None, []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith("id: "):
+                    event_id = int(line[4:])
+                elif line.startswith("data: "):
+                    data.append(line[6:])
+                elif line.startswith("data:"):
+                    data.append(line[5:])
+                elif line == "" and event_id is not None:
+                    events.append((event_id, "\n".join(data).encode("utf-8")))
+                    event_id, data = None, []
+    finally:
+        done.set()
+
+
+def wait_for_event(events: list, count: int, done: threading.Event) -> None:
+    import time
+
+    deadline = time.monotonic() + 60
+    while len(events) < count and time.monotonic() < deadline:
+        if done.is_set() and len(events) < count:
+            raise RuntimeError(
+                f"subscription ended after {len(events)} event(s), wanted {count}"
+            )
+        time.sleep(0.02)
+    if len(events) < count:
+        raise RuntimeError(f"no event #{count} within 60s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", type=Path, required=True)
+    args = parser.parse_args()
+    args.outdir.mkdir(parents=True, exist_ok=True)
+    recorder = StepRecorder(args.outdir)
+    state_dir = args.outdir / "state"
+
+    print("== phase 1: serve, create the session, ingest chunk 0")
+    server = ServerProcess(state_dir)
+    server.request(
+        "POST",
+        "/sessions",
+        {"name": "smoke", "attribute": ATTRIBUTE, "estimator": ESTIMATOR},
+    )
+    server.request(
+        "POST", "/sessions/smoke/ingest", {"observations": to_bodies(CHUNKS[0])}
+    )
+
+    print("== phase 2: subscribe, then push the remaining chunks")
+    events: list[tuple[int, bytes]] = []
+    done = threading.Event()
+    subscriber = threading.Thread(
+        target=read_events,
+        args=(
+            server.base,
+            f"/sessions/smoke/subscribe?max_events={len(CHUNKS)}&heartbeat_ms=500",
+            events,
+            done,
+        ),
+        daemon=True,
+    )
+    subscriber.start()
+    # Event 1 is the current state (version 1); each further ingest is
+    # pushed.  Waiting for each event before the next ingest keeps the
+    # version current when the comparison poll runs (and avoids
+    # legitimate-but-unhelpful version coalescing).
+    wait_for_event(events, 1, done)
+    for index, chunk in enumerate(CHUNKS[1:], start=2):
+        server.request(
+            "POST", "/sessions/smoke/ingest", {"observations": to_bodies(chunk)}
+        )
+        wait_for_event(events, index, done)
+        version, pushed = events[index - 1]
+        polled = server.request("GET", "/sessions/smoke/estimate")
+        recorder.record(f"push_v{version}", pushed, polled)
+    subscriber.join(timeout=30)
+
+    print("== phase 3: wait_version long-poll released by the next ingest")
+    target = len(CHUNKS) + 1
+    parked: dict[str, bytes] = {}
+
+    def long_poll() -> None:
+        parked["body"] = server.request(
+            "GET", f"/sessions/smoke/estimate?wait_version={target}&timeout_ms=30000"
+        )
+
+    poller = threading.Thread(target=long_poll, daemon=True)
+    poller.start()
+    server.request(
+        "POST", "/sessions/smoke/ingest", {"observations": to_bodies(CHUNKS[0])}
+    )
+    poller.join(timeout=60)
+    if "body" not in parked:
+        raise RuntimeError("long-poll did not return after the releasing ingest")
+    recorder.record(
+        "wait_version",
+        parked["body"],
+        server.request("GET", "/sessions/smoke/estimate"),
+    )
+
+    print("== phase 4: delta mode vs the batch oracle")
+    recorder.record(
+        "mode_delta",
+        server.request("GET", "/sessions/smoke/estimate?mode=delta"),
+        server.request("GET", "/sessions/smoke/estimate?mode=batch"),
+    )
+
+    stats = json.loads(server.request("GET", "/stats"))
+    block = stats["sessions"][0]["subscribers"]
+    print(f"  subscriber ledger: {block}")
+    if block["active"] != 0 or block["pushed"] < len(CHUNKS):
+        raise RuntimeError(f"unexpected subscriber ledger: {block}")
+    server.stop()
+    return recorder.verify()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

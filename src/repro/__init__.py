@@ -66,6 +66,7 @@ from repro.api import (
     SessionSnapshot,
     build_estimator,
     describe_estimators,
+    incremental_estimators,
     register_estimator,
 )
 
@@ -124,6 +125,7 @@ __all__ = [
     "SessionSnapshot",
     "build_estimator",
     "describe_estimators",
+    "incremental_estimators",
     "register_estimator",
     # core
     "BucketEstimator",

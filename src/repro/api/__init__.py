@@ -26,6 +26,7 @@ from repro.api.specs import (
     available_estimators,
     build_estimator,
     describe_estimators,
+    incremental_estimators,
     register_estimator,
 )
 
@@ -38,6 +39,7 @@ __all__ = [
     "available_estimators",
     "build_estimator",
     "describe_estimators",
+    "incremental_estimators",
     "register_estimator",
     # session
     "OpenWorldSession",

@@ -39,14 +39,15 @@ Concurrency contract (relied on by :mod:`repro.serving`):
 from __future__ import annotations
 
 import threading
-from collections import Counter
+from collections import Counter, deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
-from repro.api.specs import EstimatorSpec
+from repro.api.specs import EstimatorSpec, incremental_estimators
 from repro.core.estimator import Estimate, SumEstimator
 from repro.core.fstatistics import FrequencyStatistics
+from repro.core.incremental import SampleDelta
 from repro.data.progressive import IntegrationState
 from repro.data.records import Observation
 from repro.data.sample import ObservedSample
@@ -63,6 +64,27 @@ __all__ = ["OpenWorldSession", "SessionSnapshot", "DEFAULT_ESTIMATOR_CACHE_SIZE"
 #: (CLI flags, HTTP query parameters), so the cache must not grow with the
 #: number of distinct specs a long-lived server has ever seen.
 DEFAULT_ESTIMATOR_CACHE_SIZE = 32
+
+#: How many committed :class:`~repro.core.incremental.SampleDelta` digests
+#: the session retains.  A delta reader that has fallen further behind than
+#: this rebuilds its handle from the full sample instead of catching up --
+#: correct either way, the log only bounds the cheap path.
+DELTA_LOG_ENTRIES = 64
+
+#: Estimate modes accepted by :meth:`OpenWorldSession.estimate`.
+ESTIMATE_MODES = ("batch", "delta", "auto")
+
+
+class _DeltaEntry:
+    """One estimator's incremental handle plus its committed position."""
+
+    __slots__ = ("lock", "handle", "version", "estimate")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.handle: Any = None
+        self.version = -1
+        self.estimate: "Estimate | None" = None
 
 
 def _parallel_overrides(
@@ -235,6 +257,15 @@ class OpenWorldSession:
         self._estimator_cache = LRUCache(DEFAULT_ESTIMATOR_CACHE_SIZE)
         self._state_version = 0
         self._mutation_lock = threading.Lock()
+        # Delta-mode machinery: the bounded log of committed ingest digests
+        # (appended atomically with the version bump) and the per-spec
+        # incremental handles that consume it.
+        self._delta_log: "deque[SampleDelta]" = deque(maxlen=DELTA_LOG_ENTRIES)
+        self._delta_entries = LRUCache(DEFAULT_ESTIMATOR_CACHE_SIZE)
+        # Raw spec string -> canonical spec string.  Push-driven estimates
+        # resolve the same spec once per state_version bump, so the parse
+        # must not ride on the per-answer cost of the delta path.
+        self._spec_string_cache = LRUCache(DEFAULT_ESTIMATOR_CACHE_SIZE)
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -408,6 +439,22 @@ class OpenWorldSession:
         # and before the invariant arrays absorb it -- its internal
         # ordering, see repro.storage.store.
         if chunk:
+            # Digest the chunk for the delta log *before* the store mutates
+            # the membership dict: the digest mirrors the integration rule
+            # exactly (first occurrence appends with the fused value, every
+            # repeat re-observes).
+            attribute = self._attribute
+            state_values = self._state.values
+            appended: list[tuple[str, float]] = []
+            reobserved: list[str] = []
+            chunk_first: set[str] = set()
+            for obs in chunk:
+                entity = obs.entity_id
+                if entity not in state_values and entity not in chunk_first:
+                    chunk_first.add(entity)
+                    appended.append((entity, float(obs.value(attribute))))
+                else:
+                    reobserved.append(entity)
             self._store.apply_chunk(
                 chunk,
                 self._attribute,
@@ -416,12 +463,22 @@ class OpenWorldSession:
             )
             # Atomic with respect to readers: nobody can observe the new
             # state_version while a stale sample/database cache is still
-            # installed (or vice versa).
+            # installed (or vice versa), and the delta log never lags the
+            # version it describes.
             with self._mutation_lock:
                 self._n_ingested += len(chunk)
                 self._sample_cache = None
                 self._database_cache = None
                 self._state_version += 1
+                self._delta_log.append(
+                    SampleDelta(
+                        version=self._state_version,
+                        appended=tuple(appended),
+                        reobserved=tuple(reobserved),
+                        source_sizes=self._seed_source_sizes
+                        + tuple(self._state.per_source.values()),
+                    )
+                )
         return len(chunk)
 
     def prepare_ingest(
@@ -500,6 +557,7 @@ class OpenWorldSession:
         *,
         backend: str | None = None,
         workers: int | None = None,
+        mode: str | None = None,
     ) -> Estimate:
         """Estimate the unknown-unknowns impact on ``SUM(attribute)``.
 
@@ -509,11 +567,142 @@ class OpenWorldSession:
         ``workers`` parameters) so callers can shard e.g. the Monte-Carlo
         grid search without rebuilding the spec string; estimators whose
         spec declares no such parameters ignore them.
+
+        ``mode`` selects the estimation path:
+
+        * ``None`` / ``"batch"`` -- recompute over the full sample (the
+          parity oracle; always available).
+        * ``"delta"`` -- require the incremental path: the estimator keeps
+          a handle positioned at an earlier ``state_version`` and advances
+          it by the committed ingest digests in O(|delta|).  Raises
+          :class:`ValidationError` (listing the update-capable estimators)
+          when the estimator does not support updates or ``attribute`` is
+          not the maintained session attribute -- there is no silent
+          fallback.
+        * ``"auto"`` -- the incremental path when available, batch
+          otherwise.
+
+        Both paths return byte-identical results; delta mode is purely a
+        cost optimization.
         """
+        if mode is not None and mode not in ESTIMATE_MODES:
+            raise ValidationError(
+                f"unknown estimate mode {mode!r}; expected one of "
+                f"{', '.join(ESTIMATE_MODES)}"
+            )
         estimator = self._resolve_estimator(
             spec, overrides=_parallel_overrides(backend, workers)
         )
-        return estimator.estimate(self.sample(), attribute or self._attribute)
+        target = attribute or self._attribute
+        if mode in ("delta", "auto"):
+            key = self._delta_key(spec)
+            if mode == "delta":
+                self._require_delta_capable(estimator, target)
+                if key is None:
+                    raise ValidationError(
+                        "delta mode requires a spec-identified estimator (a "
+                        "spec string / EstimatorSpec or the session default); "
+                        "a per-call estimator instance has no stable handle "
+                        "identity"
+                    )
+            if (
+                key is not None
+                and target == self._attribute
+                and getattr(estimator, "supports_updates", False)
+            ):
+                return self._estimate_delta(estimator, key)
+        return estimator.estimate(self.sample(), target)
+
+    def validate_delta(
+        self,
+        spec: "str | EstimatorSpec | SumEstimator | None" = None,
+        attribute: str | None = None,
+    ) -> None:
+        """Raise :class:`ValidationError` unless ``mode="delta"`` would work.
+
+        The serving layer calls this *before* consulting its payload cache,
+        so a warm cache can never mask a capability error.
+        """
+        estimator = self._resolve_estimator(spec)
+        self._require_delta_capable(estimator, attribute or self._attribute)
+
+    def _require_delta_capable(self, estimator: SumEstimator, target: str) -> None:
+        if not getattr(estimator, "supports_updates", False):
+            raise ValidationError(
+                f"estimator {estimator.name!r} does not support delta "
+                "(incremental) estimation; update-capable estimators: "
+                f"{', '.join(incremental_estimators())}"
+            )
+        if target != self._attribute:
+            raise ValidationError(
+                "delta estimation is maintained for the session attribute "
+                f"{self._attribute!r} only; use batch mode for attribute "
+                f"{target!r}"
+            )
+
+    def _delta_key(self, spec: "str | EstimatorSpec | SumEstimator | None") -> str | None:
+        """Stable identity of the estimator a delta handle belongs to."""
+        if spec is None:
+            if self._default_estimator is not None:
+                # The default instance lives as long as the session, so
+                # identity-by-construction is stable.
+                return "\x00default-instance"
+            spec = self._default_spec
+        if isinstance(spec, SumEstimator):
+            return None
+        if isinstance(spec, str):
+            return self._canonical_spec_string(spec)
+        return spec.to_string()
+
+    def _canonical_spec_string(self, spec: str) -> str:
+        return self._spec_string_cache.get_or_create(
+            spec, lambda: EstimatorSpec.of(spec).to_string()
+        )
+
+    def _estimate_delta(self, estimator: SumEstimator, key: str) -> Estimate:
+        """The incremental path: catch the spec's handle up to the head.
+
+        The handle either advances through the contiguous run of logged
+        deltas since its version (O(|delta|) per step) or, when it has
+        fallen behind the bounded log, rebuilds from the current sample.
+        """
+        entry: _DeltaEntry = self._delta_entries.get_or_create(key, _DeltaEntry)
+        with entry.lock:
+            if entry.handle is not None and entry.estimate is not None:
+                with self._mutation_lock:
+                    current = self._state_version
+                    pending = [d for d in self._delta_log if d.version > entry.version]
+                if entry.version == current:
+                    return entry.estimate
+                if (
+                    pending
+                    and pending[0].version == entry.version + 1
+                    and len(pending) == current - entry.version
+                ):
+                    estimate = entry.estimate
+                    for delta in pending:
+                        estimate = estimator.update(entry.handle, delta)
+                    entry.version = current
+                    entry.estimate = estimate
+                    return estimate
+                # Gap in the log (log bound exceeded or restored session):
+                # fall through to a rebuild.
+                entry.handle = None
+                entry.estimate = None
+            for _ in range(100):
+                version = self._state_version
+                handle = estimator.begin(self.sample(), self._attribute)
+                if version == self._state_version:
+                    # No commit between the two version reads, so the
+                    # sample the handle adopted is exactly ``version``.
+                    estimate = estimator.update(handle)
+                    entry.handle = handle
+                    entry.version = version
+                    entry.estimate = estimate
+                    return estimate
+            # Ingests are landing faster than we can position a handle;
+            # serve a correct one-shot result without caching the handle.
+            return estimator.update(estimator.begin(self.sample(), self._attribute))
 
     def query(
         self,
@@ -566,6 +755,14 @@ class OpenWorldSession:
                     "already-built estimator instance; pass a spec instead"
                 )
             return spec
+        if isinstance(spec, str) and not overrides:
+            # Hot path: estimators resolved by spec string (the HTTP and
+            # subscription surfaces) skip the parse once the canonical
+            # form is memoized; the build still happens at most once.
+            canonical = self._canonical_spec_string(spec)
+            return self._estimator_cache.get_or_create(
+                canonical, lambda: EstimatorSpec.of(canonical).build()
+            )
         parsed = EstimatorSpec.of(spec)
         if overrides:
             supported = parsed.supported_params()

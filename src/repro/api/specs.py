@@ -75,6 +75,7 @@ __all__ = [
     "available_estimators",
     "build_estimator",
     "describe_estimators",
+    "incremental_estimators",
 ]
 
 
@@ -200,6 +201,10 @@ class EstimatorDefinition:
     params: tuple[ParamSpec, ...] = ()
     accepts_base: bool = False
     arg_doc: str = ""
+    #: True when estimators built from this definition implement the
+    #: incremental seam (``begin``/``update``); chains are update-capable
+    #: only when every component is (see EstimatorSpec.supports_updates).
+    supports_updates: bool = False
 
     def param(self, name: str) -> ParamSpec | None:
         """The declared parameter called ``name``, if any."""
@@ -221,6 +226,7 @@ def register_estimator(
     params: tuple[ParamSpec, ...] | list[ParamSpec] = (),
     accepts_base: bool = False,
     arg_doc: str = "",
+    supports_updates: bool = False,
 ) -> Callable[[Callable[..., SumEstimator]], Callable[..., SumEstimator]]:
     """Class decorator-style registration of an estimator factory.
 
@@ -258,6 +264,7 @@ def register_estimator(
             params=tuple(params),
             accepts_base=accepts_base,
             arg_doc=arg_doc,
+            supports_updates=supports_updates,
         )
         return factory
 
@@ -267,6 +274,21 @@ def register_estimator(
 def available_estimators() -> list[str]:
     """Sorted names of every registered estimator."""
     return sorted(_REGISTRY)
+
+
+def incremental_estimators() -> list[str]:
+    """Sorted names of every estimator registered as update-capable.
+
+    These are the specs that accept ``mode="delta"`` (session layer) or
+    ``?mode=delta`` (serving layer); the list is what the resulting
+    :class:`~repro.utils.exceptions.ValidationError` cites when delta
+    mode is requested on anything else.
+    """
+    return sorted(
+        name
+        for name, definition in _REGISTRY.items()
+        if definition.supports_updates
+    )
 
 
 def _definition(name: str) -> EstimatorDefinition:
@@ -292,6 +314,7 @@ def describe_estimators(name: str | None = None) -> dict[str, Any]:
         out[key] = {
             "summary": definition.summary,
             "accepts_base": definition.accepts_base,
+            "supports_updates": definition.supports_updates,
             "args": definition.arg_doc,
             "params": [
                 {
@@ -422,6 +445,19 @@ class EstimatorSpec:
         for key, value in self.params:
             spec = self._param_spec(key)
             spec.coerce(value)  # type/choice errors surface at parse time
+
+    def supports_updates(self) -> bool:
+        """True when the described composition is delta-update capable.
+
+        A chain supports incremental updates only when *every* component
+        does: ``"bucket/frequency"`` is capable, ``"bucket/monte-carlo"``
+        is not (the Monte-Carlo component re-simulates per call).
+        Mirrors the built estimator's own ``supports_updates`` attribute.
+        """
+        return all(
+            _definition(component.name).supports_updates
+            for component in self.components
+        )
 
     def supported_params(self) -> dict[str, ParamSpec]:
         """All parameters declared anywhere in the chain (first declarer wins)."""
@@ -611,7 +647,11 @@ def _monte_carlo_config(params: Mapping[str, Any]) -> MonteCarloConfig:
     )
 
 
-@register_estimator("naive", summary="mean substitution over Chao92 (Section 3.1)")
+@register_estimator(
+    "naive",
+    summary="mean substitution over Chao92 (Section 3.1)",
+    supports_updates=True,
+)
 def _build_naive(args, base, **params):
     return NaiveEstimator()
 
@@ -619,6 +659,7 @@ def _build_naive(args, base, **params):
 @register_estimator(
     "frequency",
     summary="per-frequency-class breakdown (Section 3.2)",
+    supports_updates=True,
     params=(
         ParamSpec(
             "uniform",
@@ -636,6 +677,7 @@ def _build_frequency(args, base, **params):
     "frequency-uniform",
     summary="frequency estimator with the uniform-publicity assumption "
     "(alias of frequency?uniform=true)",
+    supports_updates=True,
 )
 def _build_frequency_uniform(args, base, **params):
     return FrequencyEstimator(assume_uniform=True)
@@ -697,6 +739,7 @@ def _bucket_strategy(args: tuple[str, ...], n_buckets: int | None):
     "bucket",
     summary="per-bucket estimation (Section 3.3); chain a base estimator "
     "with '/', e.g. bucket/frequency",
+    supports_updates=True,
     params=(
         ParamSpec(
             "n_buckets",
@@ -738,6 +781,7 @@ def _build_bucket(args, base, **params):
     "bucket-frequency",
     summary="dynamic bucketing with the frequency estimator inside each "
     "bucket (alias of bucket/frequency)",
+    supports_updates=True,
 )
 def _build_bucket_frequency(args, base, **params):
     return BucketEstimator(strategy=DynamicBucketing(), base=FrequencyEstimator())
@@ -746,6 +790,7 @@ def _build_bucket_frequency(args, base, **params):
 @register_estimator(
     "bucket-equiwidth",
     summary="static equal-width bucketing (alias of bucket(equiwidth))",
+    supports_updates=True,
     params=(
         ParamSpec(
             "n_buckets",
@@ -762,6 +807,7 @@ def _build_bucket_equiwidth(args, base, **params):
 @register_estimator(
     "bucket-equiheight",
     summary="static equal-height bucketing (alias of bucket(equiheight))",
+    supports_updates=True,
     params=(
         ParamSpec(
             "n_buckets",

@@ -20,10 +20,17 @@ serial run, and ``--describe`` prints the experiment's parameter spec.
 ``serve`` runs the concurrent HTTP JSON API (:mod:`repro.serving`): named
 sessions behind reader/writer locks, version-keyed estimate caching,
 request coalescing, and graceful SIGINT/SIGTERM shutdown that snapshots
-every session to ``--state-dir`` and restores them on restart.
+every session to ``--state-dir`` and restores them on restart.  Clients
+can *poll* (``GET .../estimate``, optionally parked until a target
+``?wait_version=`` is published) or *subscribe* (``GET .../subscribe``,
+Server-Sent Events: one ``repro.result/v1`` envelope pushed per
+``state_version`` bump, byte-identical to the equivalent polled GET);
+``?mode=delta`` requires the incremental estimation path (O(|delta|)
+per fresh answer for update-capable estimators, same bytes as batch).
 ``cluster`` runs the same API behind a consistent-hash router over N
 shared-nothing serve workers (:mod:`repro.cluster`) with live session
-migration for rebalancing and rolling restarts.
+migration for rebalancing and rolling restarts; subscriptions relay
+through the router and transparently re-attach across migration.
 
 Estimators are given as **estimator specs** (see :mod:`repro.api.specs`):
 any registered name (``bucket``, ``monte-carlo``, ...) or a composite

@@ -56,9 +56,10 @@ import json
 import math
 import queue
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlencode, urlsplit
 
 from repro.cluster.fleet import (
     Fleet,
@@ -87,6 +88,15 @@ IO_CHUNK_BYTES = 64 * 1024
 
 #: Retry-After hint for shed requests (migration window / dead worker).
 SHED_RETRY_AFTER = 1.0
+
+#: How long a relayed subscription keeps trying to re-reach a primary
+#: (migration window, rolling restart, crash respawn) before giving up
+#: and ending the client's stream.  The client resumes losslessly with
+#: ``?from_version=<last id + 1>``.
+SUBSCRIBE_RECONNECT_WINDOW = 15.0
+
+#: Pause between relay reconnect attempts.
+SUBSCRIBE_RECONNECT_PAUSE = 0.2
 
 
 class SessionMigratingError(ReproError):
@@ -812,6 +822,13 @@ class _RouterHandler(BaseHTTPRequestHandler):
             finally:
                 router.table.end(name)
             return
+        # Subscriptions are long-lived: holding the quiesce accounting
+        # for the stream's lifetime would deadlock every migration of
+        # the session, so the relay only *checks* the migration window
+        # at connect time and re-subscribes transparently afterwards.
+        if method == "GET" and action == "subscribe":
+            self._subscribe_relay(name, split)
+            return
         body = self._read_body() if method in ("POST",) else None
         router.table.begin(name)
         try:
@@ -966,6 +983,209 @@ class _RouterHandler(BaseHTTPRequestHandler):
         raise WorkerUnavailableError(
             f"no worker could answer the read for session {name!r}"
         )
+
+    # ------------------------------------------------------------------ #
+    # Subscription relay
+    # ------------------------------------------------------------------ #
+
+    def _subscribe_relay(self, name: str, split) -> None:
+        """Relay ``GET .../subscribe`` from the session's primary.
+
+        The router terminates the client's stream and maintains its own
+        upstream leg to whichever worker is currently primary: when the
+        leg dies (migration, rolling restart, crash respawn) it
+        re-resolves the primary and reconnects with
+        ``from_version=<last id + 1>``, deduplicating on the strictly
+        increasing ``id`` values -- the client sees one gapless stream
+        across worker churn, byte-identical to the single-server one.
+        """
+        router = self.server.router
+        query = parse_qs(split.query, keep_blank_values=False)
+        allowed = {
+            "spec",
+            "attribute",
+            "mode",
+            "from_version",
+            "max_events",
+            "timeout_ms",
+            "heartbeat_ms",
+        }
+        unknown = set(query) - allowed
+        if unknown:
+            raise ValidationError(
+                f"unknown query parameters: {', '.join(sorted(unknown))}"
+            )
+        from_version = self._query_int(query, "from_version")
+        max_events = self._query_int(query, "max_events")
+        timeout_ms = self._query_int(query, "timeout_ms")
+        deadline = (
+            time.monotonic() + timeout_ms / 1000.0
+            if timeout_ms is not None
+            else None
+        )
+        # Shed at connect time if the session is mid-migration -- the
+        # same contract every other route honors -- but do NOT stay in
+        # the in-flight accounting: the stream outlives any quiesce.
+        router.table.begin(name)
+        router.table.end(name)
+
+        headers_sent = False
+        last: "int | None" = None
+        sent = 0
+        retry_until: "float | None" = None
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            upstream_from = from_version if last is None else last + 1
+            remaining_events = None if max_events is None else max_events - sent
+            if remaining_events is not None and remaining_events <= 0:
+                return
+            path = self._upstream_subscribe_path(
+                name, query, upstream_from, remaining_events, deadline
+            )
+            try:
+                status, response, connection = router.forward_stream(
+                    router.table.primary(name), "GET", path
+                )
+            except (WorkerUnavailableError, OSError):
+                if not headers_sent:
+                    raise
+                if self._subscribe_retry_wait(retry_until) is None:
+                    return
+                retry_until = retry_until or (
+                    time.monotonic() + SUBSCRIBE_RECONNECT_WINDOW
+                )
+                continue
+            if status != 200:
+                payload = response.read()
+                connection.close()
+                if not headers_sent:
+                    self._relay(
+                        status,
+                        payload,
+                        {k: v for k, v in response.getheaders()},
+                    )
+                    return
+                # Mid-stream 404/503: the session is moving between
+                # workers; keep retrying inside the window.
+                if self._subscribe_retry_wait(retry_until) is None:
+                    return
+                retry_until = retry_until or (
+                    time.monotonic() + SUBSCRIBE_RECONNECT_WINDOW
+                )
+                continue
+            retry_until = None
+            if not headers_sent:
+                self.close_connection = True
+                self.send_response(200)
+                self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+                self.send_header("Cache-Control", "no-store")
+                version = response.headers.get("X-Repro-State-Version")
+                if version is not None:
+                    self.send_header("X-Repro-State-Version", version)
+                self.send_header("Connection", "close")
+                self.end_headers()
+                headers_sent = True
+            try:
+                last, sent, done = self._pump_sse(
+                    response, last=last, sent=sent, max_events=max_events
+                )
+            finally:
+                connection.close()
+            if done:
+                return
+            # Upstream leg ended without satisfying the client's budget:
+            # the worker timed out, restarted, or handed the session off.
+
+    def _subscribe_retry_wait(self, retry_until: "float | None") -> "float | None":
+        """Sleep one reconnect pause; None once the retry window closed."""
+        if retry_until is not None and time.monotonic() >= retry_until:
+            return None
+        time.sleep(SUBSCRIBE_RECONNECT_PAUSE)
+        return SUBSCRIBE_RECONNECT_PAUSE
+
+    def _pump_sse(
+        self,
+        response: Any,
+        *,
+        last: "int | None",
+        sent: int,
+        max_events: "int | None",
+    ) -> "tuple[int | None, int, bool]":
+        """Forward upstream SSE frames to the client, deduplicating by id.
+
+        Returns ``(last_id, events_sent, done)`` where ``done`` means the
+        client's ``max_events`` budget is satisfied (upstream EOF with
+        budget left means: reconnect).
+        """
+        buffered: list[bytes] = []
+        event_id: "int | None" = None
+        while True:
+            raw = response.readline()
+            if not raw:
+                return last, sent, False
+            line = raw.decode("utf-8", "replace").rstrip("\r\n")
+            if line.startswith(":"):
+                # Heartbeat comment: forward immediately (it is the
+                # client-liveness probe); its trailing blank line is
+                # swallowed by the empty-buffer case below.
+                self.wfile.write(raw.rstrip(b"\r\n") + b"\n\n")
+                self.wfile.flush()
+                continue
+            if line == "":
+                if buffered:
+                    if event_id is not None and (last is None or event_id > last):
+                        self.wfile.write(b"".join(buffered) + b"\n")
+                        self.wfile.flush()
+                        last = event_id
+                        sent += 1
+                        if max_events is not None and sent >= max_events:
+                            return last, sent, True
+                    buffered = []
+                    event_id = None
+                continue
+            if line.startswith("id: "):
+                try:
+                    event_id = int(line[4:])
+                except ValueError:
+                    event_id = None
+            buffered.append(line.encode("utf-8") + b"\n")
+
+    @staticmethod
+    def _upstream_subscribe_path(
+        name: str,
+        query: "dict[str, list[str]]",
+        from_version: "int | None",
+        max_events: "int | None",
+        deadline: "float | None",
+    ) -> str:
+        params: list[tuple[str, str]] = []
+        for key in ("spec", "attribute", "mode", "heartbeat_ms"):
+            for value in query.get(key, []):
+                params.append((key, value))
+        if from_version is not None:
+            params.append(("from_version", str(from_version)))
+        if max_events is not None:
+            params.append(("max_events", str(max_events)))
+        if deadline is not None:
+            remaining_ms = max(1, int((deadline - time.monotonic()) * 1000))
+            params.append(("timeout_ms", str(remaining_ms)))
+        suffix = f"?{urlencode(params)}" if params else ""
+        return f"/sessions/{name}/subscribe{suffix}"
+
+    @staticmethod
+    def _query_int(query: "dict[str, list[str]]", key: str) -> "int | None":
+        values = query.get(key, [])
+        if not values:
+            return None
+        if len(values) > 1:
+            raise ValidationError(f"query parameter {key!r} given more than once")
+        try:
+            return int(values[0])
+        except ValueError:
+            raise ValidationError(
+                f"{key} must be an integer, got {values[0]!r}"
+            ) from None
 
     # ------------------------------------------------------------------ #
     # Cluster admin routes

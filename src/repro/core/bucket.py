@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.estimator import Estimate, SumEstimator
+from repro.core.incremental import SampleDelta
 from repro.core.naive import NaiveEstimator
 from repro.data.sample import ObservedSample
 from repro.utils.exceptions import EstimationError, ValidationError
@@ -286,6 +287,87 @@ class DynamicBucketing(BucketingStrategy):
         return pairs
 
 
+class _MemoizedEstimator(SumEstimator):
+    """Whole-bucket memoization wrapper used by the incremental handle.
+
+    The bucket estimator's incremental path rebuilds the bucket
+    decomposition on every update, but most buckets do not change
+    between updates: their restriction of the sample has identical
+    counts, values and order (restrictions preserve the parent's
+    insertion order).  Wrapping the (deterministic, closed-form) base
+    estimator with a memo keyed on the exact bucket content makes every
+    unchanged bucket -- including every candidate split the dynamic
+    strategy re-evaluates -- a dictionary hit returning the *same*
+    :class:`Estimate` object as the previous round.
+    """
+
+    _MAX_ENTRIES = 8192
+
+    def __init__(self, base: SumEstimator) -> None:
+        self.base = base
+        self.name = base.name
+        self._memo: "dict[tuple, Estimate]" = {}
+
+    def estimate(self, sample: ObservedSample, attribute: str) -> Estimate:
+        memo = self._memo
+        key = (
+            attribute,
+            tuple(sample.counts.items()),
+            sample.values(attribute).tobytes(),
+            sample.source_sizes,
+        )
+        cached = memo.get(key)
+        if cached is None:
+            cached = self.base.estimate(sample, attribute)
+            if len(memo) >= self._MAX_ENTRIES:
+                memo.pop(next(iter(memo)))
+            memo[key] = cached
+        return cached
+
+
+class _BucketHandle:
+    """Incremental handle of :class:`BucketEstimator`.
+
+    Maintains the raw sample content (counts / fused values / source
+    sizes) under deltas and carries the memoized base estimators whose
+    caches persist across updates -- that persistence is what makes an
+    update cheap when most buckets are untouched.
+    """
+
+    __slots__ = ("attribute", "counts", "values", "source_sizes", "base", "search_base")
+
+    def __init__(
+        self,
+        sample: ObservedSample,
+        attribute: str,
+        base: SumEstimator,
+        search_base: "SumEstimator | None",
+    ) -> None:
+        self.attribute = attribute
+        self.counts: dict[str, int] = dict(sample.counts)
+        self.values = sample.values_by_entity()
+        self.source_sizes = tuple(sample.source_sizes)
+        self.base = _MemoizedEstimator(base)
+        if search_base is None:
+            self.search_base: "SumEstimator | None" = None
+        elif search_base is base:
+            # Preserve the identity relation buckets() keys off.
+            self.search_base = self.base
+        else:
+            self.search_base = _MemoizedEstimator(search_base)
+
+    def apply(self, delta: SampleDelta) -> None:
+        for entity_id, value in delta.appended:
+            self.counts[entity_id] = 1
+            self.values[entity_id] = {self.attribute: value}
+        for entity_id in delta.reobserved:
+            self.counts[entity_id] += 1
+        self.source_sizes = tuple(delta.source_sizes)
+
+    def sample(self) -> ObservedSample:
+        return ObservedSample(self.counts, self.values, source_sizes=self.source_sizes)
+
+
 class BucketEstimator(SumEstimator):
     """Per-bucket unknown-unknowns estimation (Section 3.3).
 
@@ -324,10 +406,62 @@ class BucketEstimator(SumEstimator):
         if not isinstance(self.base, NaiveEstimator):
             self.name = f"{self.name}+{self.base.name}"
 
+    @property
+    def supports_updates(self) -> bool:  # type: ignore[override]
+        """True when every underlying estimator is itself update-capable.
+
+        The incremental path memoizes whole-bucket results, which is only
+        sound when the base estimators are deterministic pure functions
+        of the bucket content -- exactly the closed-form estimators that
+        set ``supports_updates`` themselves.  A Monte-Carlo base (fresh
+        ``runtime`` block per call) therefore disables the seam.
+        """
+        return bool(self.base.supports_updates) and (
+            self.search_base is None or bool(self.search_base.supports_updates)
+        )
+
     def estimate(self, sample: ObservedSample, attribute: str) -> Estimate:
         """Estimate the unknown-unknowns impact on ``SUM(attribute)``."""
         self._check_attribute(sample, attribute)
-        buckets = self.buckets(sample, attribute)
+        buckets = self._buckets_for(sample, attribute, self.base, self.search_base)
+        return self._summarize(sample, attribute, buckets)
+
+    # ------------------------------------------------------------------ #
+    # Incremental seam
+    # ------------------------------------------------------------------ #
+
+    def begin(self, sample: ObservedSample, attribute: str) -> _BucketHandle:
+        """Open an incremental handle positioned at ``sample``."""
+        if not self.supports_updates:
+            raise EstimationError(
+                f"estimator {self.name!r} does not support incremental updates: "
+                "its base estimator is not update-capable"
+            )
+        self._check_attribute(sample, attribute)
+        return _BucketHandle(sample, attribute, self.base, self.search_base)
+
+    def update(self, handle: _BucketHandle, delta: "SampleDelta | None" = None) -> Estimate:
+        """Advance ``handle`` by ``delta`` and return the fresh estimate.
+
+        The bucket decomposition is rebuilt from the maintained sample
+        content, but every bucket (and candidate split) whose content is
+        unchanged hits the handle's memo instead of re-running the base
+        estimator -- the recomputation cost scales with how much of the
+        value range the delta actually touched.
+        """
+        if delta is not None:
+            handle.apply(delta)
+        sample = handle.sample()
+        buckets = self._buckets_for(sample, handle.attribute, handle.base, handle.search_base)
+        return self._summarize(sample, handle.attribute, buckets)
+
+    # ------------------------------------------------------------------ #
+    # Shared decomposition + summary (batch and incremental paths)
+    # ------------------------------------------------------------------ #
+
+    def _summarize(
+        self, sample: ObservedSample, attribute: str, buckets: list[Bucket]
+    ) -> Estimate:
         delta = 0.0
         count_estimate = 0.0
         for bucket in buckets:
@@ -354,6 +488,28 @@ class BucketEstimator(SumEstimator):
             details=details,
         )
 
+    def _buckets_for(
+        self,
+        sample: ObservedSample,
+        attribute: str,
+        base: SumEstimator,
+        search_base: "SumEstimator | None",
+    ) -> list[Bucket]:
+        search = search_base or base
+        buckets = self.strategy.build(sample, attribute, search)
+        if not buckets:
+            raise EstimationError("bucketing strategy produced no buckets")
+        if search_base is not None and search_base is not base:
+            buckets = [
+                bucket
+                if bucket.is_empty
+                else BucketingStrategy._estimate_bucket(
+                    bucket.sample, bucket.low, bucket.high, attribute, base
+                )
+                for bucket in buckets
+            ]
+        return buckets
+
     def buckets(self, sample: ObservedSample, attribute: str) -> list[Bucket]:
         """Return the buckets (with per-bucket estimates) for ``sample``.
 
@@ -361,17 +517,4 @@ class BucketEstimator(SumEstimator):
         Section 5 reuse the bucket decomposition directly.
         """
         self._check_attribute(sample, attribute)
-        search = self.search_base or self.base
-        buckets = self.strategy.build(sample, attribute, search)
-        if not buckets:
-            raise EstimationError("bucketing strategy produced no buckets")
-        if self.search_base is not None and self.search_base is not self.base:
-            buckets = [
-                bucket
-                if bucket.is_empty
-                else BucketingStrategy._estimate_bucket(
-                    bucket.sample, bucket.low, bucket.high, attribute, self.base
-                )
-                for bucket in buckets
-            ]
-        return buckets
+        return self._buckets_for(sample, attribute, self.base, self.search_base)

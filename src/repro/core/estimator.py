@@ -144,14 +144,53 @@ class SumEstimator(ABC):
 
     Subclasses implement :meth:`estimate` and report a stable :attr:`name`
     used by the experiment harness and the estimator registry.
+
+    Estimators that can maintain their result under updates additionally
+    set :attr:`supports_updates` and implement the incremental seam
+    (:meth:`begin` / :meth:`update`).  The batch :meth:`estimate` always
+    remains available and is the parity oracle: for any sequence of
+    deltas, ``update`` must return an :class:`Estimate` identical to what
+    ``estimate`` would compute over the equivalent full sample.
     """
 
     #: Stable identifier of the estimator (overridden by subclasses).
     name: str = "abstract"
 
+    #: True when the estimator implements the incremental seam below.
+    #: Class-level default; :class:`~repro.core.bucket.BucketEstimator`
+    #: overrides it with a property derived from its base estimators.
+    supports_updates: bool = False
+
     @abstractmethod
     def estimate(self, sample: ObservedSample, attribute: str) -> Estimate:
         """Estimate the unknown-unknowns impact on ``SUM(attribute)``."""
+
+    # ------------------------------------------------------------------ #
+    # Incremental seam (optional; see supports_updates)
+    # ------------------------------------------------------------------ #
+
+    def begin(self, sample: ObservedSample, attribute: str) -> Any:
+        """Open an incremental handle positioned at ``sample``.
+
+        The handle is opaque to callers; feed it back to :meth:`update`
+        together with the :class:`~repro.core.incremental.SampleDelta`
+        digests committed since.  Estimators with
+        ``supports_updates = False`` raise :class:`EstimationError`.
+        """
+        raise EstimationError(
+            f"estimator {self.name!r} does not support incremental updates"
+        )
+
+    def update(self, handle: Any, delta: Any = None) -> Estimate:
+        """Advance ``handle`` by ``delta`` and return the fresh estimate.
+
+        ``delta=None`` recomputes from the handle's current state without
+        advancing it (used right after :meth:`begin` and for reads with
+        no intervening ingest).
+        """
+        raise EstimationError(
+            f"estimator {self.name!r} does not support incremental updates"
+        )
 
     # ------------------------------------------------------------------ #
     # Shared helpers
@@ -181,9 +220,35 @@ class SumEstimator(ABC):
         runtime: dict[str, Any] | None = None,
     ) -> Estimate:
         """Assemble an :class:`Estimate` with the common bookkeeping filled in."""
-        stats = self._statistics(sample)
-        observed = sample.sum(attribute)
-        missing = count_estimate - sample.c
+        return self._assemble_estimate(
+            self._statistics(sample),
+            sample.sum(attribute),
+            delta=delta,
+            count_estimate=count_estimate,
+            value_estimate=value_estimate,
+            details=details,
+            runtime=runtime,
+        )
+
+    def _assemble_estimate(
+        self,
+        stats: FrequencyStatistics,
+        observed: float,
+        delta: float,
+        count_estimate: float,
+        value_estimate: float,
+        details: dict[str, Any] | None = None,
+        runtime: dict[str, Any] | None = None,
+    ) -> Estimate:
+        """Assemble an :class:`Estimate` from pre-reduced inputs.
+
+        The batch path (:meth:`_build_estimate`) and the incremental path
+        share this assembly, so the two can only differ in how ``stats``
+        and ``observed`` were obtained -- which is exactly what the
+        incremental state keeps bit-identical.  Note ``stats.c`` equals
+        ``sample.c`` by construction (``c = Σ f_j``).
+        """
+        missing = count_estimate - stats.c
         if math.isfinite(missing):
             missing = max(missing, 0.0)
         return Estimate(

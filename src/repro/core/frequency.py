@@ -15,6 +15,8 @@ and therefore stop inflating the value estimate for the missing entities.
 from __future__ import annotations
 
 from repro.core.estimator import Estimate, SumEstimator
+from repro.core.fstatistics import FrequencyStatistics
+from repro.core.incremental import IncrementalSampleState, SampleDelta
 from repro.data.sample import ObservedSample
 
 
@@ -32,6 +34,12 @@ class FrequencyEstimator(SumEstimator):
 
     name = "frequency"
 
+    #: Equation 9 reads only the f-statistics histogram and the singleton
+    #: SUM; both are maintained exactly by the incremental state (the
+    #: singleton sum re-sums sequentially after a promotion, preserving
+    #: the batch summation order), so updates are O(|delta|) amortized.
+    supports_updates = True
+
     def __init__(self, assume_uniform: bool = False) -> None:
         self.assume_uniform = bool(assume_uniform)
         if self.assume_uniform:
@@ -40,12 +48,45 @@ class FrequencyEstimator(SumEstimator):
     def estimate(self, sample: ObservedSample, attribute: str) -> Estimate:
         """Estimate the unknown-unknowns impact on ``SUM(attribute)``."""
         self._check_attribute(sample, attribute)
-        stats = self._statistics(sample)
+        return self._estimate_from(
+            self._statistics(sample),
+            sample.sum(attribute),
+            sample.singleton_sum(attribute),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Incremental seam
+    # ------------------------------------------------------------------ #
+
+    def begin(self, sample: ObservedSample, attribute: str) -> IncrementalSampleState:
+        """Open an incremental handle positioned at ``sample``."""
+        self._check_attribute(sample, attribute)
+        return IncrementalSampleState(sample, attribute)
+
+    def update(
+        self, handle: IncrementalSampleState, delta: "SampleDelta | None" = None
+    ) -> Estimate:
+        """Advance ``handle`` by ``delta`` and return the fresh estimate."""
+        if delta is not None:
+            handle.apply(delta)
+        return self._estimate_from(
+            handle.statistics(), handle.observed_sum(), handle.singleton_sum()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared math (the batch path is the parity oracle)
+    # ------------------------------------------------------------------ #
+
+    def _estimate_from(
+        self,
+        stats: FrequencyStatistics,
+        observed_sum: float,
+        singleton_sum: float,
+    ) -> Estimate:
         n = stats.n
         c = stats.c
         f1 = stats.singletons
         gamma_sq = 0.0 if self.assume_uniform else stats.cv_squared()
-        singleton_sum = sample.singleton_sum(attribute)
 
         if f1 == 0:
             # No singletons: the sample looks complete and Equation 9
@@ -64,9 +105,9 @@ class FrequencyEstimator(SumEstimator):
             count_estimate = c + f1 * (c + gamma_sq * n) / (n - f1)
             value_estimate = singleton_sum / f1
 
-        return self._build_estimate(
-            sample,
-            attribute,
+        return self._assemble_estimate(
+            stats,
+            observed_sum,
             delta=delta,
             count_estimate=count_estimate,
             value_estimate=value_estimate,

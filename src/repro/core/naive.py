@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 
 from repro.core.estimator import Estimate, SumEstimator
+from repro.core.fstatistics import FrequencyStatistics
+from repro.core.incremental import IncrementalSampleState, SampleDelta
 from repro.core.species import chao92_estimate
 from repro.data.sample import ObservedSample
 
@@ -20,6 +22,11 @@ class NaiveEstimator(SumEstimator):
     """Chao92 count estimate × mean-substitution value estimate (Eq. 3 / 8)."""
 
     name = "naive"
+
+    #: Δ̂_naive is a pure function of the f-statistics histogram and the
+    #: observed SUM, both of which the incremental state maintains
+    #: exactly -- so the delta path is O(|delta|) and bit-identical.
+    supports_updates = True
 
     def estimate(self, sample: ObservedSample, attribute: str) -> Estimate:
         """Estimate the unknown-unknowns impact on ``SUM(attribute)``.
@@ -30,16 +37,39 @@ class NaiveEstimator(SumEstimator):
         in Equation 8), and the caller decides how to handle it.
         """
         self._check_attribute(sample, attribute)
-        richness = chao92_estimate(self._statistics(sample))
-        observed_sum = sample.sum(attribute)
-        mean_value = observed_sum / sample.c
+        return self._estimate_from(self._statistics(sample), sample.sum(attribute))
+
+    # ------------------------------------------------------------------ #
+    # Incremental seam
+    # ------------------------------------------------------------------ #
+
+    def begin(self, sample: ObservedSample, attribute: str) -> IncrementalSampleState:
+        """Open an incremental handle positioned at ``sample``."""
+        self._check_attribute(sample, attribute)
+        return IncrementalSampleState(sample, attribute)
+
+    def update(
+        self, handle: IncrementalSampleState, delta: "SampleDelta | None" = None
+    ) -> Estimate:
+        """Advance ``handle`` by ``delta`` and return the fresh estimate."""
+        if delta is not None:
+            handle.apply(delta)
+        return self._estimate_from(handle.statistics(), handle.observed_sum())
+
+    # ------------------------------------------------------------------ #
+    # Shared math (the batch path is the parity oracle)
+    # ------------------------------------------------------------------ #
+
+    def _estimate_from(self, stats: FrequencyStatistics, observed_sum: float) -> Estimate:
+        richness = chao92_estimate(stats)
+        mean_value = observed_sum / stats.c
         if math.isinf(richness.n_hat):
             delta = float("inf") if observed_sum > 0 else float("-inf") if observed_sum < 0 else 0.0
         else:
-            delta = mean_value * (richness.n_hat - sample.c)
-        return self._build_estimate(
-            sample,
-            attribute,
+            delta = mean_value * (richness.n_hat - stats.c)
+        return self._assemble_estimate(
+            stats,
+            observed_sum,
             delta=delta,
             count_estimate=richness.n_hat,
             value_estimate=mean_value,

@@ -15,6 +15,15 @@ Routes::
     DELETE /sessions/<name>              forget a session
     POST   /sessions/<name>/ingest       {"observations": [{...}, ...]}
     GET    /sessions/<name>/estimate     ?spec=...&attribute=...&timeout_ms=...
+                                         &mode=batch|delta|auto&wait_version=N
+                                         (long-poll: block until state_version
+                                         >= N; 304 + X-Repro-State-Version on
+                                         timeout)
+    GET    /sessions/<name>/subscribe    Server-Sent Events: one fresh
+                                         ``repro.result/v1`` envelope per
+                                         state_version bump (?spec, ?attribute,
+                                         ?mode, ?from_version, ?max_events,
+                                         ?timeout_ms, ?heartbeat_ms)
     POST   /sessions/<name>/query        {"sql", "spec"?, "closed_world"?}
     GET    /sessions/<name>/snapshot     the session-snapshot envelope
     POST   /sessions/<name>/restore      materialize from a snapshot envelope
@@ -60,6 +69,7 @@ import json
 import math
 import signal
 import threading
+import time
 import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -204,7 +214,12 @@ class _Handler(BaseHTTPRequestHandler):
                     retry_after=1.0,
                 )
             gate = self.server.gate
-            if gate is None:
+            if gate is None or handler is self._get_subscribe:
+                # A subscription is a long-lived stream: pinning an
+                # admission slot for its lifetime would let a handful of
+                # idle subscribers starve the serving path.  Its per-event
+                # computations ride the shared cache/batcher like any
+                # other read, so only the slot is exempted.
                 handler(parts, query)
             else:
                 with gate:
@@ -246,6 +261,7 @@ class _Handler(BaseHTTPRequestHandler):
             session_routes = {
                 ("POST", "ingest"): self._post_ingest,
                 ("GET", "estimate"): self._get_estimate,
+                ("GET", "subscribe"): self._get_subscribe,
                 ("POST", "query"): self._post_query,
                 ("GET", "snapshot"): self._get_snapshot,
                 ("POST", "restore"): self._post_restore,
@@ -332,18 +348,193 @@ class _Handler(BaseHTTPRequestHandler):
         observations = observations_from_json(body["observations"])
         self._send_json(200, served.ingest(observations))
 
+    #: How long a ``?wait_version=`` long-poll parks by default before
+    #: answering 304 (overridable per request via ``timeout_ms``).
+    WAIT_VERSION_TIMEOUT = 30.0
+
+    #: Default subscribe keep-alive comment interval.
+    HEARTBEAT_MS = 15_000
+
     def _get_estimate(self, parts, query) -> None:
         served = self.server.registry.get(parts[1])
-        self._validated_query(query, {"spec", "attribute", "timeout_ms"})
+        self._validated_query(
+            query, {"spec", "attribute", "timeout_ms", "wait_version", "mode"}
+        )
         specs: "list[str | None]" = list(query.get("spec", [])) or [None]
         attribute = self._single(query, "attribute")
-        payloads = served.estimate_payloads(
-            specs, attribute, timeout=self._timeout_seconds(query)
-        )
+        mode = self._single(query, "mode")
+        timeout = self._timeout_seconds(query)
+        wait_version = self._int_param(query, "wait_version")
+        if wait_version is not None:
+            # Long-poll leg of the unified freshness primitive: park on
+            # the session's VersionGate (never under its RWLock), answer
+            # once the version arrives, 304 + current version on timeout.
+            reached = served.wait_for_version(
+                wait_version,
+                timeout if timeout is not None else self.WAIT_VERSION_TIMEOUT,
+            )
+            if reached is None:
+                self._send_no_body(
+                    304,
+                    headers=[("X-Repro-State-Version", str(served.state_version))],
+                )
+                return
+            if reached < wait_version:
+                # The gate released us below the target: the session was
+                # retired mid-wait.
+                raise UnknownSessionError(
+                    f"session {parts[1]!r} was removed while waiting for "
+                    f"state_version {wait_version}"
+                )
+            if len(specs) == 1:
+                version, payload = served.estimate_payload_at(
+                    specs[0], attribute, timeout=timeout, mode=mode
+                )
+                self._send_bytes(
+                    200,
+                    dumps_result(payload),
+                    headers=[("X-Repro-State-Version", str(version))],
+                )
+                return
+        payloads = served.estimate_payloads(specs, attribute, timeout=timeout, mode=mode)
         if len(payloads) == 1:
             self._send_bytes(200, dumps_result(payloads[0]))
         else:
             self._send_bytes(200, dumps_result(payloads))
+
+    def _get_subscribe(self, parts, query) -> None:
+        """Server-Sent Events: push a fresh envelope per version bump.
+
+        Framing (one event per ``state_version`` reached)::
+
+            id: <state_version>
+            event: estimate
+            data: <line 1 of the result body>
+            data: ...
+            <blank line>
+
+        Joining the ``data:`` values with a newline reconstructs the
+        exact bytes ``GET .../estimate`` would serve at that version --
+        the byte-identity contract, extended to the push path (the push
+        also warms the answer cache, so followers polling the same
+        version hit).  Versions may coalesce under write pressure: only
+        the latest state is pushed, ``id`` values are strictly
+        increasing, and a reconnecting client resumes with
+        ``?from_version=<last id + 1>``.
+        """
+        served = self.server.registry.get(parts[1])
+        self._validated_query(
+            query,
+            {
+                "spec",
+                "attribute",
+                "mode",
+                "from_version",
+                "max_events",
+                "timeout_ms",
+                "heartbeat_ms",
+            },
+        )
+        spec = self._single(query, "spec")
+        attribute = self._single(query, "attribute")
+        mode = self._single(query, "mode")
+        from_version = self._int_param(query, "from_version")
+        max_events = self._int_param(query, "max_events", minimum=1)
+        timeout = self._timeout_seconds(query)
+        heartbeat_ms = self._int_param(query, "heartbeat_ms", minimum=1)
+        heartbeat = (
+            heartbeat_ms if heartbeat_ms is not None else self.HEARTBEAT_MS
+        ) / 1000.0
+        deadline = time.monotonic() + timeout if timeout is not None else None
+
+        if from_version is not None and from_version > served.state_version:
+            # Resuming ahead of the current state: park until it arrives
+            # (or the stream deadline passes) before sending headers, so
+            # validation errors can still surface as clean 4xx responses.
+            first_wait = heartbeat if deadline is None else min(
+                heartbeat, max(0.0, deadline - time.monotonic())
+            )
+            served.wait_for_version(from_version, first_wait)
+
+        # Compute the first (version, payload) pair *before* the stream
+        # headers go out: a bad spec / attribute / mode fails the request
+        # with a regular JSON error instead of dying mid-stream.
+        version, payload = served.estimate_payload_at(
+            spec, attribute, timeout=timeout, mode=mode
+        )
+
+        self.close_connection = True  # close-delimited stream
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("X-Repro-State-Version", str(version))
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+        served.subscriber_started()
+        disconnected = False
+        pushed = 0
+        last = None
+        try:
+            while True:
+                if from_version is None or version >= from_version:
+                    if last is None or version > last:
+                        self._write_event(version, dumps_result(payload))
+                        served.subscriber_pushed()
+                        pushed += 1
+                        last = version
+                        if max_events is not None and pushed >= max_events:
+                            return
+                wait_floor = (last if last is not None else version) + 1
+                if last is None and from_version is not None:
+                    wait_floor = max(wait_floor, from_version)
+                while True:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        return
+                    slice_timeout = (
+                        heartbeat
+                        if remaining is None
+                        else min(heartbeat, remaining)
+                    )
+                    reached = served.wait_for_version(wait_floor, slice_timeout)
+                    if reached is None:
+                        # Idle heartbeat: also our liveness probe -- a
+                        # dead client surfaces as BrokenPipeError here,
+                        # releasing the wait slot and the thread.
+                        self.wfile.write(b": keepalive\n\n")
+                        self.wfile.flush()
+                        continue
+                    if reached < wait_floor:
+                        return  # session retired; end the stream cleanly
+                    break
+                # No compute deadline mid-stream: a 504 cannot be sent
+                # once the event-stream headers are out.
+                version, payload = served.estimate_payload_at(
+                    spec, attribute, mode=mode
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            disconnected = True
+        except ReproError:
+            # Mid-stream failure (estimator error, breaker open): the
+            # status line is long gone, so end the stream; the client
+            # reconnects from its last id and sees the real error then.
+            pass
+        finally:
+            served.subscriber_finished(disconnected=disconnected)
+
+    def _write_event(self, version: int, body: bytes) -> None:
+        """One SSE frame whose ``data:`` lines carry the result body."""
+        lines = body.decode("utf-8").split("\n")
+        frame = "".join(
+            [f"id: {version}\n", "event: estimate\n"]
+            + [f"data: {line}\n" for line in lines]
+            + ["\n"]
+        )
+        self.wfile.write(frame.encode("utf-8"))
+        self.wfile.flush()
 
     def _post_query(self, parts, query) -> None:
         served = self.server.registry.get(parts[1])
@@ -502,6 +693,34 @@ class _Handler(BaseHTTPRequestHandler):
         if len(values) > 1:
             raise ValidationError(f"query parameter {key!r} given more than once")
         return values[0] if values else None
+
+    def _int_param(
+        self, query: dict[str, list[str]], key: str, minimum: int = 0
+    ) -> "int | None":
+        raw = self._single(query, key)
+        if raw is None:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"{key} must be an integer, got {raw!r}"
+            ) from None
+        if value < minimum:
+            raise ValidationError(f"{key} must be >= {minimum}, got {value}")
+        return value
+
+    def _send_no_body(
+        self, status: int, headers: "list[tuple[str, str]] | None" = None
+    ) -> None:
+        """A bodyless response (the 304 of a timed-out long-poll)."""
+        self.send_response(status)
+        for name, value in headers or ():
+            self.send_header(name, value)
+        self.send_header("Content-Length", "0")
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
 
     def _timeout_seconds(self, query: dict[str, list[str]]) -> "float | None":
         """The ``?timeout_ms=`` deadline, as seconds (``None`` = no deadline)."""

@@ -74,6 +74,7 @@ from repro.resilience.wal import WalCorruptionError, WriteAheadLog
 from repro.serving.batcher import CoalescingBatcher
 from repro.serving.cache import DEFAULT_CACHE_ENTRIES, EstimateCache, request_key
 from repro.serving.locks import RWLock
+from repro.serving.versions import VersionGate
 from repro.storage.store import STORE_KINDS, DiskStore
 from repro.storage.transfer import archive_header, unpack_archive
 from repro.utils.exceptions import ReproError, ValidationError
@@ -250,9 +251,18 @@ class ServedSession:
         # let the new instance hit the old instance's entries (their
         # state_version counters both start at 0).
         self._cache_name = f"{name}#{epoch}"
+        # THE freshness primitive of this session: every "has version v
+        # arrived yet?" question -- long-poll waits, subscription pushes,
+        # the cluster router's replica gate -- goes through this one
+        # VersionGate rather than growing another ad-hoc mechanism.
+        self._gate = VersionGate(session.state_version)
         self._stats_lock = threading.Lock()
         self._ingest_requests = 0
         self._read_requests = 0
+        self._subscribers_started = 0
+        self._subscribers_active = 0
+        self._subscriber_pushes = 0
+        self._subscriber_disconnects = 0
         # Version covered by the last durable checkpoint of this session
         # (-1 = never checkpointed, so even an empty session gets its
         # first per-session checkpoint file written).
@@ -302,6 +312,11 @@ class ServedSession:
                 ingested = self._session.ingest(chunk)
             with self._stats_lock:
                 self._ingest_requests += 1
+            # Publish the new version while still write-locked: a waiter
+            # released by this advance that immediately estimates is
+            # serialized behind the ingest, so it can never observe a
+            # version the session has not fully reached.
+            self._gate.advance(self._session.state_version)
             return {
                 "session": self.name,
                 "ingested": ingested,
@@ -309,6 +324,60 @@ class ServedSession:
                 "n": self._session.n,
                 "c": self._session.c,
             }
+
+    # ------------------------------------------------------------------ #
+    # Version waits (the unified freshness primitive)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state_version(self) -> int:
+        """The session's published ``state_version`` (lock-free read)."""
+        return self._gate.version
+
+    @property
+    def retired(self) -> bool:
+        """True once the session has been removed from its registry."""
+        return self._gate.closed
+
+    def wait_for_version(
+        self, version: int, timeout: "float | None" = None
+    ) -> "int | None":
+        """Block until ``state_version`` reaches ``version``.
+
+        THE freshness wait of the serving layer (see
+        :mod:`repro.serving.versions`): long-poll ``?wait_version=``,
+        the subscription stream, and the cluster router's replica gate
+        all funnel through this method.  Returns the published version
+        once reached, the current (possibly lower) version if the
+        session is retired mid-wait, or ``None`` on timeout.
+
+        Never waits under the session's reader/writer lock -- an
+        abandoned waiter can therefore never block an ingest.
+        """
+        return self._gate.wait_for(version, timeout)
+
+    def close_gate(self) -> None:
+        """Retire the version gate, releasing every parked waiter."""
+        self._gate.close()
+
+    # ------------------------------------------------------------------ #
+    # Subscriber accounting (asserted via /stats in tests)
+    # ------------------------------------------------------------------ #
+
+    def subscriber_started(self) -> None:
+        with self._stats_lock:
+            self._subscribers_started += 1
+            self._subscribers_active += 1
+
+    def subscriber_finished(self, *, disconnected: bool = False) -> None:
+        with self._stats_lock:
+            self._subscribers_active -= 1
+            if disconnected:
+                self._subscriber_disconnects += 1
+
+    def subscriber_pushed(self) -> None:
+        with self._stats_lock:
+            self._subscriber_pushes += 1
 
     # ------------------------------------------------------------------ #
     # Cached, coalesced reads
@@ -319,15 +388,19 @@ class ServedSession:
         spec: "str | None" = None,
         attribute: "str | None" = None,
         timeout: "float | None" = None,
+        *,
+        mode: "str | None" = None,
     ) -> dict[str, Any]:
         """The served ``estimate`` envelope (cache -> coalescer -> session)."""
-        return self.estimate_payloads([spec], attribute, timeout=timeout)[0]
+        return self.estimate_payloads([spec], attribute, timeout=timeout, mode=mode)[0]
 
     def estimate_payloads(
         self,
         specs: "list[str | None]",
         attribute: "str | None" = None,
         timeout: "float | None" = None,
+        *,
+        mode: "str | None" = None,
     ) -> list[dict[str, Any]]:
         """Several estimator specs against one state, fanned out as a batch.
 
@@ -337,8 +410,18 @@ class ServedSession:
         batch; expiry raises :class:`~repro.resilience.admission.
         DeadlineExceededError` while any led computation finishes in the
         background and still reaches the cache.
+
+        ``mode`` selects the estimation path (see
+        :meth:`repro.api.session.OpenWorldSession.estimate`): delta-vs-
+        batch parity makes the payloads byte-identical, so the cache key
+        deliberately excludes the mode -- but ``mode="delta"`` still
+        validates estimator capability *before* the cache lookup, so an
+        unsupported request fails loudly instead of riding a warm entry.
         """
         detail = attribute or self._session.attribute
+        if mode == "delta":
+            for spec in specs:
+                self._session.validate_delta(spec, attribute)
         pairs = []
         results: list[Any] = [None] * len(specs)
         for index, spec in enumerate(specs):
@@ -353,7 +436,13 @@ class ServedSession:
                 results[index] = cached
             else:
                 pairs.append(
-                    (index, key, self._estimate_computation(spec, spec_key, attribute, detail))
+                    (
+                        index,
+                        key,
+                        self._estimate_computation(
+                            spec, spec_key, attribute, detail, mode
+                        ),
+                    )
                 )
         if pairs:
             computed = self._batcher.execute_many(
@@ -363,7 +452,41 @@ class ServedSession:
                 results[index] = payload
         return results
 
-    def _estimate_computation(self, spec, spec_key, attribute, detail):
+    def estimate_payload_at(
+        self,
+        spec: "str | None" = None,
+        attribute: "str | None" = None,
+        timeout: "float | None" = None,
+        *,
+        mode: "str | None" = None,
+    ) -> "tuple[int, dict[str, Any]]":
+        """A consistent ``(state_version, payload)`` pair.
+
+        The subscription push path needs to label each pushed envelope
+        with the exact version it reflects.  The cached read path does
+        not expose the version it hit, so this re-reads the published
+        version around the lookup and only accepts the pair when both
+        reads agree -- versions are monotonic, so agreement means the
+        cache lookup and any computation in between were keyed at that
+        version.  Bounded retries; the race window is one ingest wide.
+        """
+        for _ in range(100):
+            before = self._gate.version
+            payload = self.estimate_payloads(
+                [spec], attribute, timeout=timeout, mode=mode
+            )[0]
+            if self._gate.version == before:
+                return before, payload
+        # Pathological write pressure: serve the freshest pair under the
+        # read lock directly (uncoalesced, but exact).
+        with self._lock.read_locked():
+            version = self._session.state_version
+            estimate = self._guarded(
+                lambda: self._session.estimate(attribute, spec, mode=mode)
+            )
+        return version, _served_payload(estimate.to_dict())
+
+    def _estimate_computation(self, spec, spec_key, attribute, detail, mode=None):
         # backend/workers overrides only apply to spec-configured
         # estimators; a session built around an estimator *instance*
         # (in-process embedding only) rejects them.
@@ -382,6 +505,7 @@ class ServedSession:
                         spec,
                         backend=self._backend if spec_configured else None,
                         workers=self._workers if spec_configured else None,
+                        mode=mode,
                     )
                 )
             payload = _served_payload(estimate.to_dict())
@@ -552,6 +676,13 @@ class ServedSession:
         with self._stats_lock:
             out["ingest_requests"] = self._ingest_requests
             out["read_requests"] = self._read_requests
+            out["subscribers"] = {
+                "started": self._subscribers_started,
+                "active": self._subscribers_active,
+                "pushed": self._subscriber_pushes,
+                "disconnects": self._subscriber_disconnects,
+                "waiters": self._gate.waiters,
+            }
         out["estimator_cache"] = self._session.estimator_cache_stats()
         if self._breaker is not None:
             out["circuit_breaker"] = self._breaker.stats()
@@ -962,6 +1093,10 @@ class SessionRegistry:
             served = self._sessions.pop(name, None)
         if served is None:
             raise UnknownSessionError(f"unknown session {name!r}")
+        # Retire the version gate first: every parked waiter (long-poll
+        # or subscriber) wakes immediately and observes ``retired``
+        # instead of blocking until its timeout against a dead name.
+        served.close_gate()
         if self._state_dir is None:
             served._session.close()
             return
